@@ -1,0 +1,47 @@
+# paratune build/verification targets. Everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz results examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick-scale figure benches + hot-path micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Brief fuzzing passes over the parsing/projection boundaries.
+fuzz:
+	$(GO) test -fuzz FuzzProject -fuzztime 15s ./internal/space/
+	$(GO) test -fuzz FuzzParameterNeighbors -fuzztime 15s ./internal/space/
+	$(GO) test -fuzz FuzzDispatch -fuzztime 15s ./internal/harmony/
+	$(GO) test -fuzz FuzzLoadDB -fuzztime 15s ./internal/objective/
+
+# Full-scale regeneration of every paper figure, ablation and extension
+# (~3 minutes), plus the consolidated markdown report.
+results:
+	$(GO) run ./cmd/expgen -out results -seed 42 -report
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/gs2tuning
+	$(GO) run ./examples/heavytail
+	$(GO) run ./examples/comparealgos
+	$(GO) run ./examples/networktuning
+	$(GO) run ./examples/stenciltuning
+	$(GO) run ./examples/adaptivek
+	$(GO) run ./examples/checkpoint
+	$(GO) run ./examples/realtuning
+
+clean:
+	rm -f test_output.txt bench_output.txt

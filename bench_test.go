@@ -1,0 +1,304 @@
+package paratune
+
+// The benchmark harness regenerates every figure in the paper's evaluation
+// (the paper has no numbered tables — Figs. 1 and 3–10 are the complete
+// result set) plus the design-choice ablations from DESIGN.md. Each
+// Benchmark runs the corresponding experiment at reduced replication
+// (Quick mode) so `go test -bench=.` finishes in minutes; `cmd/expgen`
+// regenerates the full-scale versions. Reported custom metrics carry the
+// figure's headline numbers so the bench output doubles as a results table.
+//
+// Micro-benchmarks for the hot paths (Pareto sampling, database lookup,
+// simulator steps, PRO iterations) follow the figure benches.
+
+import (
+	"fmt"
+	"testing"
+
+	"paratune/internal/cluster"
+	"paratune/internal/core"
+	"paratune/internal/dist"
+	"paratune/internal/experiment"
+	"paratune/internal/noise"
+	"paratune/internal/objective"
+	"paratune/internal/sample"
+	"paratune/internal/space"
+)
+
+func benchFigure(b *testing.B, id string) *experiment.Figure {
+	b.Helper()
+	cfg := experiment.Config{Seed: 42, Quick: true}
+	var fig *experiment.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiment.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return fig
+}
+
+// BenchmarkFig1MetricDiscrepancy regenerates Fig. 1 (iteration time vs
+// Total_Time for three algorithm variants).
+func BenchmarkFig1MetricDiscrepancy(b *testing.B) {
+	fig := benchFigure(b, "fig1")
+	b.ReportMetric(float64(len(fig.CSVRows)), "rows")
+}
+
+// BenchmarkFig2SimplexGeometry regenerates Fig. 2 (transform geometry).
+func BenchmarkFig2SimplexGeometry(b *testing.B) { benchFigure(b, "fig2") }
+
+// BenchmarkFig3Traces regenerates Fig. 3 (per-processor run-time traces).
+func BenchmarkFig3Traces(b *testing.B) { benchFigure(b, "fig3") }
+
+// BenchmarkFig4Pdf regenerates Fig. 4 (pdf of the trace data).
+func BenchmarkFig4Pdf(b *testing.B) { benchFigure(b, "fig4") }
+
+// BenchmarkFig5TailPlot regenerates Fig. 5 (log-log 1-cdf).
+func BenchmarkFig5TailPlot(b *testing.B) { benchFigure(b, "fig5") }
+
+// BenchmarkFig6TruncatedPdf regenerates Fig. 6 (pdf, samples > 5 removed).
+func BenchmarkFig6TruncatedPdf(b *testing.B) { benchFigure(b, "fig6") }
+
+// BenchmarkFig7TruncatedTail regenerates Fig. 7 (truncated log-log 1-cdf).
+func BenchmarkFig7TruncatedTail(b *testing.B) { benchFigure(b, "fig7") }
+
+// BenchmarkFig8Surface regenerates Fig. 8 (GS2 surface slice).
+func BenchmarkFig8Surface(b *testing.B) { benchFigure(b, "fig8") }
+
+// BenchmarkFig9InitialSimplex regenerates Fig. 9 (initial simplex study).
+func BenchmarkFig9InitialSimplex(b *testing.B) { benchFigure(b, "fig9") }
+
+// BenchmarkFig10MultiSampling regenerates the headline Fig. 10 (avg NTT vs
+// samples K per idle-throughput level).
+func BenchmarkFig10MultiSampling(b *testing.B) {
+	fig := benchFigure(b, "fig10")
+	// Surface the rho=0.40, K=1 vs best-K contrast as custom metrics.
+	last := fig.CSVRows[0]
+	b.ReportMetric(last[len(last)-2], "NTT-rho.4-K1")
+}
+
+// BenchmarkAblationEstimators regenerates the §5 min/mean/median ablation.
+func BenchmarkAblationEstimators(b *testing.B) { benchFigure(b, "ablation-estimators") }
+
+// BenchmarkAblationExpansionCheck regenerates the expansion-check ablation.
+func BenchmarkAblationExpansionCheck(b *testing.B) { benchFigure(b, "ablation-expansion") }
+
+// BenchmarkAblationAcceptRule regenerates the accept-rule ablation.
+func BenchmarkAblationAcceptRule(b *testing.B) { benchFigure(b, "ablation-accept") }
+
+// BenchmarkAblationProjection regenerates the projection ablation.
+func BenchmarkAblationProjection(b *testing.B) { benchFigure(b, "ablation-projection") }
+
+// BenchmarkAblationRemeasure regenerates the incumbent re-measurement
+// ablation.
+func BenchmarkAblationRemeasure(b *testing.B) { benchFigure(b, "ablation-remeasure") }
+
+// BenchmarkExtAdaptiveK regenerates the §5.2 adaptive sample-count
+// controller extension.
+func BenchmarkExtAdaptiveK(b *testing.B) { benchFigure(b, "ext-adaptive-k") }
+
+// BenchmarkExtAsync regenerates the footnote-1 asynchronous-tuning
+// extension (barrier vs async wall-clock).
+func BenchmarkExtAsync(b *testing.B) { benchFigure(b, "ext-async") }
+
+// BenchmarkExtParallelSampling regenerates the §5.2 free-parallel-samples
+// extension.
+func BenchmarkExtParallelSampling(b *testing.B) { benchFigure(b, "ext-parallel-sampling") }
+
+// BenchmarkExtSharedNoise regenerates the machine-wide vs independent
+// variability comparison.
+func BenchmarkExtSharedNoise(b *testing.B) { benchFigure(b, "ext-shared-noise") }
+
+// --- Micro-benchmarks ---
+
+// BenchmarkParetoSample measures heavy-tail variate generation.
+func BenchmarkParetoSample(b *testing.B) {
+	p := dist.Pareto{Alpha: 1.7, Beta: 1}
+	rng := dist.NewRNG(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += p.Sample(rng)
+	}
+	_ = sink
+}
+
+// BenchmarkTwoPriorityPerturb measures one queueing-model observation.
+func BenchmarkTwoPriorityPerturb(b *testing.B) {
+	q, err := noise.NewTwoPriorityQueue(2, dist.Exponential{Lambda: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := dist.NewRNG(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += q.Perturb(1, rng)
+	}
+	_ = sink
+}
+
+// BenchmarkGS2EvalHit measures an exact database lookup.
+func BenchmarkGS2EvalHit(b *testing.B) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 1, Coverage: 1})
+	p := db.Space().Center()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += db.Eval(p)
+	}
+	_ = sink
+}
+
+// BenchmarkGS2EvalInterpolated measures a nearest-neighbour interpolation
+// over the partially covered database.
+func BenchmarkGS2EvalInterpolated(b *testing.B) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 1, Coverage: 0.5})
+	// Find a missing grid point.
+	var missing space.Point
+	_ = db.Space().Enumerate(func(p space.Point) {
+		if missing == nil {
+			if _, ok := db.Lookup(p); !ok {
+				missing = p.Clone()
+			}
+		}
+	})
+	if missing == nil {
+		b.Skip("database complete")
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += db.Eval(missing)
+	}
+	_ = sink
+}
+
+// BenchmarkClusterStep measures one barrier-synchronised SPMD step with 16
+// processors under Pareto noise.
+func BenchmarkClusterStep(b *testing.B) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 1, Coverage: 1})
+	m, _ := noise.NewIIDPareto(1.7, 0.2)
+	sim, _ := cluster.New(16, m, 1)
+	assign := make([]space.Point, 16)
+	for i := range assign {
+		assign[i] = db.Space().Center()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunStep(db, assign); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinOfKEstimate measures the §5 estimator reduction.
+func BenchmarkMinOfKEstimate(b *testing.B) {
+	est, _ := sample.NewMinOfK(5)
+	obs := []float64{2.3, 2.1, 9.7, 2.2, 2.05}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += est.Estimate(obs)
+	}
+	_ = sink
+}
+
+// BenchmarkPROFullRun measures a complete 100-step on-line tuning session
+// (PRO, min-of-2, rho=0.2, 16 processors) — the Fig. 10 unit of work.
+func BenchmarkPROFullRun(b *testing.B) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 1, Coverage: 1})
+	m, _ := noise.NewIIDPareto(1.7, 0.2)
+	est, _ := sample.NewMinOfK(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := cluster.New(16, m, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		alg, err := core.NewPRO(core.Options{Space: db.Space(), R: 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.RunOnline(alg, core.OnlineConfig{Sim: sim, F: db, Est: est, Budget: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPROIterationNoiseless measures raw optimiser iteration cost with
+// a free evaluator (no simulator), isolating algorithm overhead.
+func BenchmarkPROIterationNoiseless(b *testing.B) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 1, Coverage: 1})
+	ev := freeEvaluator{f: db}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg, err := core.NewPRO(core.Options{Space: db.Space(), R: 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := alg.Init(ev); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 50 && !alg.Converged(); j++ {
+			if _, err := alg.Step(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+type freeEvaluator struct {
+	f objective.Function
+}
+
+func (e freeEvaluator) Eval(points []space.Point) ([]float64, error) {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = e.f.Eval(p)
+	}
+	return out, nil
+}
+
+// BenchmarkHarmonyFetchReport measures one fetch+report round trip on the
+// in-process tuning server.
+func BenchmarkHarmonyFetchReport(b *testing.B) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 1, Coverage: 1})
+	est, _ := sample.NewMinOfK(1)
+	srv := NewServer(ServerOptions{Estimator: est})
+	defer srv.Close()
+	sp := db.Space()
+	params := make([]Param, sp.Dim())
+	for i := range params {
+		params[i] = sp.Param(i)
+	}
+	if err := srv.Register("bench", params); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr, err := srv.Fetch("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fr.Tag != 0 {
+			_ = srv.Report("bench", fr.Tag, db.Eval(fr.Point))
+		}
+	}
+}
+
+// Example of the bench-as-results-table idea: verify the headline Fig. 10
+// property at bench scale and print it.
+func Example_fig10Shape() {
+	fig, err := experiment.Run("fig10", experiment.Config{Seed: 42, Quick: true})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// NTT at K=1 must grow with the idle throughput: the first row's columns
+	// alternate (mean, se) per rho in ascending rho order, so the last mean
+	// (index len-2) exceeds the first (index 1).
+	first := fig.CSVRows[0]
+	fmt.Println("NTT grows with rho at K=1:", first[len(first)-2] > first[1])
+	// Output:
+	// NTT grows with rho at K=1: true
+}

@@ -1,0 +1,114 @@
+// Command expgen regenerates the paper's figures (and the ablations) into an
+// output directory: one CSV with the raw data and one text file with the
+// ASCII rendering and shape notes per figure.
+//
+// Usage:
+//
+//	expgen [-fig all|fig1|...|ablation-...] [-out results] [-seed N]
+//	       [-reps N] [-quick] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"paratune/internal/experiment"
+	"paratune/internal/plot"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure id to regenerate, or 'all'")
+		out    = flag.String("out", "results", "output directory")
+		seed   = flag.Int64("seed", 42, "random seed")
+		reps   = flag.Int("reps", 0, "replications per configuration (0 = figure default)")
+		quick  = flag.Bool("quick", false, "scale down for a fast smoke run")
+		list   = flag.Bool("list", false, "list available figures and exit")
+		report = flag.Bool("report", false, "also write a consolidated results/REPORT.md")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.Registry() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	cfg := experiment.Config{Seed: *seed, Replications: *reps, Quick: *quick}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	var ids []string
+	if *fig == "all" {
+		for _, e := range experiment.Registry() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = []string{*fig}
+	}
+
+	var reportFigures []*experiment.Figure
+	for _, id := range ids {
+		start := time.Now()
+		f, err := experiment.Run(id, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		reportFigures = append(reportFigures, f)
+		csvPath := filepath.Join(*out, f.ID+".csv")
+		cf, err := os.Create(csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := plot.WriteCSV(cf, f.CSVHeader, f.CSVRows); err != nil {
+			fatal(err)
+		}
+		if err := cf.Close(); err != nil {
+			fatal(err)
+		}
+		txtPath := filepath.Join(*out, f.ID+".txt")
+		body := fmt.Sprintf("%s\n\n%s\nNotes:\n%s\n", f.Title, f.Rendered, f.Notes)
+		if err := os.WriteFile(txtPath, []byte(body), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-22s %6d rows  %8s  -> %s, %s\n",
+			f.ID, len(f.CSVRows), time.Since(start).Round(time.Millisecond), csvPath, txtPath)
+	}
+
+	if *report {
+		path := filepath.Join(*out, "REPORT.md")
+		if err := writeReport(path, *seed, reportFigures); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("consolidated report -> %s\n", path)
+	}
+}
+
+// writeReport assembles every figure's rendering and notes into one
+// markdown document.
+func writeReport(path string, seed int64, figs []*experiment.Figure) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# paratune — reproduced results (seed %d)\n\n", seed)
+	fmt.Fprintf(f, "Generated %s by `cmd/expgen`. See EXPERIMENTS.md for the paper-vs-measured analysis.\n\n", time.Now().Format(time.RFC3339))
+	for _, fig := range figs {
+		fmt.Fprintf(f, "## %s — %s\n\n", fig.ID, fig.Title)
+		fmt.Fprintf(f, "```\n%s\n```\n\n", fig.Rendered)
+		fmt.Fprintf(f, "Notes:\n\n```\n%s\n```\n\n", fig.Notes)
+		fmt.Fprintf(f, "Raw data: `%s.csv` (%d rows).\n\n", fig.ID, len(fig.CSVRows))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "expgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Command gs2gen generates the GS2 surrogate performance database and writes
+// it as CSV — the artefact the paper's §6 simulations replay. The output can
+// be loaded back by `paratune -db` (or objective.LoadDB) so tuning runs
+// against a fixed measurement database, and it is the natural place to
+// substitute a real application's measured database.
+//
+// Usage:
+//
+//	gs2gen -out gs2.csv -seed 42 -coverage 0.85
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paratune/internal/objective"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "gs2.csv", "output CSV path, or - for stdout")
+		seed     = flag.Int64("seed", 42, "generation seed")
+		coverage = flag.Float64("coverage", 0.85, "fraction of grid points measured (0, 1]")
+		rugged   = flag.Float64("rugged", 0, "ruggedness amplitude override (0 = default)")
+	)
+	flag.Parse()
+
+	db := objective.GenerateGS2(objective.GS2Config{
+		Seed: *seed, Coverage: *coverage, RuggednessAmp: *rugged,
+	})
+	var w *os.File
+	if *out == "-" {
+		w = os.Stdout
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := db.Save(w); err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		pt, v, err := db.Min()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d measurements to %s (best: %v at %.4f s/step)\n", db.Len(), *out, pt, v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gs2gen:", err)
+	os.Exit(1)
+}

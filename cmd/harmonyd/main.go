@@ -1,0 +1,73 @@
+// Command harmonyd runs the Active-Harmony-style tuning server over TCP.
+// Applications connect with the newline-delimited JSON protocol (see
+// internal/harmony) or the paratune.Client library, register their tunable
+// parameters, and drive fetch/report loops.
+//
+// Usage:
+//
+//	harmonyd [-addr :7779] [-samples 3] [-estimator min]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+
+	"paratune/internal/harmony"
+	"paratune/internal/sample"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7779", "listen address")
+		samples   = flag.Int("samples", 3, "measurements per candidate (K)")
+		estimator = flag.String("estimator", "min", "min, mean, median, single")
+	)
+	flag.Parse()
+
+	est, err := buildEstimator(*estimator, *samples)
+	if err != nil {
+		fatal(err)
+	}
+	srv := harmony.NewServer(harmony.ServerOptions{Estimator: est})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("harmonyd listening on %s (estimator %v)\n", l.Addr(), est)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("harmonyd: shutting down")
+		l.Close()
+		srv.Close()
+	}()
+
+	if err := harmony.Serve(l, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func buildEstimator(name string, k int) (sample.Estimator, error) {
+	switch name {
+	case "min":
+		return sample.NewMinOfK(k)
+	case "mean":
+		return sample.NewMeanOfK(k)
+	case "median":
+		return sample.NewMedianOfK(k)
+	case "single":
+		return sample.Single{}, nil
+	default:
+		return nil, fmt.Errorf("unknown estimator %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "harmonyd:", err)
+	os.Exit(1)
+}

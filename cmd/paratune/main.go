@@ -1,0 +1,123 @@
+// Command paratune runs one on-line tuning simulation from the command line:
+// pick a surface, an algorithm, an estimator, a variability level, and a
+// step budget, and get the paper's metrics (Total_Time, NTT, final
+// configuration) plus an optional per-step trace.
+//
+// Usage:
+//
+//	paratune [-surface gs2|sphere|rugged|rosenbrock] [-algorithm pro|...]
+//	         [-estimator min|mean|median|single|adaptive] [-samples K]
+//	         [-rho R] [-budget N] [-procs P] [-seed S] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paratune/internal/objective"
+	"paratune/internal/space"
+
+	"paratune"
+)
+
+func main() {
+	var (
+		surface   = flag.String("surface", "gs2", "cost surface: gs2, sphere, rugged, rosenbrock, stencil")
+		dbPath    = flag.String("db", "", "load a measurement database CSV (gs2gen format) instead of a built-in surface")
+		algorithm = flag.String("algorithm", "pro", "pro, sro, nelder-mead, random, annealing, genetic, compass")
+		estimator = flag.String("estimator", "min", "min, mean, median, single, adaptive")
+		samples   = flag.Int("samples", 1, "measurements per configuration (K)")
+		rho       = flag.Float64("rho", 0, "idle throughput of the Pareto variability model [0, 1)")
+		alpha     = flag.Float64("alpha", 1.7, "Pareto tail index of the variability model")
+		budget    = flag.Int("budget", 100, "application time steps (the paper's K)")
+		procs     = flag.Int("procs", 16, "simulated SPMD processors")
+		seed      = flag.Int64("seed", 1, "random seed")
+		trace     = flag.Bool("trace", false, "print the per-step T_k trace as CSV")
+		parallel  = flag.Bool("parallel-sampling", false, "use idle processors for extra samples")
+	)
+	flag.Parse()
+
+	res, sp, err := run(*surface, *dbPath, paratune.Options{
+		Algorithm: *algorithm, Estimator: *estimator, Samples: *samples,
+		Rho: *rho, Alpha: *alpha, Budget: *budget, Processors: *procs,
+		Seed: *seed, ParallelSampling: *parallel,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paratune:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("surface:        %s\n", *surface)
+	fmt.Printf("algorithm:      %s  (estimator %s, K=%d)\n", *algorithm, *estimator, *samples)
+	fmt.Printf("variability:    rho=%.2f alpha=%.2f on %d processors\n", *rho, *alpha, *procs)
+	fmt.Printf("best config:    %v", res.Best)
+	if names := sp.Names(); len(names) == len(res.Best) {
+		fmt.Printf("  (")
+		for i, n := range names {
+			if i > 0 {
+				fmt.Printf(", ")
+			}
+			fmt.Printf("%s=%g", n, res.Best[i])
+		}
+		fmt.Printf(")")
+	}
+	fmt.Println()
+	fmt.Printf("estimate:       %.4f   noise-free value: %.4f\n", res.BestValue, res.TrueValue)
+	fmt.Printf("Total_Time(%d): %.3f   NTT: %.3f\n", res.Steps, res.TotalTime, res.NTT)
+	fmt.Printf("iterations:     %d   converged at step: %d\n", res.Iterations, res.ConvergedAtStep)
+	if *trace {
+		fmt.Println("step,Tk")
+		for k, t := range res.StepTimes {
+			fmt.Printf("%d,%g\n", k+1, t)
+		}
+	}
+}
+
+// run builds the selected surface and executes the tuning simulation. GS2
+// uses the surrogate database directly; the analytic surfaces use the
+// public Tune entry point; -db replays a measurement database from disk.
+func run(surface, dbPath string, opts paratune.Options) (*paratune.Result, *space.Space, error) {
+	if dbPath != "" {
+		f, err := os.Open(dbPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		db, err := objective.LoadDB(objective.GS2Space(), 4, f)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := paratune.Tune(db.Space(),
+			func(x []float64) float64 { return db.Eval(space.Point(x)) }, opts)
+		return res, db.Space(), err
+	}
+	switch surface {
+	case "gs2":
+		res, err := paratune.TuneGS2(opts)
+		return res, objective.GS2Space(), err
+	case "stencil":
+		st, err := objective.NewStencil(64)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := paratune.Tune(st.Space(),
+			func(x []float64) float64 { return st.Eval(space.Point(x)) }, opts)
+		return res, st.Space(), err
+	case "sphere", "rugged", "rosenbrock":
+		s := space.MustNew(space.IntParam("x", 0, 100), space.IntParam("y", 0, 100))
+		var f objective.Function
+		switch surface {
+		case "sphere":
+			f = objective.NewSphere(s, space.Point{70, 30}, 1)
+		case "rugged":
+			f = &objective.Rugged{S: s, Ripples: 4, Depth: 0.4, Floor: 1}
+		default:
+			f = &objective.Rosenbrock{S: s, Floor: 1}
+		}
+		res, err := paratune.Tune(s, func(x []float64) float64 { return f.Eval(space.Point(x)) }, opts)
+		return res, s, err
+	default:
+		return nil, nil, fmt.Errorf("unknown surface %q", surface)
+	}
+}

@@ -1,0 +1,85 @@
+package paratune_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"paratune"
+)
+
+// ExampleMinimize tunes a synthetic two-parameter cost function offline.
+func ExampleMinimize() {
+	space, err := paratune.NewSpace(
+		paratune.Int("threads", 1, 64),
+		paratune.Int("batch", 1, 256),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost := func(x []float64) float64 {
+		threads, batch := x[0], x[1]
+		return 1000/threads + threads*0.8 + (batch-96)*(batch-96)*0.01
+	}
+	best, value, converged, err := paratune.Minimize(space, cost, paratune.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged=%v threads=%g batch=%g cost=%.1f\n", converged, best[0], best[1], value)
+	// Output:
+	// converged=true threads=35 batch=96 cost=56.6
+}
+
+// ExampleTune runs a full on-line tuning simulation with heavy-tailed
+// variability and min-of-K sampling.
+func ExampleTune() {
+	space, err := paratune.NewSpace(paratune.Int("x", 0, 100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost := func(x []float64) float64 { return 1 + (x[0]-42)*(x[0]-42)/500 }
+	res, err := paratune.Tune(space, cost, paratune.Options{
+		Rho:     0.2, // 20% of the machine consumed by interfering jobs
+		Samples: 3,   // min-of-3 measurements per configuration
+		Budget:  100, // the application runs exactly 100 time steps
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best x=%g (true cost %.3f) after %d steps\n", res.Best[0], res.TrueValue, res.Steps)
+	// Output:
+	// best x=43 (true cost 1.002) after 100 steps
+}
+
+// ExampleNewServer wires the Active-Harmony-style in-process tuning server:
+// the application repeatedly fetches a configuration, measures it, and
+// reports the time.
+func ExampleNewServer() {
+	srv := paratune.NewServer(paratune.ServerOptions{})
+	defer srv.Close()
+	if err := srv.Register("app", []paratune.Param{paratune.Int("x", 0, 20)}); err != nil {
+		log.Fatal(err)
+	}
+	measure := func(x float64) float64 { return 1 + (x-13)*(x-13) }
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		fr, err := srv.Fetch("app")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fr.Converged {
+			break
+		}
+		if fr.Tag != 0 {
+			_ = srv.Report("app", fr.Tag, measure(fr.Point[0]))
+		}
+	}
+	best, _, converged, err := srv.Best("app")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged=%v best x=%g\n", converged, best[0])
+	// Output:
+	// converged=true best x=13
+}

@@ -1,0 +1,91 @@
+// Checkpointing: long tuning sessions survive restarts. The example runs
+// PRO against the GS2 surrogate, checkpoints the optimiser state to disk
+// mid-search, simulates a crash, restores into a fresh optimiser, and shows
+// the resumed run finishing exactly where an uninterrupted one would.
+//
+//	go run ./examples/checkpoint
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"paratune/internal/cluster"
+	"paratune/internal/core"
+	"paratune/internal/noise"
+	"paratune/internal/objective"
+	"paratune/internal/sample"
+)
+
+func main() {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 11})
+	est, err := sample.NewMinOfK(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := noise.NewIIDPareto(1.7, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: tune for 6 iterations, then checkpoint and "crash".
+	sim1, err := cluster.New(8, model, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev1 := cluster.NewEvaluator(sim1, db, est)
+	alg, err := core.NewPRO(core.Options{Space: db.Space()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := alg.Init(ev1); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := alg.Step(ev1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	blob, err := alg.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ckpt := filepath.Join(os.TempDir(), "paratune-checkpoint.json")
+	if err := os.WriteFile(ckpt, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	best, val := alg.Best()
+	fmt.Printf("checkpointed after %d iterations (%d evaluations): best %v estimate %.4f\n",
+		alg.Iterations(), alg.Evals(), best, val)
+	fmt.Printf("state written to %s (%d bytes)\n\n", ckpt, len(blob))
+
+	// Phase 2: a new process restores and finishes the search.
+	restoredBlob, err := os.ReadFile(ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumed, err := core.NewPRO(core.Options{Space: db.Space()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := resumed.Restore(restoredBlob); err != nil {
+		log.Fatal(err)
+	}
+	sim2, err := cluster.New(8, model, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev2 := cluster.NewEvaluator(sim2, db, est)
+	for i := 0; i < 200 && !resumed.Converged(); i++ {
+		if _, err := resumed.Step(ev2); err != nil {
+			log.Fatal(err)
+		}
+	}
+	best, val = resumed.Best()
+	fmt.Printf("resumed run converged after %d total iterations\n", resumed.Iterations())
+	fmt.Printf("final: ntheta=%g negrid=%g nodes=%g  estimate %.4f  noise-free %.4f\n",
+		best[0], best[1], best[2], val, db.Eval(best))
+	_ = os.Remove(ckpt)
+}

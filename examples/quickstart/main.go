@@ -1,0 +1,45 @@
+// Quickstart: minimise a user-defined cost function over a mixed
+// integer/discrete parameter space with the PRO direct search.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"paratune"
+)
+
+func main() {
+	// A toy "library tuning" problem: pick a block size, a thread count,
+	// and a prefetch distance. The cost surface is synthetic but has the
+	// usual structure: a sweet spot with penalties on both sides.
+	space, err := paratune.NewSpace(
+		paratune.Int("block_size", 8, 512),
+		paratune.Choice("threads", 1, 2, 4, 8, 16, 32),
+		paratune.Int("prefetch", 0, 64),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cost := func(x []float64) float64 {
+		block, threads, prefetch := x[0], x[1], x[2]
+		compute := 1000 / (threads * math.Min(block, 128) / 128)
+		sync := 0.4 * threads
+		cacheMiss := math.Abs(block-96) * 0.05
+		prefetchMiss := math.Abs(prefetch-24) * 0.08
+		return compute + sync + cacheMiss + prefetchMiss
+	}
+
+	best, value, converged, err := paratune.Minimize(space, cost, paratune.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged: %v\n", converged)
+	fmt.Printf("best configuration: block_size=%g threads=%g prefetch=%g\n", best[0], best[1], best[2])
+	fmt.Printf("cost: %.3f (centre of the space costs %.3f)\n", value,
+		cost([]float64{260, 8, 32}))
+}

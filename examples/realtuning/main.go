@@ -1,0 +1,125 @@
+// Real tuning: no simulation — the measurements are actual wall-clock times
+// of an in-process workload. A cache-blocked matrix multiply exposes its
+// block size as a tunable parameter; the harmony server proposes block
+// sizes, the program runs the real kernel and reports real timings (which
+// carry the host's genuine scheduling noise), and min-of-K sampling keeps
+// the search stable.
+//
+//	go run ./examples/realtuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"paratune"
+	"paratune/internal/sample"
+	"paratune/internal/space"
+)
+
+const matrixN = 256
+
+// matmulBlocked multiplies two matrixN×matrixN matrices with loop blocking.
+func matmulBlocked(a, b, c []float64, block int) {
+	n := matrixN
+	for i := range c {
+		c[i] = 0
+	}
+	for ii := 0; ii < n; ii += block {
+		iMax := min(ii+block, n)
+		for kk := 0; kk < n; kk += block {
+			kMax := min(kk+block, n)
+			for jj := 0; jj < n; jj += block {
+				jMax := min(jj+block, n)
+				for i := ii; i < iMax; i++ {
+					for k := kk; k < kMax; k++ {
+						aik := a[i*n+k]
+						for j := jj; j < jMax; j++ {
+							c[i*n+j] += aik * b[k*n+j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func main() {
+	a := make([]float64, matrixN*matrixN)
+	b := make([]float64, matrixN*matrixN)
+	c := make([]float64, matrixN*matrixN)
+	for i := range a {
+		a[i] = float64(i%7) * 0.5
+		b[i] = float64(i%11) * 0.25
+	}
+
+	measure := func(p space.Point) (float64, error) {
+		block := int(p[0])
+		start := time.Now()
+		matmulBlocked(a, b, c, block)
+		return time.Since(start).Seconds(), nil
+	}
+
+	// Min-of-3 sampling: real schedulers produce real (often heavy-tailed)
+	// interference, which is exactly what §5 is for.
+	est, err := sample.NewMinOfK(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := paratune.NewServer(paratune.ServerOptions{Estimator: est})
+	defer srv.Close()
+	params := []paratune.Param{paratune.Choice("block", 4, 8, 16, 32, 64, 128, 256)}
+	if err := srv.Register("matmul", params); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tuning the block size of a real %dx%d matrix multiply (min-of-3 on real timings)\n", matrixN, matrixN)
+	start := time.Now()
+	iters := 0
+	for {
+		fr, err := srv.Fetch("matmul")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fr.Converged {
+			break
+		}
+		y, err := measure(fr.Point)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fr.Tag != 0 {
+			_ = srv.Report("matmul", fr.Tag, y)
+		}
+		iters++
+		if iters > 2000 {
+			fmt.Println("iteration cap reached; using the best so far")
+			break
+		}
+	}
+	best, estimate, _, err := srv.Best("matmul")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged in %d measurements (%s): block=%g, estimated %.4f s/multiply\n",
+		iters, time.Since(start).Round(time.Millisecond), best[0], estimate)
+
+	// Show the whole curve for reference (single fresh measurements).
+	fmt.Println("\nreference sweep (1 fresh measurement each — note the noise):")
+	for _, blk := range []float64{4, 8, 16, 32, 64, 128, 256} {
+		y, _ := measure(space.Point{blk})
+		marker := ""
+		if blk == best[0] {
+			marker = "   <- tuned choice"
+		}
+		fmt.Printf("  block %4.0f: %.4f s%s\n", blk, y, marker)
+	}
+}

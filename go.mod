@@ -1,0 +1,3 @@
+module paratune
+
+go 1.22

@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"paratune/internal/core"
+	"paratune/internal/space"
+)
+
+// Compass is generating-set (coordinate/pattern) search: from the incumbent,
+// probe ±δ_i along every axis in one parallel batch; move to the best
+// improving probe, otherwise halve every δ. It is the textbook GSS member
+// and a useful reference point for PRO, which belongs to the same class.
+type Compass struct {
+	S *space.Space
+	// InitialFrac sets δ_i = InitialFrac · range_i (default 0.25).
+	InitialFrac float64
+
+	deltas    []float64
+	cur       space.Point
+	curVal    float64
+	converged bool
+	inited    bool
+}
+
+// NewCompass validates the configuration.
+func NewCompass(s *space.Space, initialFrac float64) (*Compass, error) {
+	if s == nil {
+		return nil, fmt.Errorf("baseline: compass needs a space")
+	}
+	if initialFrac <= 0 || initialFrac > 1 {
+		initialFrac = 0.25
+	}
+	return &Compass{S: s, InitialFrac: initialFrac}, nil
+}
+
+// Init evaluates the region centre.
+func (c *Compass) Init(ev core.Evaluator) error {
+	c.cur = c.S.Center()
+	vals, err := ev.Eval([]space.Point{c.cur})
+	if err != nil {
+		return err
+	}
+	c.curVal = vals[0]
+	c.deltas = make([]float64, c.S.Dim())
+	for i := range c.deltas {
+		c.deltas[i] = c.InitialFrac * c.S.Param(i).Range()
+	}
+	c.converged = false
+	c.inited = true
+	return nil
+}
+
+// minStep returns the smallest meaningful move for parameter i.
+func (c *Compass) minStep(i int) float64 {
+	p := c.S.Param(i)
+	switch p.Kind {
+	case space.Continuous:
+		return p.Range() * 1e-4
+	default:
+		return 0.5 // integer/discrete: below one unit the probe projects back
+	}
+}
+
+// Step evaluates the 2N compass probes in one batch.
+func (c *Compass) Step(ev core.Evaluator) (core.StepInfo, error) {
+	if !c.inited {
+		return core.StepInfo{}, core.ErrNotInitialised
+	}
+	if c.converged {
+		return core.StepInfo{Kind: core.StepConverged, Best: c.cur.Clone(), BestValue: c.curVal}, nil
+	}
+	var probes []space.Point
+	for i := 0; i < c.S.Dim(); i++ {
+		for _, sign := range []float64{1, -1} {
+			q := c.cur.Clone()
+			q[i] += sign * c.deltas[i]
+			q = c.S.Project(q, c.cur)
+			if !q.Equal(c.cur) {
+				probes = append(probes, q)
+			}
+		}
+	}
+	if len(probes) == 0 {
+		c.converged = true
+		return core.StepInfo{Kind: core.StepConverged, Best: c.cur.Clone(), BestValue: c.curVal}, nil
+	}
+	vals, err := ev.Eval(probes)
+	if err != nil {
+		return core.StepInfo{}, err
+	}
+	bi, bv := -1, c.curVal
+	for i, v := range vals {
+		if v < bv {
+			bi, bv = i, v
+		}
+	}
+	if bi >= 0 {
+		c.cur = probes[bi].Clone()
+		c.curVal = bv
+		return core.StepInfo{Kind: core.StepReflect, Best: c.cur.Clone(), BestValue: c.curVal, Evals: len(probes)}, nil
+	}
+	// No improvement: contract the pattern.
+	done := true
+	for i := range c.deltas {
+		c.deltas[i] /= 2
+		if c.deltas[i] >= c.minStep(i) {
+			done = false
+		}
+	}
+	if done {
+		c.converged = true
+		return core.StepInfo{Kind: core.StepConverged, Best: c.cur.Clone(), BestValue: c.curVal, Evals: len(probes)}, nil
+	}
+	return core.StepInfo{Kind: core.StepShrink, Best: c.cur.Clone(), BestValue: c.curVal, Evals: len(probes)}, nil
+}
+
+// Best returns the incumbent.
+func (c *Compass) Best() (space.Point, float64) {
+	if !c.inited {
+		return nil, math.Inf(1)
+	}
+	return c.cur.Clone(), c.curVal
+}
+
+// Converged reports pattern exhaustion.
+func (c *Compass) Converged() bool { return c.converged }
+
+func (c *Compass) String() string { return "compass" }

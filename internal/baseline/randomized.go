@@ -1,0 +1,324 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"paratune/internal/core"
+	"paratune/internal/dist"
+	"paratune/internal/space"
+)
+
+// Random is pure random search: every iteration draws Batch admissible
+// points, evaluates them in parallel, and keeps the best seen. It never
+// converges; the step budget ends it. Included as the sanity floor every
+// structured search must beat.
+type Random struct {
+	S     *space.Space
+	Batch int
+	rng   *rand.Rand
+
+	best    space.Point
+	bestVal float64
+	inited  bool
+}
+
+// NewRandom builds a random search drawing batch points per iteration.
+func NewRandom(s *space.Space, batch int, seed int64) (*Random, error) {
+	if s == nil {
+		return nil, fmt.Errorf("baseline: random search needs a space")
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	return &Random{S: s, Batch: batch, rng: dist.NewRNG(seed)}, nil
+}
+
+// Init evaluates the region centre as the starting incumbent.
+func (r *Random) Init(ev core.Evaluator) error {
+	c := r.S.Center()
+	vals, err := ev.Eval([]space.Point{c})
+	if err != nil {
+		return err
+	}
+	r.best, r.bestVal = c, vals[0]
+	r.inited = true
+	return nil
+}
+
+// Step draws and evaluates a random batch.
+func (r *Random) Step(ev core.Evaluator) (core.StepInfo, error) {
+	if !r.inited {
+		return core.StepInfo{}, core.ErrNotInitialised
+	}
+	pts := make([]space.Point, r.Batch)
+	for i := range pts {
+		pts[i] = r.S.Random(r.rng)
+	}
+	vals, err := ev.Eval(pts)
+	if err != nil {
+		return core.StepInfo{}, err
+	}
+	for i, v := range vals {
+		if v < r.bestVal {
+			r.bestVal = v
+			r.best = pts[i].Clone()
+		}
+	}
+	return core.StepInfo{Kind: core.StepProbe, Best: r.best.Clone(), BestValue: r.bestVal, Evals: r.Batch}, nil
+}
+
+// Best returns the incumbent.
+func (r *Random) Best() (space.Point, float64) {
+	if !r.inited {
+		return nil, math.Inf(1)
+	}
+	return r.best.Clone(), r.bestVal
+}
+
+// Converged always reports false: random search has no stopping rule.
+func (r *Random) Converged() bool { return false }
+
+func (r *Random) String() string { return "random" }
+
+// Annealing is simulated annealing: a single random walker accepting uphill
+// moves with probability exp(-Δ/T) under a geometric cooling schedule. The
+// paper singles out SA (with genetic algorithms) as *unsuitable* for on-line
+// tuning because its early iterations visit poor configurations; the Fig. 1
+// style experiments quantify that.
+type Annealing struct {
+	S      *space.Space
+	T0     float64 // initial temperature
+	Decay  float64 // geometric cooling factor per iteration
+	Tmin   float64 // temperature at which the walk freezes (converges)
+	rng    *rand.Rand
+	cur    space.Point
+	curVal float64
+
+	best    space.Point
+	bestVal float64
+	temp    float64
+	inited  bool
+}
+
+// NewAnnealing validates the schedule. Defaults: T0 1.0, decay 0.98,
+// tmin 1e-3.
+func NewAnnealing(s *space.Space, t0, decay, tmin float64, seed int64) (*Annealing, error) {
+	if s == nil {
+		return nil, fmt.Errorf("baseline: annealing needs a space")
+	}
+	if t0 <= 0 {
+		t0 = 1.0
+	}
+	if decay <= 0 || decay >= 1 {
+		decay = 0.98
+	}
+	if tmin <= 0 {
+		tmin = 1e-3
+	}
+	return &Annealing{S: s, T0: t0, Decay: decay, Tmin: tmin, rng: dist.NewRNG(seed)}, nil
+}
+
+// Init starts the walk at a uniformly random point — the textbook SA start,
+// and the reason its on-line transient is expensive.
+func (a *Annealing) Init(ev core.Evaluator) error {
+	p := a.S.Random(a.rng)
+	vals, err := ev.Eval([]space.Point{p})
+	if err != nil {
+		return err
+	}
+	a.cur, a.curVal = p, vals[0]
+	a.best, a.bestVal = p.Clone(), vals[0]
+	a.temp = a.T0
+	a.inited = true
+	return nil
+}
+
+// neighbour perturbs one random coordinate to an adjacent admissible value.
+func (a *Annealing) neighbour(p space.Point) space.Point {
+	q := p.Clone()
+	i := a.rng.Intn(a.S.Dim())
+	lo, hasLo, hi, hasHi := a.S.Param(i).Neighbors(p[i])
+	switch {
+	case hasLo && hasHi:
+		if a.rng.Intn(2) == 0 {
+			q[i] = lo
+		} else {
+			q[i] = hi
+		}
+	case hasLo:
+		q[i] = lo
+	case hasHi:
+		q[i] = hi
+	}
+	return q
+}
+
+// Step proposes one neighbour and applies the Metropolis rule.
+func (a *Annealing) Step(ev core.Evaluator) (core.StepInfo, error) {
+	if !a.inited {
+		return core.StepInfo{}, core.ErrNotInitialised
+	}
+	if a.Converged() {
+		return core.StepInfo{Kind: core.StepConverged, Best: a.best.Clone(), BestValue: a.bestVal}, nil
+	}
+	cand := a.neighbour(a.cur)
+	vals, err := ev.Eval([]space.Point{cand})
+	if err != nil {
+		return core.StepInfo{}, err
+	}
+	v := vals[0]
+	delta := v - a.curVal
+	if delta <= 0 || a.rng.Float64() < math.Exp(-delta/a.temp) {
+		a.cur, a.curVal = cand, v
+	}
+	if v < a.bestVal {
+		a.best, a.bestVal = cand.Clone(), v
+	}
+	a.temp *= a.Decay
+	return core.StepInfo{Kind: core.StepProbe, Best: a.best.Clone(), BestValue: a.bestVal, Evals: 1}, nil
+}
+
+// Best returns the best point visited.
+func (a *Annealing) Best() (space.Point, float64) {
+	if !a.inited {
+		return nil, math.Inf(1)
+	}
+	return a.best.Clone(), a.bestVal
+}
+
+// Converged reports whether the temperature has frozen.
+func (a *Annealing) Converged() bool { return a.inited && a.temp < a.Tmin }
+
+func (a *Annealing) String() string { return "annealing" }
+
+// Genetic is a steady-state genetic algorithm: tournament selection, uniform
+// crossover, neighbour mutation, one elite. Each generation is evaluated as
+// one parallel batch. Like SA it is cited by the paper as having a poor
+// on-line transient.
+type Genetic struct {
+	S        *space.Space
+	Pop      int
+	MutProb  float64
+	rng      *rand.Rand
+	pop      []space.Point
+	vals     []float64
+	best     space.Point
+	bestVal  float64
+	inited   bool
+	collapse int // generations with no improvement
+}
+
+// NewGenetic validates the configuration. Defaults: pop 10, mutProb 0.15.
+func NewGenetic(s *space.Space, pop int, mutProb float64, seed int64) (*Genetic, error) {
+	if s == nil {
+		return nil, fmt.Errorf("baseline: genetic needs a space")
+	}
+	if pop < 4 {
+		pop = 10
+	}
+	if mutProb <= 0 || mutProb > 1 {
+		mutProb = 0.15
+	}
+	return &Genetic{S: s, Pop: pop, MutProb: mutProb, rng: dist.NewRNG(seed)}, nil
+}
+
+// Init draws and evaluates a random population.
+func (g *Genetic) Init(ev core.Evaluator) error {
+	g.pop = make([]space.Point, g.Pop)
+	for i := range g.pop {
+		g.pop[i] = g.S.Random(g.rng)
+	}
+	vals, err := ev.Eval(g.pop)
+	if err != nil {
+		return err
+	}
+	g.vals = vals
+	g.bestVal = math.Inf(1)
+	for i, v := range vals {
+		if v < g.bestVal {
+			g.bestVal = v
+			g.best = g.pop[i].Clone()
+		}
+	}
+	g.inited = true
+	g.collapse = 0
+	return nil
+}
+
+func (g *Genetic) tournament() space.Point {
+	a, b := g.rng.Intn(g.Pop), g.rng.Intn(g.Pop)
+	if g.vals[a] <= g.vals[b] {
+		return g.pop[a]
+	}
+	return g.pop[b]
+}
+
+// Step produces and evaluates the next generation.
+func (g *Genetic) Step(ev core.Evaluator) (core.StepInfo, error) {
+	if !g.inited {
+		return core.StepInfo{}, core.ErrNotInitialised
+	}
+	next := make([]space.Point, g.Pop)
+	next[0] = g.best.Clone() // elitism
+	for i := 1; i < g.Pop; i++ {
+		p1, p2 := g.tournament(), g.tournament()
+		child := make(space.Point, g.S.Dim())
+		for j := range child {
+			if g.rng.Intn(2) == 0 {
+				child[j] = p1[j]
+			} else {
+				child[j] = p2[j]
+			}
+			if g.rng.Float64() < g.MutProb {
+				lo, hasLo, hi, hasHi := g.S.Param(j).Neighbors(child[j])
+				switch {
+				case hasLo && hasHi:
+					if g.rng.Intn(2) == 0 {
+						child[j] = lo
+					} else {
+						child[j] = hi
+					}
+				case hasLo:
+					child[j] = lo
+				case hasHi:
+					child[j] = hi
+				}
+			}
+		}
+		next[i] = g.S.Project(child, g.best)
+	}
+	vals, err := ev.Eval(next)
+	if err != nil {
+		return core.StepInfo{}, err
+	}
+	g.pop, g.vals = next, vals
+	improved := false
+	for i, v := range vals {
+		if v < g.bestVal {
+			g.bestVal = v
+			g.best = g.pop[i].Clone()
+			improved = true
+		}
+	}
+	if improved {
+		g.collapse = 0
+	} else {
+		g.collapse++
+	}
+	return core.StepInfo{Kind: core.StepProbe, Best: g.best.Clone(), BestValue: g.bestVal, Evals: g.Pop}, nil
+}
+
+// Best returns the elite.
+func (g *Genetic) Best() (space.Point, float64) {
+	if !g.inited {
+		return nil, math.Inf(1)
+	}
+	return g.best.Clone(), g.bestVal
+}
+
+// Converged reports stagnation for 25 consecutive generations.
+func (g *Genetic) Converged() bool { return g.inited && g.collapse >= 25 }
+
+func (g *Genetic) String() string { return "genetic" }

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"paratune/internal/dist"
+	"paratune/internal/noise"
+	"paratune/internal/objective"
+	"paratune/internal/space"
+)
+
+// AsyncSim is the unsynchronised counterpart of Sim, modelling the systems
+// footnote 1 of the paper describes: "Our actual tuning system works for
+// applications that do not have this synchronization requirement." Each
+// processor advances its own virtual clock; there is no barrier, so one
+// processor's noise spike delays only that processor. Work is submitted as
+// (configuration, samples) requests; completions surface in virtual-time
+// order, exactly as an asynchronous tuning server would observe them.
+//
+// The cost metric is the makespan — the largest per-processor virtual clock —
+// rather than a sum of barrier-gated steps.
+type AsyncSim struct {
+	model  noise.Model
+	rngs   []*rand.Rand
+	clocks []float64 // per-processor virtual time
+	queue  completionHeap
+	nextID uint64
+}
+
+// Completion is one finished measurement.
+type Completion struct {
+	// ID identifies the request, in submission order.
+	ID uint64
+	// Proc is the processor that ran it.
+	Proc int
+	// Point is the configuration measured.
+	Point space.Point
+	// Value is the observed (noisy) time of one application iteration.
+	Value float64
+	// Finish is the virtual time at which the measurement completed.
+	Finish float64
+}
+
+type completionHeap []Completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].Finish < h[j].Finish }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(Completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewAsync creates an asynchronous simulator with p processors.
+func NewAsync(p int, model noise.Model, seed int64) (*AsyncSim, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("cluster: need at least one processor, got %d", p)
+	}
+	if model == nil {
+		model = noise.None{}
+	}
+	s := &AsyncSim{model: model, rngs: make([]*rand.Rand, p), clocks: make([]float64, p)}
+	root := dist.NewRNG(seed)
+	for i := range s.rngs {
+		s.rngs[i] = dist.NewRNG(root.Int63())
+	}
+	return s, nil
+}
+
+// P returns the processor count.
+func (s *AsyncSim) P() int { return len(s.clocks) }
+
+// Makespan returns the largest per-processor virtual clock: the wall-clock
+// time the tuning activity has consumed so far.
+func (s *AsyncSim) Makespan() float64 {
+	m := 0.0
+	for _, c := range s.clocks {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Clock returns processor p's virtual time.
+func (s *AsyncSim) Clock(p int) float64 { return s.clocks[p] }
+
+// idleProc returns the processor with the smallest clock.
+func (s *AsyncSim) idleProc() int {
+	best := 0
+	for i, c := range s.clocks {
+		if c < s.clocks[best] {
+			best = i
+		}
+		_ = c
+	}
+	return best
+}
+
+// Submit schedules samples measurements of x on the least-loaded processor
+// and returns the request ID. Each sample is one application iteration; the
+// processor runs them back to back.
+func (s *AsyncSim) Submit(f objective.Function, x space.Point, samples int) (uint64, error) {
+	if samples < 1 {
+		return 0, fmt.Errorf("cluster: need at least one sample, got %d", samples)
+	}
+	if f == nil {
+		return 0, errors.New("cluster: nil function")
+	}
+	id := s.nextID
+	s.nextID++
+	proc := s.idleProc()
+	base := f.Eval(x)
+	for k := 0; k < samples; k++ {
+		y := s.model.Perturb(base, s.rngs[proc])
+		s.clocks[proc] += y
+		heap.Push(&s.queue, Completion{
+			ID: id, Proc: proc, Point: x.Clone(), Value: y, Finish: s.clocks[proc],
+		})
+	}
+	return id, nil
+}
+
+// Next pops the earliest pending completion, in virtual-time order. The
+// boolean is false when nothing is pending.
+func (s *AsyncSim) Next() (Completion, bool) {
+	if s.queue.Len() == 0 {
+		return Completion{}, false
+	}
+	return heap.Pop(&s.queue).(Completion), true
+}
+
+// Pending returns the number of undelivered completions.
+func (s *AsyncSim) Pending() int { return s.queue.Len() }
+
+// AsyncEvaluator adapts AsyncSim to the core.Evaluator contract: a batch of
+// points is submitted with K samples each, completions are drained, and the
+// estimator reduces each point's observations. Unlike the barrier evaluator,
+// a slow sample delays only its own processor, so heterogeneous candidate
+// costs do not gate each other.
+type AsyncEvaluator struct {
+	Sim *AsyncSim
+	F   objective.Function
+	Est interface {
+		K() int
+		Estimate([]float64) float64
+	}
+}
+
+// Eval implements core.Evaluator.
+func (e *AsyncEvaluator) Eval(points []space.Point) ([]float64, error) {
+	if len(points) == 0 {
+		return nil, errors.New("cluster: Eval of empty batch")
+	}
+	k := e.Est.K()
+	ids := make(map[uint64]int, len(points))
+	for i, p := range points {
+		id, err := e.Sim.Submit(e.F, p, k)
+		if err != nil {
+			return nil, err
+		}
+		ids[id] = i
+	}
+	obs := make([][]float64, len(points))
+	for {
+		done := true
+		for i := range obs {
+			if len(obs[i]) < k {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		c, ok := e.Sim.Next()
+		if !ok {
+			return nil, errors.New("cluster: async completions exhausted before batch finished")
+		}
+		if i, mine := ids[c.ID]; mine {
+			obs[i] = append(obs[i], c.Value)
+		}
+	}
+	out := make([]float64, len(points))
+	for i := range points {
+		out[i] = e.Est.Estimate(obs[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+// Package cluster simulates the SPMD execution model of §2: P processors run
+// one iteration of the application per time step, a barrier synchronises
+// them, and the step cost is the worst observed time, T_k = max_p t_{p,k}
+// (Eq. 1). Total_Time(K) = Σ T_k (Eq. 2) is the on-line tuning metric, and
+// NTT = (1-ρ)·Total_Time (Eq. 23) normalises across idle-throughput levels.
+//
+// The simulator advances in whole time steps. Each step evaluates one
+// candidate configuration per assigned processor under an independent noise
+// draw; the tuning algorithms consume the observations while the simulator
+// accumulates the time the application actually spent.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"paratune/internal/dist"
+	"paratune/internal/noise"
+	"paratune/internal/objective"
+	"paratune/internal/sample"
+	"paratune/internal/space"
+)
+
+// Sim is a barrier-synchronised SPMD cluster simulator.
+type Sim struct {
+	p         int
+	model     noise.Model
+	stepModel noise.StepAware // non-nil when model draws shared per-step state
+	rngs      []*rand.Rand    // one independent stream per processor
+	stepRng   *rand.Rand      // stream for machine-wide per-step draws
+	stepTimes []float64       // T_k for every elapsed step
+	totalTime float64
+}
+
+// New creates a simulator with p processors, the given variability model,
+// and per-processor deterministic random streams derived from seed. Models
+// implementing noise.StepAware get one BeginStep call per time step, so
+// their interference is shared machine-wide within the step.
+func New(p int, model noise.Model, seed int64) (*Sim, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("cluster: need at least one processor, got %d", p)
+	}
+	if model == nil {
+		model = noise.None{}
+	}
+	s := &Sim{p: p, model: model, rngs: make([]*rand.Rand, p)}
+	root := dist.NewRNG(seed)
+	for i := range s.rngs {
+		s.rngs[i] = dist.NewRNG(root.Int63())
+	}
+	s.stepRng = dist.NewRNG(root.Int63())
+	if sm, ok := model.(noise.StepAware); ok {
+		s.stepModel = sm
+	}
+	return s, nil
+}
+
+// beginStep advances machine-wide noise state at a step boundary.
+func (s *Sim) beginStep() {
+	if s.stepModel != nil {
+		s.stepModel.BeginStep(s.stepRng)
+	}
+}
+
+// P returns the processor count.
+func (s *Sim) P() int { return s.p }
+
+// Model returns the variability model.
+func (s *Sim) Model() noise.Model { return s.model }
+
+// Steps returns the number of elapsed time steps.
+func (s *Sim) Steps() int { return len(s.stepTimes) }
+
+// TotalTime returns Total_Time(Steps()) per Eq. 2.
+func (s *Sim) TotalTime() float64 { return s.totalTime }
+
+// StepTimes returns the per-step worst-case times T_k (a copy).
+func (s *Sim) StepTimes() []float64 {
+	return append([]float64(nil), s.stepTimes...)
+}
+
+// TotalTimeAt returns Total_Time(k) for k <= Steps(); it errors if fewer
+// than k steps have elapsed.
+func (s *Sim) TotalTimeAt(k int) (float64, error) {
+	if k < 0 || k > len(s.stepTimes) {
+		return 0, fmt.Errorf("cluster: TotalTimeAt(%d) with %d elapsed steps", k, len(s.stepTimes))
+	}
+	var sum float64
+	for _, t := range s.stepTimes[:k] {
+		sum += t
+	}
+	return sum, nil
+}
+
+// NTT returns the Normalized Total Time (1-ρ)·Total_Time of Eq. 23, using
+// the model's idle throughput.
+func (s *Sim) NTT() float64 { return (1 - s.model.Rho()) * s.totalTime }
+
+// Reset clears time accounting but keeps the random streams advancing, so a
+// reset mid-experiment does not replay noise.
+func (s *Sim) Reset() {
+	s.stepTimes = s.stepTimes[:0]
+	s.totalTime = 0
+}
+
+// RunStep executes one SPMD time step. assign maps processors to candidate
+// configurations: processor i runs f at assign[i]. len(assign) must be in
+// [1, P]; processors beyond len(assign) idle (they are running the same
+// binary but their times are not gated on, see footnote 1 of the paper).
+// It returns the observed time per assigned processor and records
+// T_k = max over them.
+func (s *Sim) RunStep(f objective.Function, assign []space.Point) ([]float64, error) {
+	if len(assign) == 0 {
+		return nil, errors.New("cluster: empty assignment")
+	}
+	if len(assign) > s.p {
+		return nil, fmt.Errorf("cluster: %d candidates exceed %d processors", len(assign), s.p)
+	}
+	s.beginStep()
+	obs := make([]float64, len(assign))
+	worst := 0.0
+	for i, x := range assign {
+		y := s.model.Perturb(f.Eval(x), s.rngs[i])
+		obs[i] = y
+		if y > worst {
+			worst = y
+		}
+	}
+	s.stepTimes = append(s.stepTimes, worst)
+	s.totalTime += worst
+	return obs, nil
+}
+
+// RunFixed runs the application at a fixed configuration for n steps on all
+// P processors — the §4.3 methodology behind the Fig. 3 traces. It returns
+// traces[p][k], the time of step k on processor p, and records each step.
+func (s *Sim) RunFixed(f objective.Function, x space.Point, n int) ([][]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: RunFixed needs n >= 1, got %d", n)
+	}
+	traces := make([][]float64, s.p)
+	for p := range traces {
+		traces[p] = make([]float64, n)
+	}
+	base := f.Eval(x)
+	for k := 0; k < n; k++ {
+		s.beginStep()
+		worst := 0.0
+		for p := 0; p < s.p; p++ {
+			y := s.model.Perturb(base, s.rngs[p])
+			traces[p][k] = y
+			if y > worst {
+				worst = y
+			}
+		}
+		s.stepTimes = append(s.stepTimes, worst)
+		s.totalTime += worst
+	}
+	return traces, nil
+}
+
+// Evaluator turns the step-based simulator into the batch evaluation service
+// the optimisation algorithms need: evaluate a set of candidate points, each
+// sampled K times per the estimator, and return one estimate per point.
+type Evaluator struct {
+	Sim *Sim
+	F   objective.Function
+	Est sample.Estimator
+	// ParallelSampling uses idle processors to take several samples of the
+	// same candidate within one time step (the §5.2 observation that 64
+	// processors running 6 candidates give K ≈ 10 for free). When false —
+	// the paper's Fig. 10 worst case — each extra sample costs one more
+	// subsequent time step.
+	ParallelSampling bool
+	// Fill, when non-nil, is the configuration the processors not assigned
+	// a candidate run during each step. Their times gate the barrier
+	// (footnote 1: every processor waits for the slowest) but produce no
+	// measurements. The on-line driver keeps Fill at the incumbent best.
+	Fill space.Point
+}
+
+// NewEvaluator wires an evaluator; est defaults to Single.
+func NewEvaluator(sim *Sim, f objective.Function, est sample.Estimator) *Evaluator {
+	if est == nil {
+		est = sample.Single{}
+	}
+	return &Evaluator{Sim: sim, F: f, Est: est}
+}
+
+// Eval evaluates every point, taking the estimator's sample count per point
+// (adaptively extended for sample.Adaptive estimators), and returns one
+// estimate per point in order. Batches wider than P are split into waves.
+func (e *Evaluator) Eval(points []space.Point) ([]float64, error) {
+	if len(points) == 0 {
+		return nil, errors.New("cluster: Eval of empty batch")
+	}
+	ests := make([]float64, len(points))
+	for start := 0; start < len(points); start += e.Sim.P() {
+		end := start + e.Sim.P()
+		if end > len(points) {
+			end = len(points)
+		}
+		wave := points[start:end]
+		obs, err := e.evalWave(wave)
+		if err != nil {
+			return nil, err
+		}
+		for i := range wave {
+			ests[start+i] = e.Est.Estimate(obs[i])
+		}
+	}
+	return ests, nil
+}
+
+// EvalOne evaluates a single point.
+func (e *Evaluator) EvalOne(p space.Point) (float64, error) {
+	vs, err := e.Eval([]space.Point{p})
+	if err != nil {
+		return 0, err
+	}
+	return vs[0], nil
+}
+
+// evalWave gathers observations for a wave of at most P points.
+func (e *Evaluator) evalWave(wave []space.Point) ([][]float64, error) {
+	n := len(wave)
+	obs := make([][]float64, n)
+	adaptive, isAdaptive := e.Est.(sample.Adaptive)
+
+	// Per-step assignment: each candidate on one processor; in parallel
+	// sampling mode, idle processors replicate candidates round-robin so one
+	// step yields several samples per candidate; otherwise, with Fill set,
+	// idle processors run the incumbent configuration and gate the barrier
+	// without producing measurements.
+	assign := make([]space.Point, n, e.Sim.P())
+	copy(assign, wave)
+	switch {
+	case e.ParallelSampling:
+		for i := n; i < e.Sim.P(); i++ {
+			assign = append(assign, wave[i%n])
+		}
+	case e.Fill != nil:
+		for i := n; i < e.Sim.P(); i++ {
+			assign = append(assign, e.Fill)
+		}
+	}
+
+	done := func() bool {
+		for i := range obs {
+			if isAdaptive {
+				if !adaptive.Enough(obs[i]) {
+					return false
+				}
+			} else if len(obs[i]) < e.Est.K() {
+				return false
+			}
+		}
+		return true
+	}
+
+	maxSteps := e.Est.K()
+	if isAdaptive {
+		maxSteps = adaptive.MaxK()
+	}
+	for step := 0; step < maxSteps && !done(); step++ {
+		ys, err := e.Sim.RunStep(e.F, assign)
+		if err != nil {
+			return nil, err
+		}
+		if e.ParallelSampling {
+			// Every replica is a measurement of its candidate.
+			for i, y := range ys {
+				obs[i%n] = append(obs[i%n], y)
+			}
+		} else {
+			// Fill observations (indices >= n) gate the barrier only.
+			for i := 0; i < n; i++ {
+				obs[i] = append(obs[i], ys[i])
+			}
+		}
+	}
+	return obs, nil
+}

@@ -1,0 +1,379 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"paratune/internal/noise"
+	"paratune/internal/objective"
+	"paratune/internal/sample"
+	"paratune/internal/space"
+)
+
+func bowl() objective.Function {
+	s := space.MustNew(space.IntParam("a", 0, 10), space.IntParam("b", 0, 10))
+	return objective.NewSphere(s, space.Point{5, 5}, 1)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, noise.None{}, 1); err == nil {
+		t.Error("p=0 should fail")
+	}
+	s, err := New(4, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P() != 4 || s.Model().String() != "none" {
+		t.Error("nil model should default to none")
+	}
+}
+
+func TestRunStepAccounting(t *testing.T) {
+	f := bowl()
+	sim, _ := New(3, noise.None{}, 1)
+	// Values: f(5,5)=1, f(0,0)=1+2*(25/100)=1.5, f(10,5)=1.25.
+	obs, err := sim.RunStep(f, []space.Point{{5, 5}, {0, 0}, {10, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 3 {
+		t.Fatalf("obs = %v", obs)
+	}
+	if obs[0] != 1 || math.Abs(obs[1]-1.5) > 1e-12 {
+		t.Errorf("obs = %v", obs)
+	}
+	if sim.Steps() != 1 {
+		t.Errorf("Steps = %d", sim.Steps())
+	}
+	// T_1 must be the max observation (Eq. 1).
+	if math.Abs(sim.TotalTime()-1.5) > 1e-12 {
+		t.Errorf("TotalTime = %g, want 1.5", sim.TotalTime())
+	}
+}
+
+func TestRunStepValidation(t *testing.T) {
+	sim, _ := New(2, noise.None{}, 1)
+	if _, err := sim.RunStep(bowl(), nil); err == nil {
+		t.Error("empty assignment should fail")
+	}
+	if _, err := sim.RunStep(bowl(), []space.Point{{1, 1}, {2, 2}, {3, 3}}); err == nil {
+		t.Error("oversubscription should fail")
+	}
+}
+
+func TestTotalTimeAt(t *testing.T) {
+	sim, _ := New(1, noise.None{}, 1)
+	f := bowl()
+	for i := 0; i < 5; i++ {
+		if _, err := sim.RunStep(f, []space.Point{{5, 5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tt, err := sim.TotalTimeAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tt-3) > 1e-12 {
+		t.Errorf("TotalTimeAt(3) = %g", tt)
+	}
+	if _, err := sim.TotalTimeAt(6); err == nil {
+		t.Error("k beyond elapsed steps should fail")
+	}
+	if _, err := sim.TotalTimeAt(-1); err == nil {
+		t.Error("negative k should fail")
+	}
+}
+
+func TestNTT(t *testing.T) {
+	m, err := noise.NewIIDPareto(1.7, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := New(1, m, 1)
+	f := bowl()
+	for i := 0; i < 10; i++ {
+		if _, err := sim.RunStep(f, []space.Point{{5, 5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := 0.8 * sim.TotalTime()
+	if math.Abs(sim.NTT()-want) > 1e-12 {
+		t.Errorf("NTT = %g, want %g (Eq. 23)", sim.NTT(), want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	sim, _ := New(1, noise.None{}, 1)
+	_, _ = sim.RunStep(bowl(), []space.Point{{5, 5}})
+	sim.Reset()
+	if sim.Steps() != 0 || sim.TotalTime() != 0 {
+		t.Error("Reset did not clear accounting")
+	}
+}
+
+func TestRunFixedTraces(t *testing.T) {
+	m, _ := noise.NewIIDPareto(1.7, 0.3)
+	sim, _ := New(4, m, 42)
+	traces, err := sim.RunFixed(bowl(), space.Point{5, 5}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 4 || len(traces[0]) != 100 {
+		t.Fatalf("trace shape %dx%d", len(traces), len(traces[0]))
+	}
+	if sim.Steps() != 100 {
+		t.Errorf("Steps = %d", sim.Steps())
+	}
+	// Every step's recorded time is the max across processors.
+	st := sim.StepTimes()
+	for k := 0; k < 100; k++ {
+		max := 0.0
+		for p := 0; p < 4; p++ {
+			if traces[p][k] > max {
+				max = traces[p][k]
+			}
+		}
+		if math.Abs(st[k]-max) > 1e-12 {
+			t.Fatalf("step %d: T_k = %g, max trace = %g", k, st[k], max)
+		}
+	}
+	// Independent streams: processors should not produce identical traces.
+	same := true
+	for k := 0; k < 100 && same; k++ {
+		if traces[0][k] != traces[1][k] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("processor noise streams are identical")
+	}
+	if _, err := sim.RunFixed(bowl(), space.Point{5, 5}, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestRunFixedDeterministicAcrossSeeds(t *testing.T) {
+	m, _ := noise.NewIIDPareto(1.7, 0.3)
+	s1, _ := New(2, m, 7)
+	s2, _ := New(2, m, 7)
+	t1, _ := s1.RunFixed(bowl(), space.Point{5, 5}, 50)
+	t2, _ := s2.RunFixed(bowl(), space.Point{5, 5}, 50)
+	for p := range t1 {
+		for k := range t1[p] {
+			if t1[p][k] != t2[p][k] {
+				t.Fatal("same seed produced different traces")
+			}
+		}
+	}
+}
+
+func TestEvaluatorSingleSample(t *testing.T) {
+	sim, _ := New(4, noise.None{}, 1)
+	ev := NewEvaluator(sim, bowl(), nil)
+	pts := []space.Point{{5, 5}, {0, 0}}
+	vals, err := ev.Eval(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 1 || math.Abs(vals[1]-1.5) > 1e-12 {
+		t.Errorf("vals = %v", vals)
+	}
+	if sim.Steps() != 1 {
+		t.Errorf("one wave with K=1 should cost 1 step, took %d", sim.Steps())
+	}
+	if _, err := ev.Eval(nil); err == nil {
+		t.Error("empty batch should fail")
+	}
+}
+
+func TestEvaluatorSubsequentStepsCost(t *testing.T) {
+	// Paper's Fig. 10 assumption: K samples in subsequent time steps.
+	sim, _ := New(4, noise.None{}, 1)
+	est, _ := sample.NewMinOfK(3)
+	ev := NewEvaluator(sim, bowl(), est)
+	if _, err := ev.Eval([]space.Point{{5, 5}, {0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Steps() != 3 {
+		t.Errorf("K=3 should cost 3 steps, took %d", sim.Steps())
+	}
+}
+
+func TestEvaluatorParallelSampling(t *testing.T) {
+	// 8 processors, 2 candidates, K=3: replicas give 4 samples per step,
+	// so a single step suffices.
+	m, _ := noise.NewIIDPareto(1.7, 0.2)
+	sim, _ := New(8, m, 3)
+	est, _ := sample.NewMinOfK(3)
+	ev := NewEvaluator(sim, bowl(), est)
+	ev.ParallelSampling = true
+	vals, err := ev.Eval([]space.Point{{5, 5}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Steps() != 1 {
+		t.Errorf("parallel sampling should finish in 1 step, took %d", sim.Steps())
+	}
+	if len(vals) != 2 {
+		t.Fatalf("vals = %v", vals)
+	}
+	// Estimates can never be below the noise-free values.
+	if vals[0] < 1 || vals[1] < 1.5 {
+		t.Errorf("estimates below noise-free values: %v", vals)
+	}
+}
+
+func TestEvaluatorWaves(t *testing.T) {
+	// 2 processors, 5 candidates, K=1: needs ceil(5/2) = 3 steps.
+	sim, _ := New(2, noise.None{}, 1)
+	ev := NewEvaluator(sim, bowl(), nil)
+	pts := []space.Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	vals, err := ev.Eval(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 5 {
+		t.Fatalf("vals = %v", vals)
+	}
+	if sim.Steps() != 3 {
+		t.Errorf("5 candidates on 2 procs should cost 3 steps, took %d", sim.Steps())
+	}
+	f := bowl()
+	for i, p := range pts {
+		if vals[i] != f.Eval(p) {
+			t.Errorf("val[%d] = %g, want %g", i, vals[i], f.Eval(p))
+		}
+	}
+}
+
+func TestEvaluatorAdaptive(t *testing.T) {
+	m, _ := noise.NewIIDPareto(1.7, 0.3)
+	sim, _ := New(2, m, 5)
+	est, err := sample.NewAdaptiveMin(2, 8, 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(sim, bowl(), est)
+	vals, err := ev.Eval([]space.Point{{5, 5}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Steps() < 2 || sim.Steps() > 8 {
+		t.Errorf("adaptive sampling took %d steps, want within [2, 8]", sim.Steps())
+	}
+	if vals[0] < 1 || vals[1] < 1.5 {
+		t.Errorf("adaptive estimates below noise-free values: %v", vals)
+	}
+}
+
+func TestEvalOne(t *testing.T) {
+	sim, _ := New(1, noise.None{}, 1)
+	ev := NewEvaluator(sim, bowl(), nil)
+	v, err := ev.EvalOne(space.Point{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("EvalOne = %g", v)
+	}
+}
+
+// Property: Total_Time equals the sum of step times for any run shape (Eq. 2).
+func TestTotalTimeIsSumProperty(t *testing.T) {
+	f := func(stepsRaw, seed uint8) bool {
+		steps := int(stepsRaw%20) + 1
+		m, _ := noise.NewIIDPareto(1.7, 0.25)
+		sim, _ := New(3, m, int64(seed))
+		fn := bowl()
+		for i := 0; i < steps; i++ {
+			if _, err := sim.RunStep(fn, []space.Point{{5, 5}, {1, 2}}); err != nil {
+				return false
+			}
+		}
+		var sum float64
+		for _, s := range sim.StepTimes() {
+			sum += s
+		}
+		return math.Abs(sum-sim.TotalTime()) < 1e-9 && sim.Steps() == steps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Failure injection: a noise model that returns +Inf must propagate into the
+// step accounting without panicking.
+func TestInfSpikePropagates(t *testing.T) {
+	sim, _ := New(2, noise.Spike{Base: noise.None{}, P: 1}, 1)
+	obs, err := sim.RunStep(bowl(), []space.Point{{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(obs[0], 1) || !math.IsInf(sim.TotalTime(), 1) {
+		t.Error("Inf observation should dominate the step")
+	}
+}
+
+func TestEvaluatorFillGatesBarrier(t *testing.T) {
+	// 4 processors, 1 candidate, Fill set to an expensive configuration:
+	// the step time must be gated by the fill config, but the measurement
+	// must be of the candidate alone.
+	f := bowl() // f(5,5)=1 cheap; f(0,0)=1.5 expensive
+	sim, _ := New(4, noise.None{}, 1)
+	ev := NewEvaluator(sim, f, nil)
+	ev.Fill = space.Point{0, 0}
+	vals, err := ev.Eval([]space.Point{{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 1 {
+		t.Errorf("measurement = %g, want 1 (candidate only)", vals[0])
+	}
+	if got := sim.StepTimes()[0]; math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("T_k = %g, want 1.5 (gated by the fill processors)", got)
+	}
+}
+
+func TestEvaluatorNoFillNoPadding(t *testing.T) {
+	f := bowl()
+	sim, _ := New(4, noise.None{}, 1)
+	ev := NewEvaluator(sim, f, nil)
+	if _, err := ev.Eval([]space.Point{{5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.StepTimes()[0]; got != 1 {
+		t.Errorf("T_k = %g, want 1 (no fill processors)", got)
+	}
+}
+
+// A Controlled (adaptive-K) estimator raises its sample count across waves
+// under heavy variability, and the evaluator honours the new K.
+func TestEvaluatorControlledEstimator(t *testing.T) {
+	tn, err := sample.NewKTuner(1.7, 0.05, 0.05, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := sample.NewControlled(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := noise.NewIIDPareto(1.7, 0.35)
+	sim, _ := New(4, m, 11)
+	ev := NewEvaluator(sim, bowl(), est)
+	prevSteps := 0
+	var lastCost int
+	for round := 0; round < 30; round++ {
+		if _, err := ev.Eval([]space.Point{{5, 5}, {0, 0}}); err != nil {
+			t.Fatal(err)
+		}
+		lastCost = sim.Steps() - prevSteps
+		prevSteps = sim.Steps()
+	}
+	if tn.K() <= 2 {
+		t.Errorf("controller never raised K under rho=0.35: K=%d", tn.K())
+	}
+	if lastCost != tn.K() {
+		t.Errorf("last wave cost %d steps, controller K=%d", lastCost, tn.K())
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"paratune/internal/cluster"
+	"paratune/internal/objective"
+	"paratune/internal/sample"
+)
+
+// AsyncConfig describes an on-line tuning run on the unsynchronised cluster
+// of footnote 1: instead of a step budget, the application has a wall-clock
+// budget (virtual seconds); tuning proposes work until the optimiser
+// converges or the budget is spent, and the remainder runs at the best
+// configuration.
+type AsyncConfig struct {
+	// Sim is the asynchronous cluster (required).
+	Sim *cluster.AsyncSim
+	// F is the noise-free cost surface (required).
+	F objective.Function
+	// Est reduces repeated samples; Single when nil.
+	Est sample.Estimator
+	// TimeBudget is the virtual wall-clock budget in seconds (required > 0).
+	TimeBudget float64
+	// MaxIterations bounds the optimiser loop (default 10000) as a backstop
+	// for restless algorithms.
+	MaxIterations int
+}
+
+// AsyncResult summarises an asynchronous tuning run.
+type AsyncResult struct {
+	// Best is the configuration in use at the end of the run.
+	Best []float64
+	// BestValue is the optimiser's estimate for Best.
+	BestValue float64
+	// TrueValue is the noise-free cost of Best.
+	TrueValue float64
+	// TuningTime is the makespan consumed by the search itself.
+	TuningTime float64
+	// ProductionSteps is how many application iterations ran at Best within
+	// the remaining budget (per processor).
+	ProductionSteps int
+	// Iterations counts optimiser iterations.
+	Iterations int
+	// Converged reports whether the optimiser certified a local minimum
+	// within the budget.
+	Converged bool
+}
+
+// RunOnlineAsync executes one asynchronous on-line tuning session.
+func RunOnlineAsync(alg Algorithm, cfg AsyncConfig) (*AsyncResult, error) {
+	if alg == nil {
+		return nil, errors.New("core: nil algorithm")
+	}
+	if cfg.Sim == nil || cfg.F == nil {
+		return nil, errors.New("core: AsyncConfig requires Sim and F")
+	}
+	if !(cfg.TimeBudget > 0) {
+		return nil, fmt.Errorf("core: time budget must be positive, got %g", cfg.TimeBudget)
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 10000
+	}
+	est := cfg.Est
+	if est == nil {
+		est = sample.Single{}
+	}
+	ev := &cluster.AsyncEvaluator{Sim: cfg.Sim, F: cfg.F, Est: est}
+
+	if err := alg.Init(ev); err != nil {
+		return nil, err
+	}
+	iterations := 0
+	for cfg.Sim.Makespan() < cfg.TimeBudget && !alg.Converged() && iterations < cfg.MaxIterations {
+		if _, err := alg.Step(ev); err != nil {
+			return nil, err
+		}
+		iterations++
+	}
+
+	best, bestVal := alg.Best()
+	trueVal := cfg.F.Eval(best)
+	tuning := cfg.Sim.Makespan()
+
+	// Production: every processor runs the best configuration for the rest
+	// of the budget; count whole iterations per processor at the noise-free
+	// rate (a conservative estimate — noise only reduces the count).
+	production := 0
+	if remaining := cfg.TimeBudget - tuning; remaining > 0 && trueVal > 0 {
+		production = int(remaining / trueVal)
+	}
+
+	return &AsyncResult{
+		Best:            best,
+		BestValue:       bestVal,
+		TrueValue:       trueVal,
+		TuningTime:      tuning,
+		ProductionSteps: production,
+		Iterations:      iterations,
+		Converged:       alg.Converged(),
+	}, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"paratune/internal/cluster"
+	"paratune/internal/noise"
+	"paratune/internal/objective"
+	"paratune/internal/sample"
+	"paratune/internal/space"
+)
+
+func TestRunOnlineAsyncValidation(t *testing.T) {
+	sp := bowlSpace()
+	f := objective.NewSphere(sp, nil, 1)
+	sim, _ := cluster.NewAsync(4, noise.None{}, 1)
+	p, _ := NewPRO(Options{Space: sp})
+	if _, err := RunOnlineAsync(nil, AsyncConfig{Sim: sim, F: f, TimeBudget: 10}); err == nil {
+		t.Error("nil algorithm should fail")
+	}
+	if _, err := RunOnlineAsync(p, AsyncConfig{F: f, TimeBudget: 10}); err == nil {
+		t.Error("nil sim should fail")
+	}
+	if _, err := RunOnlineAsync(p, AsyncConfig{Sim: sim, TimeBudget: 10}); err == nil {
+		t.Error("nil f should fail")
+	}
+	if _, err := RunOnlineAsync(p, AsyncConfig{Sim: sim, F: f}); err == nil {
+		t.Error("zero budget should fail")
+	}
+}
+
+func TestRunOnlineAsyncConverges(t *testing.T) {
+	sp := bowlSpace()
+	f := objective.NewSphere(sp, space.Point{70, 30}, 1)
+	sim, _ := cluster.NewAsync(8, noise.None{}, 1)
+	p, _ := NewPRO(Options{Space: sp})
+	res, err := RunOnlineAsync(p, AsyncConfig{Sim: sim, F: f, TimeBudget: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("noiseless bowl should converge")
+	}
+	if res.Best[0] != 70 || res.Best[1] != 30 || res.TrueValue != 1 {
+		t.Errorf("best = %v (%g)", res.Best, res.TrueValue)
+	}
+	if res.TuningTime <= 0 || res.TuningTime > 1e6 {
+		t.Errorf("tuning time = %g", res.TuningTime)
+	}
+	if res.ProductionSteps <= 0 {
+		t.Errorf("production steps = %d", res.ProductionSteps)
+	}
+}
+
+func TestRunOnlineAsyncBudgetStopsSearch(t *testing.T) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 4, Coverage: 1})
+	m, _ := noise.NewIIDPareto(1.7, 0.3)
+	sim, _ := cluster.NewAsync(8, m, 9)
+	est, _ := sample.NewMinOfK(3)
+	// Restless PRO never converges; only the budget ends the run.
+	p, _ := NewPRO(Options{Space: db.Space(), Restless: true})
+	res, err := RunOnlineAsync(p, AsyncConfig{Sim: sim, F: db, Est: est, TimeBudget: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("restless PRO must not certify convergence")
+	}
+	if res.TuningTime < 20 {
+		t.Errorf("search stopped at %g, before the 20s budget", res.TuningTime)
+	}
+	if !db.Space().Admissible(res.Best) {
+		t.Errorf("best %v not admissible", res.Best)
+	}
+}
+
+func TestRunOnlineAsyncIterationBackstop(t *testing.T) {
+	sp := bowlSpace()
+	f := objective.NewSphere(sp, space.Point{50, 50}, 1e-9) // near-zero step cost
+	sim, _ := cluster.NewAsync(4, noise.None{}, 1)
+	p, _ := NewPRO(Options{Space: sp, Restless: true})
+	res, err := RunOnlineAsync(p, AsyncConfig{Sim: sim, F: f, TimeBudget: 1e9, MaxIterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 50 {
+		t.Errorf("iterations = %d, want the 50-iteration backstop", res.Iterations)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"paratune/internal/cluster"
+	"paratune/internal/objective"
+	"paratune/internal/sample"
+	"paratune/internal/space"
+)
+
+// OnlineConfig describes one on-line tuning run: the application must run
+// for exactly Budget time steps (the paper's K); the optimiser spends those
+// steps evaluating candidate configurations, and once it converges — or if
+// it has nothing left to try — the remaining steps run at the best
+// configuration found.
+type OnlineConfig struct {
+	// Sim is the SPMD cluster (required).
+	Sim *cluster.Sim
+	// F is the noise-free cost surface (required).
+	F objective.Function
+	// Est reduces repeated samples; Single when nil.
+	Est sample.Estimator
+	// Budget is the total number of application time steps K (required > 0).
+	Budget int
+	// ParallelSampling lets idle processors take extra samples per step.
+	ParallelSampling bool
+}
+
+// Result summarises an on-line tuning run.
+type Result struct {
+	// Best is the configuration in use at the end of the run.
+	Best space.Point
+	// BestValue is the optimiser's estimate for Best.
+	BestValue float64
+	// TrueValue is the noise-free cost of Best (the simulator oracle).
+	TrueValue float64
+	// Steps is the number of time steps executed (== Budget).
+	Steps int
+	// TotalTime is Total_Time(Budget) per Eq. 2.
+	TotalTime float64
+	// NTT is the Normalized Total Time (Eq. 23).
+	NTT float64
+	// StepTimes is T_k for k = 1..Budget.
+	StepTimes []float64
+	// Iterations counts optimiser iterations performed.
+	Iterations int
+	// ConvergedAtStep is the time step at which the optimiser certified
+	// convergence, or -1 if it never did within the budget.
+	ConvergedAtStep int
+}
+
+// RunOnline executes one on-line tuning session: it drives alg against the
+// simulator until the step budget is exhausted, then runs the remaining
+// steps at the best configuration. The returned metrics are truncated to
+// exactly Budget steps even if the final optimiser iteration overshot.
+func RunOnline(alg Algorithm, cfg OnlineConfig) (*Result, error) {
+	if alg == nil {
+		return nil, errors.New("core: nil algorithm")
+	}
+	if cfg.Sim == nil || cfg.F == nil {
+		return nil, errors.New("core: OnlineConfig requires Sim and F")
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("core: budget must be positive, got %d", cfg.Budget)
+	}
+	est := cfg.Est
+	if est == nil {
+		est = sample.Single{}
+	}
+	ev := cluster.NewEvaluator(cfg.Sim, cfg.F, est)
+	ev.ParallelSampling = cfg.ParallelSampling
+	// All P processors run every step (footnote 1); before tuning discovers
+	// anything, the idle ones run the centre configuration.
+	ev.Fill = cfg.F.Space().Center()
+
+	if err := alg.Init(ev); err != nil {
+		return nil, err
+	}
+	iterations := 0
+	convergedAt := -1
+	for cfg.Sim.Steps() < cfg.Budget && !alg.Converged() {
+		if b, _ := alg.Best(); b != nil {
+			ev.Fill = b
+		}
+		info, err := alg.Step(ev)
+		if err != nil {
+			return nil, err
+		}
+		iterations++
+		if info.Kind == StepConverged && convergedAt < 0 {
+			convergedAt = cfg.Sim.Steps()
+		}
+	}
+	if alg.Converged() && convergedAt < 0 {
+		convergedAt = cfg.Sim.Steps()
+	}
+
+	// Production phase: the application keeps running at the best
+	// configuration on every processor until the budget is reached.
+	best, bestVal := alg.Best()
+	prodAssign := make([]space.Point, cfg.Sim.P())
+	for i := range prodAssign {
+		prodAssign[i] = best
+	}
+	for cfg.Sim.Steps() < cfg.Budget {
+		if _, err := cfg.Sim.RunStep(cfg.F, prodAssign); err != nil {
+			return nil, err
+		}
+	}
+
+	total, err := cfg.Sim.TotalTimeAt(cfg.Budget)
+	if err != nil {
+		return nil, err
+	}
+	stepTimes := cfg.Sim.StepTimes()
+	if len(stepTimes) > cfg.Budget {
+		stepTimes = stepTimes[:cfg.Budget]
+	}
+	return &Result{
+		Best:            best,
+		BestValue:       bestVal,
+		TrueValue:       cfg.F.Eval(best),
+		Steps:           cfg.Budget,
+		TotalTime:       total,
+		NTT:             (1 - cfg.Sim.Model().Rho()) * total,
+		StepTimes:       stepTimes,
+		Iterations:      iterations,
+		ConvergedAtStep: convergedAt,
+	}, nil
+}

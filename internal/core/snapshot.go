@@ -1,0 +1,109 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"paratune/internal/space"
+)
+
+// snapshot is the serialised optimiser state. Options are not serialised —
+// they describe the problem and are supplied again at restore time — only
+// the search state is.
+type snapshot struct {
+	Kind      string      `json:"kind"` // "pro" | "sro"
+	Vertices  [][]float64 `json:"vertices"`
+	Values    []float64   `json:"values"`
+	Converged bool        `json:"converged"`
+	Iters     int         `json:"iters"`
+	Evals     int         `json:"evals"`
+}
+
+func makeSnapshot(kind string, sim *space.Simplex, converged bool, iters, evals int) ([]byte, error) {
+	if sim == nil {
+		return nil, errors.New("core: cannot snapshot an uninitialised optimiser")
+	}
+	s := snapshot{
+		Kind:      kind,
+		Vertices:  make([][]float64, len(sim.Vertices)),
+		Values:    append([]float64(nil), sim.Values...),
+		Converged: converged,
+		Iters:     iters,
+		Evals:     evals,
+	}
+	for i, v := range sim.Vertices {
+		s.Vertices[i] = append([]float64(nil), v...)
+	}
+	return json.Marshal(&s)
+}
+
+func parseSnapshot(kind string, data []byte, sp *space.Space) (*space.Simplex, *snapshot, error) {
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, nil, fmt.Errorf("core: bad snapshot: %w", err)
+	}
+	if s.Kind != kind {
+		return nil, nil, fmt.Errorf("core: snapshot is for %q, not %q", s.Kind, kind)
+	}
+	if len(s.Vertices) == 0 || len(s.Vertices) != len(s.Values) {
+		return nil, nil, errors.New("core: snapshot has inconsistent simplex data")
+	}
+	verts := make([]space.Point, len(s.Vertices))
+	for i, raw := range s.Vertices {
+		p := space.Point(raw)
+		if !sp.Admissible(p) {
+			return nil, nil, fmt.Errorf("core: snapshot vertex %v not admissible in the supplied space", p)
+		}
+		verts[i] = p.Clone()
+	}
+	sim := space.NewSimplex(verts)
+	copy(sim.Values, s.Values)
+	return sim, &s, nil
+}
+
+// Snapshot serialises the optimiser's search state (simplex, convergence
+// flag, counters) to JSON, so a long tuning session can be checkpointed and
+// resumed after a restart. The Options are not included; supply the same
+// Options to NewPRO before calling Restore.
+func (p *PRO) Snapshot() ([]byte, error) {
+	return makeSnapshot("pro", p.simplex, p.converged, p.iters, p.evals)
+}
+
+// Restore replaces the optimiser's state with a snapshot produced by
+// Snapshot. The snapshot's vertices must be admissible in the configured
+// space. After Restore the optimiser is initialised and Step may be called
+// without Init.
+func (p *PRO) Restore(data []byte) error {
+	sim, s, err := parseSnapshot("pro", data, p.opts.Space)
+	if err != nil {
+		return err
+	}
+	sim.Sort()
+	p.simplex = sim
+	p.converged = s.Converged
+	p.iters = s.Iters
+	p.evals = s.Evals
+	p.inited = true
+	return nil
+}
+
+// Snapshot serialises the optimiser's search state; see PRO.Snapshot.
+func (s *SRO) Snapshot() ([]byte, error) {
+	return makeSnapshot("sro", s.simplex, s.converged, s.iters, s.evals)
+}
+
+// Restore replaces the optimiser's state; see PRO.Restore.
+func (s *SRO) Restore(data []byte) error {
+	sim, snap, err := parseSnapshot("sro", data, s.opts.Space)
+	if err != nil {
+		return err
+	}
+	sim.Sort()
+	s.simplex = sim
+	s.converged = snap.Converged
+	s.iters = snap.Iters
+	s.evals = snap.Evals
+	s.inited = true
+	return nil
+}

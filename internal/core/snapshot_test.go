@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"paratune/internal/objective"
+	"paratune/internal/space"
+)
+
+func TestSnapshotBeforeInit(t *testing.T) {
+	p, _ := NewPRO(Options{Space: bowlSpace()})
+	if _, err := p.Snapshot(); err == nil {
+		t.Error("snapshot of uninitialised PRO should fail")
+	}
+	s, _ := NewSRO(Options{Space: bowlSpace()})
+	if _, err := s.Snapshot(); err == nil {
+		t.Error("snapshot of uninitialised SRO should fail")
+	}
+}
+
+// A run interrupted mid-way and restored into a fresh optimiser must produce
+// exactly the same final result as an uninterrupted run (the evaluator is
+// deterministic).
+func TestPROSnapshotRestoreResumes(t *testing.T) {
+	sp := bowlSpace()
+	f := objective.NewSphere(sp, space.Point{60, 40}, 1)
+
+	// Uninterrupted reference run.
+	ref, _ := NewPRO(Options{Space: sp})
+	evRef := &directEval{f: f}
+	if err := ref.Init(evRef); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500 && !ref.Converged(); i++ {
+		if _, err := ref.Step(evRef); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Interrupted run: 5 iterations, snapshot, restore into a new instance.
+	first, _ := NewPRO(Options{Space: sp})
+	ev := &directEval{f: f}
+	if err := first.Init(ev); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := first.Step(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := first.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second, _ := NewPRO(Options{Space: sp})
+	if err := second.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if second.Iterations() != first.Iterations() || second.Evals() != first.Evals() {
+		t.Errorf("counters not restored: %d/%d vs %d/%d",
+			second.Iterations(), second.Evals(), first.Iterations(), first.Evals())
+	}
+	for i := 0; i < 500 && !second.Converged(); i++ {
+		if _, err := second.Step(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	refBest, refVal := ref.Best()
+	resBest, resVal := second.Best()
+	if !refBest.Equal(resBest) || refVal != resVal {
+		t.Errorf("restored run ended at %v/%g, reference at %v/%g", resBest, resVal, refBest, refVal)
+	}
+}
+
+func TestSROSnapshotRestore(t *testing.T) {
+	sp := bowlSpace()
+	f := objective.NewSphere(sp, space.Point{20, 20}, 0)
+	s, _ := NewSRO(Options{Space: sp})
+	ev := &directEval{f: f}
+	if err := s.Init(ev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(ev); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := NewSRO(Options{Space: sp})
+	if err := restored.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	b1, v1 := s.Best()
+	b2, v2 := restored.Best()
+	if !b1.Equal(b2) || v1 != v2 {
+		t.Errorf("restored best %v/%g, want %v/%g", b2, v2, b1, v1)
+	}
+}
+
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	sp := bowlSpace()
+	p, _ := NewPRO(Options{Space: sp})
+	if err := p.Restore([]byte("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if err := p.Restore([]byte(`{"kind":"sro","vertices":[[1,1]],"values":[1]}`)); err == nil {
+		t.Error("wrong kind should fail")
+	}
+	if err := p.Restore([]byte(`{"kind":"pro","vertices":[],"values":[]}`)); err == nil {
+		t.Error("empty simplex should fail")
+	}
+	if err := p.Restore([]byte(`{"kind":"pro","vertices":[[1,1]],"values":[1,2]}`)); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if err := p.Restore([]byte(`{"kind":"pro","vertices":[[1000,1]],"values":[1]}`)); err == nil {
+		t.Error("inadmissible vertex should fail")
+	}
+	// A valid minimal snapshot restores and is immediately steppable.
+	if err := p.Restore([]byte(`{"kind":"pro","vertices":[[1,1],[2,1],[1,2]],"values":[3,2,1]}`)); err != nil {
+		t.Fatal(err)
+	}
+	ev := &directEval{f: objective.NewSphere(sp, nil, 0)}
+	if _, err := p.Step(ev); err != nil {
+		t.Fatalf("Step after Restore: %v", err)
+	}
+}
+
+// A converged snapshot stays converged.
+func TestSnapshotPreservesConvergence(t *testing.T) {
+	sp := bowlSpace()
+	f := objective.NewSphere(sp, space.Point{50, 50}, 0)
+	p, _ := NewPRO(Options{Space: sp})
+	ev := &directEval{f: f}
+	if err := p.Init(ev); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500 && !p.Converged(); i++ {
+		if _, err := p.Step(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := NewPRO(Options{Space: sp})
+	if err := restored.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Converged() {
+		t.Error("convergence flag lost in snapshot round-trip")
+	}
+}

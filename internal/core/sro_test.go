@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"paratune/internal/objective"
+	"paratune/internal/space"
+)
+
+func TestNewSROValidation(t *testing.T) {
+	if _, err := NewSRO(Options{}); err == nil {
+		t.Error("missing space should fail")
+	}
+}
+
+func TestSROStepBeforeInit(t *testing.T) {
+	s, _ := NewSRO(Options{Space: bowlSpace()})
+	if _, err := s.Step(&directEval{}); !errors.Is(err, ErrNotInitialised) {
+		t.Errorf("err = %v", err)
+	}
+	if pt, v := s.Best(); pt != nil || !math.IsInf(v, 1) {
+		t.Error("Best before init")
+	}
+	if s.String() != "sro" {
+		t.Error("name")
+	}
+}
+
+func TestSROConvergesOnConvexSurface(t *testing.T) {
+	sp := bowlSpace()
+	f := objective.NewSphere(sp, space.Point{20, 80}, 3)
+	s, _ := NewSRO(Options{Space: sp})
+	ev := &directEval{f: f}
+	if err := s.Init(ev); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000 && !s.Converged(); i++ {
+		if _, err := s.Step(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Converged() {
+		t.Fatal("SRO did not converge")
+	}
+	best, val := s.Best()
+	if !best.Equal(space.Point{20, 80}) || val != 3 {
+		t.Errorf("best = %v, %g", best, val)
+	}
+}
+
+func TestSROBestMonotone(t *testing.T) {
+	sp := bowlSpace()
+	f := &objective.Rugged{S: sp, Ripples: 3, Depth: 0.4}
+	s, _ := NewSRO(Options{Space: sp})
+	ev := &directEval{f: f}
+	if err := s.Init(ev); err != nil {
+		t.Fatal(err)
+	}
+	_, prev := s.Best()
+	for i := 0; i < 500 && !s.Converged(); i++ {
+		if _, err := s.Step(ev); err != nil {
+			t.Fatal(err)
+		}
+		_, cur := s.Best()
+		if cur > prev+1e-12 {
+			t.Fatalf("iteration %d: best rose from %g to %g", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestSROStaysAdmissible(t *testing.T) {
+	sp := space.MustNew(
+		space.IntParam("a", 8, 64),
+		space.DiscreteParam("b", 1, 2, 4, 8, 16),
+	)
+	f := objective.NewSphere(sp, space.Point{16, 4}, 0)
+	s, _ := NewSRO(Options{Space: sp})
+	ev := &directEval{f: f}
+	if err := s.Init(ev); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300 && !s.Converged(); i++ {
+		if _, err := s.Step(ev); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range s.Simplex().Vertices {
+			if !sp.Admissible(v) {
+				t.Fatalf("inadmissible vertex %v", v)
+			}
+		}
+	}
+}
+
+func TestSROConvergedStepIsNoop(t *testing.T) {
+	sp := bowlSpace()
+	f := objective.NewSphere(sp, space.Point{50, 50}, 0)
+	s, _ := NewSRO(Options{Space: sp})
+	ev := &directEval{f: f}
+	if err := s.Init(ev); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000 && !s.Converged(); i++ {
+		if _, err := s.Step(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	calls := ev.calls
+	info, err := s.Step(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != StepConverged || ev.calls != calls {
+		t.Error("converged step should not evaluate")
+	}
+}
+
+func TestSROEvalErrorPropagates(t *testing.T) {
+	s, _ := NewSRO(Options{Space: bowlSpace()})
+	if err := s.Init(&directEval{fail: true}); err == nil {
+		t.Error("Init should propagate failure")
+	}
+}
+
+// SRO and PRO agree on noiseless convex problems (same family of
+// transformations), though they may take different paths.
+func TestSROAndPROAgreeOnBowl(t *testing.T) {
+	sp := bowlSpace()
+	f := objective.NewSphere(sp, space.Point{33, 66}, 0)
+
+	pro, _ := NewPRO(Options{Space: sp})
+	evP := &directEval{f: f}
+	if err := pro.Init(evP); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000 && !pro.Converged(); i++ {
+		if _, err := pro.Step(evP); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sro, _ := NewSRO(Options{Space: sp})
+	evS := &directEval{f: f}
+	if err := sro.Init(evS); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000 && !sro.Converged(); i++ {
+		if _, err := sro.Step(evS); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bp, _ := pro.Best()
+	bs, _ := sro.Best()
+	if !bp.Equal(space.Point{33, 66}) || !bs.Equal(space.Point{33, 66}) {
+		t.Errorf("PRO %v, SRO %v, want both (33, 66)", bp, bs)
+	}
+}

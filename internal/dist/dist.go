@@ -1,0 +1,485 @@
+// Package dist provides the probability distributions used to model
+// performance variability, with sampling, cdf/quantile evaluation, and
+// moments. The Pareto distribution is central: §4.2 of the paper models
+// cluster variability as heavy-tailed, and §5 exploits the fact (Eq. 19)
+// that the minimum of K Pareto(α) samples is Pareto(Kα).
+//
+// All sampling is driven by an explicit *rand.Rand so experiments are
+// reproducible under a fixed seed.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution is a one-dimensional probability distribution.
+type Distribution interface {
+	// Sample draws one variate using rng.
+	Sample(rng *rand.Rand) float64
+	// CDF returns P[X <= x].
+	CDF(x float64) float64
+	// Quantile returns the p-quantile, the inverse of CDF. p must be in [0,1].
+	Quantile(p float64) float64
+	// Mean returns the expected value; +Inf when it does not exist.
+	Mean() float64
+	// Variance returns the variance; +Inf when it does not exist.
+	Variance() float64
+	// String describes the distribution.
+	String() string
+}
+
+// NewRNG returns a deterministic random source for the given seed.
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// SampleN draws n variates from d.
+func SampleN(d Distribution, rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+	}
+	return xs
+}
+
+// Survival returns 1 - CDF(x) = P[X > x], the Q function of Eq. 10.
+func Survival(d Distribution, x float64) float64 { return 1 - d.CDF(x) }
+
+// Pareto is the Pareto distribution with tail index Alpha and scale Beta:
+// P[X <= x] = 1 - (Beta/x)^Alpha for x >= Beta (Eq. 9). Beta is the smallest
+// value the variable can take. For 1 < Alpha < 2 the mean is finite and the
+// variance infinite; for 0 < Alpha < 1 both are infinite.
+type Pareto struct {
+	Alpha float64
+	Beta  float64
+}
+
+// NewPareto validates the parameters and returns the distribution.
+func NewPareto(alpha, beta float64) (Pareto, error) {
+	if !(alpha > 0) || math.IsInf(alpha, 1) {
+		return Pareto{}, fmt.Errorf("dist: Pareto alpha must be positive and finite, got %g", alpha)
+	}
+	if !(beta > 0) || math.IsInf(beta, 1) {
+		return Pareto{}, fmt.Errorf("dist: Pareto beta must be positive and finite, got %g", beta)
+	}
+	return Pareto{Alpha: alpha, Beta: beta}, nil
+}
+
+// Sample draws by inverse transform: beta * U^(-1/alpha).
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	// 1-Float64() is in (0,1], avoiding a division by zero.
+	u := 1 - rng.Float64()
+	return p.Beta * math.Pow(u, -1/p.Alpha)
+}
+
+// CDF implements Eq. 9.
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Beta {
+		return 0
+	}
+	return 1 - math.Pow(p.Beta/x, p.Alpha)
+}
+
+// Quantile inverts the cdf.
+func (p Pareto) Quantile(q float64) float64 {
+	switch {
+	case q <= 0:
+		return p.Beta
+	case q >= 1:
+		return math.Inf(1)
+	}
+	return p.Beta * math.Pow(1-q, -1/p.Alpha)
+}
+
+// Mean implements Eq. 16: alpha*beta/(alpha-1) for alpha > 1, else +Inf.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Beta / (p.Alpha - 1)
+}
+
+// Variance is finite only for alpha > 2.
+func (p Pareto) Variance() float64 {
+	if p.Alpha <= 2 {
+		return math.Inf(1)
+	}
+	a := p.Alpha
+	return p.Beta * p.Beta * a / ((a - 1) * (a - 1) * (a - 2))
+}
+
+// HeavyTailed reports whether the distribution is heavy-tailed per Eq. 8
+// (0 < alpha < 2).
+func (p Pareto) HeavyTailed() bool { return p.Alpha > 0 && p.Alpha < 2 }
+
+// MinK returns the exact distribution of min(X_1..X_k) for i.i.d. Pareto
+// samples: Pareto with tail index k*Alpha and the same Beta (Eq. 19). This is
+// the paper's key analytic fact: for k > 1/Alpha the minimum has finite mean
+// and variance even when the samples do not.
+func (p Pareto) MinK(k int) Pareto {
+	return Pareto{Alpha: float64(k) * p.Alpha, Beta: p.Beta}
+}
+
+func (p Pareto) String() string { return fmt.Sprintf("Pareto(α=%g, β=%g)", p.Alpha, p.Beta) }
+
+// Exponential has rate Lambda: P[X <= x] = 1 - exp(-Lambda x).
+type Exponential struct {
+	Lambda float64
+}
+
+func (e Exponential) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() / e.Lambda }
+
+func (e Exponential) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Lambda*x)
+}
+
+func (e Exponential) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return -math.Log(1-p) / e.Lambda
+}
+
+func (e Exponential) Mean() float64     { return 1 / e.Lambda }
+func (e Exponential) Variance() float64 { return 1 / (e.Lambda * e.Lambda) }
+func (e Exponential) String() string    { return fmt.Sprintf("Exp(λ=%g)", e.Lambda) }
+
+// Normal is the Gaussian distribution.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+func (n Normal) Sample(rng *rand.Rand) float64 { return n.Mu + n.Sigma*rng.NormFloat64() }
+
+func (n Normal) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-n.Mu)/(n.Sigma*math.Sqrt2))
+}
+
+// Quantile uses bisection on the cdf; adequate for test and harness use.
+func (n Normal) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	}
+	lo, hi := n.Mu-12*n.Sigma, n.Mu+12*n.Sigma
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if n.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func (n Normal) Mean() float64     { return n.Mu }
+func (n Normal) Variance() float64 { return n.Sigma * n.Sigma }
+func (n Normal) String() string    { return fmt.Sprintf("N(μ=%g, σ=%g)", n.Mu, n.Sigma) }
+
+// LogNormal: exp(N(Mu, Sigma)).
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+func (l LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return Normal{Mu: l.Mu, Sigma: l.Sigma}.CDF(math.Log(x))
+}
+
+func (l LogNormal) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return math.Exp(Normal{Mu: l.Mu, Sigma: l.Sigma}.Quantile(p))
+}
+
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+func (l LogNormal) Variance() float64 {
+	s2 := l.Sigma * l.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
+}
+
+func (l LogNormal) String() string { return fmt.Sprintf("LogN(μ=%g, σ=%g)", l.Mu, l.Sigma) }
+
+// Uniform on [A, B].
+type Uniform struct {
+	A, B float64
+}
+
+func (u Uniform) Sample(rng *rand.Rand) float64 { return u.A + rng.Float64()*(u.B-u.A) }
+
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x < u.A:
+		return 0
+	case x > u.B:
+		return 1
+	}
+	return (x - u.A) / (u.B - u.A)
+}
+
+func (u Uniform) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return u.A
+	case p >= 1:
+		return u.B
+	}
+	return u.A + p*(u.B-u.A)
+}
+
+func (u Uniform) Mean() float64     { return (u.A + u.B) / 2 }
+func (u Uniform) Variance() float64 { return (u.B - u.A) * (u.B - u.A) / 12 }
+func (u Uniform) String() string    { return fmt.Sprintf("U(%g, %g)", u.A, u.B) }
+
+// Weibull with shape K and scale Lambda.
+type Weibull struct {
+	K      float64
+	Lambda float64
+}
+
+func (w Weibull) Sample(rng *rand.Rand) float64 {
+	u := 1 - rng.Float64()
+	return w.Lambda * math.Pow(-math.Log(u), 1/w.K)
+}
+
+func (w Weibull) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/w.Lambda, w.K))
+}
+
+func (w Weibull) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return w.Lambda * math.Pow(-math.Log(1-p), 1/w.K)
+}
+
+func (w Weibull) Mean() float64 { return w.Lambda * math.Gamma(1+1/w.K) }
+
+func (w Weibull) Variance() float64 {
+	g1 := math.Gamma(1 + 1/w.K)
+	g2 := math.Gamma(1 + 2/w.K)
+	return w.Lambda * w.Lambda * (g2 - g1*g1)
+}
+
+func (w Weibull) String() string { return fmt.Sprintf("Weibull(k=%g, λ=%g)", w.K, w.Lambda) }
+
+// Degenerate always returns V; the zero-variability control.
+type Degenerate struct {
+	V float64
+}
+
+func (d Degenerate) Sample(*rand.Rand) float64 { return d.V }
+
+func (d Degenerate) CDF(x float64) float64 {
+	if x < d.V {
+		return 0
+	}
+	return 1
+}
+
+func (d Degenerate) Quantile(float64) float64 { return d.V }
+func (d Degenerate) Mean() float64            { return d.V }
+func (d Degenerate) Variance() float64        { return 0 }
+func (d Degenerate) String() string           { return fmt.Sprintf("δ(%g)", d.V) }
+
+// Shifted adds Offset to every sample of D.
+type Shifted struct {
+	D      Distribution
+	Offset float64
+}
+
+func (s Shifted) Sample(rng *rand.Rand) float64 { return s.D.Sample(rng) + s.Offset }
+func (s Shifted) CDF(x float64) float64         { return s.D.CDF(x - s.Offset) }
+func (s Shifted) Quantile(p float64) float64    { return s.D.Quantile(p) + s.Offset }
+func (s Shifted) Mean() float64                 { return s.D.Mean() + s.Offset }
+func (s Shifted) Variance() float64             { return s.D.Variance() }
+func (s Shifted) String() string                { return fmt.Sprintf("%v + %g", s.D, s.Offset) }
+
+// Scaled multiplies every sample of D by Factor (> 0).
+type Scaled struct {
+	D      Distribution
+	Factor float64
+}
+
+func (s Scaled) Sample(rng *rand.Rand) float64 { return s.D.Sample(rng) * s.Factor }
+func (s Scaled) CDF(x float64) float64         { return s.D.CDF(x / s.Factor) }
+func (s Scaled) Quantile(p float64) float64    { return s.D.Quantile(p) * s.Factor }
+func (s Scaled) Mean() float64                 { return s.D.Mean() * s.Factor }
+func (s Scaled) Variance() float64             { return s.D.Variance() * s.Factor * s.Factor }
+func (s Scaled) String() string                { return fmt.Sprintf("%g × %v", s.Factor, s.D) }
+
+// Mixture draws from Components[i] with probability Weights[i]. Weights must
+// be non-negative and sum to 1 (checked by NewMixture). Mixtures of a narrow
+// bulk and a fat Pareto tail reproduce the "small and big spikes" structure
+// of the GS2 traces (Fig. 3).
+type Mixture struct {
+	Components []Distribution
+	Weights    []float64
+}
+
+// NewMixture validates the weights and returns the mixture.
+func NewMixture(components []Distribution, weights []float64) (Mixture, error) {
+	if len(components) == 0 || len(components) != len(weights) {
+		return Mixture{}, fmt.Errorf("dist: mixture needs matching non-empty components/weights, got %d/%d",
+			len(components), len(weights))
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return Mixture{}, fmt.Errorf("dist: negative mixture weight %g", w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return Mixture{}, fmt.Errorf("dist: mixture weights sum to %g, want 1", sum)
+	}
+	return Mixture{Components: components, Weights: weights}, nil
+}
+
+func (m Mixture) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range m.Weights {
+		acc += w
+		if u < acc {
+			return m.Components[i].Sample(rng)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(rng)
+}
+
+func (m Mixture) CDF(x float64) float64 {
+	var c float64
+	for i, w := range m.Weights {
+		c += w * m.Components[i].CDF(x)
+	}
+	return c
+}
+
+// Quantile inverts the mixture cdf by bisection.
+func (m Mixture) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		lo := math.Inf(1)
+		for _, c := range m.Components {
+			lo = math.Min(lo, c.Quantile(0))
+		}
+		return lo
+	case p >= 1:
+		return math.Inf(1)
+	}
+	lo, hi := -1e6, 1e6
+	for m.CDF(hi) < p && hi < 1e300 {
+		hi *= 2
+	}
+	for m.CDF(lo) > p && lo > -1e300 {
+		lo *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if m.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func (m Mixture) Mean() float64 {
+	var mu float64
+	for i, w := range m.Weights {
+		if w == 0 {
+			continue
+		}
+		cm := m.Components[i].Mean()
+		if math.IsInf(cm, 1) {
+			return math.Inf(1)
+		}
+		mu += w * cm
+	}
+	return mu
+}
+
+func (m Mixture) Variance() float64 {
+	mu := m.Mean()
+	if math.IsInf(mu, 1) {
+		return math.Inf(1)
+	}
+	var ex2 float64
+	for i, w := range m.Weights {
+		if w == 0 {
+			continue
+		}
+		cv, cm := m.Components[i].Variance(), m.Components[i].Mean()
+		if math.IsInf(cv, 1) {
+			return math.Inf(1)
+		}
+		ex2 += w * (cv + cm*cm)
+	}
+	return ex2 - mu*mu
+}
+
+func (m Mixture) String() string { return fmt.Sprintf("Mixture(%d components)", len(m.Components)) }
+
+// Bernoulli takes value 1 with probability P, else 0.
+type Bernoulli struct {
+	P float64
+}
+
+func (b Bernoulli) Sample(rng *rand.Rand) float64 {
+	if rng.Float64() < b.P {
+		return 1
+	}
+	return 0
+}
+
+func (b Bernoulli) CDF(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x < 1:
+		return 1 - b.P
+	default:
+		return 1
+	}
+}
+
+func (b Bernoulli) Quantile(p float64) float64 {
+	if p <= 1-b.P {
+		return 0
+	}
+	return 1
+}
+
+func (b Bernoulli) Mean() float64     { return b.P }
+func (b Bernoulli) Variance() float64 { return b.P * (1 - b.P) }
+func (b Bernoulli) String() string    { return fmt.Sprintf("Bernoulli(%g)", b.P) }

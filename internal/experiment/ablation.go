@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paratune/internal/core"
+	"paratune/internal/dist"
+	"paratune/internal/noise"
+	"paratune/internal/plot"
+	"paratune/internal/sample"
+)
+
+// AblationEstimators tests §5's operational claim directly: an estimator is
+// good for tuning iff it orders two configurations correctly. For a pair of
+// configurations 10% apart, it measures P[estimate(f1) < estimate(f2)] as a
+// function of K for min-of-K, mean-of-K and median-of-K, under the §6
+// Pareto(1.7) noise and under an infinite-mean Pareto(0.9) stress model.
+// The paper predicts the min's accuracy climbs with K even when the mean's
+// does not (Eqs. 11–19).
+func AblationEstimators(cfg Config) (*Figure, error) {
+	trials := cfg.reps(20000, 2000)
+	const f1, f2 = 1.0, 1.1 // 10% performance gap
+
+	models := []struct {
+		name    string
+		perturb func(f float64, rng *rand.Rand) float64
+	}{
+		{"pareto a=1.7 rho=0.3", func(f float64, rng *rand.Rand) float64 {
+			m, _ := noise.NewIIDPareto(1.7, 0.3)
+			return m.Perturb(f, rng)
+		}},
+		{"pareto a=0.9 (inf mean)", func(f float64, rng *rand.Rand) float64 {
+			m, _ := noise.NewParetoFixedBeta(0.9, 0.3)
+			return m.Perturb(f, rng)
+		}},
+	}
+	type estMaker struct {
+		name string
+		mk   func(k int) sample.Estimator
+	}
+	ests := []estMaker{
+		{"min", func(k int) sample.Estimator { e, _ := sample.NewMinOfK(k); return e }},
+		{"mean", func(k int) sample.Estimator { e, _ := sample.NewMeanOfK(k); return e }},
+		{"median", func(k int) sample.Estimator { e, _ := sample.NewMedianOfK(k); return e }},
+	}
+	ks := []int{1, 2, 3, 5, 7}
+
+	var rows [][]float64
+	acc := make(map[string]map[string][]float64) // model -> est -> per-K accuracy
+	rng := dist.NewRNG(cfg.Seed + 4)
+	for mi, m := range models {
+		acc[m.name] = make(map[string][]float64)
+		for ei, em := range ests {
+			perK := make([]float64, len(ks))
+			for ki, k := range ks {
+				est := em.mk(k)
+				correct := 0
+				obs1 := make([]float64, k)
+				obs2 := make([]float64, k)
+				for t := 0; t < trials; t++ {
+					for j := 0; j < k; j++ {
+						obs1[j] = m.perturb(f1, rng)
+						obs2[j] = m.perturb(f2, rng)
+					}
+					if est.Estimate(obs1) < est.Estimate(obs2) {
+						correct++
+					}
+				}
+				perK[ki] = float64(correct) / float64(trials)
+				rows = append(rows, []float64{float64(mi), float64(ei), float64(k), perK[ki]})
+			}
+			acc[m.name][em.name] = perK
+		}
+	}
+
+	series := make([]plot.Series, 0, len(models)*len(ests))
+	xs := make([]float64, len(ks))
+	for i, k := range ks {
+		xs[i] = float64(k)
+	}
+	for _, m := range models {
+		for _, em := range ests {
+			series = append(series, plot.Series{
+				Name: fmt.Sprintf("%s/%s", em.name, m.name), X: xs, Y: acc[m.name][em.name],
+			})
+		}
+	}
+	rendered, err := plot.Line(plot.Config{
+		Title:  "Ablation — P[correct ordering of two configs 10% apart] vs K",
+		XLabel: "samples K", YLabel: "ordering accuracy",
+	}, series...)
+	if err != nil {
+		return nil, err
+	}
+
+	var lines []string
+	for _, m := range models {
+		minAcc := acc[m.name]["min"]
+		meanAcc := acc[m.name]["mean"]
+		lines = append(lines, fmt.Sprintf(
+			"%s: min accuracy %.3f (K=1) -> %.3f (K=%d); mean %.3f -> %.3f (min gains more: %v)",
+			m.name, minAcc[0], minAcc[len(ks)-1], ks[len(ks)-1],
+			meanAcc[0], meanAcc[len(ks)-1],
+			minAcc[len(ks)-1]-minAcc[0] >= meanAcc[len(ks)-1]-meanAcc[0]))
+	}
+	return &Figure{
+		ID:        "ablation-estimators",
+		Title:     "Estimator ablation (§5 min vs mean ordering accuracy)",
+		CSVHeader: []string{"model_idx", "estimator_idx", "k", "ordering_accuracy"},
+		CSVRows:   rows,
+		Rendered:  rendered,
+		Notes:     notes(lines...),
+	}, nil
+}
+
+// proVariantAblation runs PRO against one modified variant over shared
+// replications and reports mean NTT and final true value for both.
+func proVariantAblation(cfg Config, id, title string, mod core.Options, modName string) (*Figure, error) {
+	db := gs2DB(cfg.Seed)
+	reps := cfg.reps(120, 6)
+	budget := 100
+	base := core.Options{Space: db.Space(), R: 0.2}
+	mod.Space = db.Space()
+	if mod.R == 0 {
+		mod.R = 0.2
+	}
+
+	rng := dist.NewRNG(cfg.Seed + 5)
+	seeds := make([]int64, reps)
+	for r := range seeds {
+		seeds[r] = rng.Int63()
+	}
+
+	run := func(opts core.Options) (float64, float64, error) {
+		var sumNTT, sumTrue float64
+		for rep := 0; rep < reps; rep++ {
+			alg, err := core.NewPRO(opts)
+			if err != nil {
+				return 0, 0, err
+			}
+			res, err := onlineRun(alg, db, 0.2, 2, budget, simProcs, seeds[rep])
+			if err != nil {
+				return 0, 0, err
+			}
+			sumNTT += res.NTT
+			sumTrue += res.TrueValue
+		}
+		return sumNTT / float64(reps), sumTrue / float64(reps), nil
+	}
+	baseNTT, baseTrue, err := run(base)
+	if err != nil {
+		return nil, err
+	}
+	modNTT, modTrue, err := run(mod)
+	if err != nil {
+		return nil, err
+	}
+	rendered, err := plot.Bars(plot.Config{Title: title + " — mean NTT (lower is better)"},
+		[]string{"pro (paper)", modName}, []float64{baseNTT, modNTT})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:        id,
+		Title:     title,
+		CSVHeader: []string{"variant", "mean_ntt", "mean_final_true_value"},
+		CSVRows:   [][]float64{{0, baseNTT, baseTrue}, {1, modNTT, modTrue}},
+		Rendered:  rendered,
+		Notes: notes(
+			fmt.Sprintf("pro: NTT %.2f, final true value %.3f", baseNTT, baseTrue),
+			fmt.Sprintf("%s: NTT %.2f, final true value %.3f", modName, modNTT, modTrue),
+			fmt.Sprintf("paper variant better on NTT: %v", baseNTT <= modNTT),
+		),
+	}, nil
+}
+
+// AblationExpansionCheck compares the §3.2 expansion-check-first policy with
+// eager full expansion.
+func AblationExpansionCheck(cfg Config) (*Figure, error) {
+	return proVariantAblation(cfg, "ablation-expansion",
+		"Ablation — expansion check first vs eager expansion",
+		core.Options{EagerExpansion: true}, "eager expansion")
+}
+
+// AblationAcceptRule compares PRO's better-than-best acceptance with the
+// Nelder–Mead better-than-worst rule.
+func AblationAcceptRule(cfg Config) (*Figure, error) {
+	return proVariantAblation(cfg, "ablation-accept",
+		"Ablation — accept rule: better-than-best vs better-than-worst",
+		core.Options{NelderAcceptRule: true}, "nelder accept rule")
+}
+
+// AblationProjection compares §3.2.1 round-toward-centre projection with
+// plain nearest rounding.
+func AblationProjection(cfg Config) (*Figure, error) {
+	return proVariantAblation(cfg, "ablation-projection",
+		"Ablation — projection: toward-centre vs nearest rounding",
+		core.Options{ProjectNearest: true}, "nearest rounding")
+}
+
+// AblationRemeasure compares Algorithm 2 as written (the best vertex keeps
+// its stored value) with a live-system variant that re-measures the
+// incumbent alongside every reflection batch, making single-sample
+// comparisons two-sided noisy.
+func AblationRemeasure(cfg Config) (*Figure, error) {
+	return proVariantAblation(cfg, "ablation-remeasure",
+		"Ablation — stored incumbent value vs re-measured incumbent",
+		core.Options{RemeasureBest: true}, "remeasure best")
+}

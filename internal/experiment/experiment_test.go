@@ -1,0 +1,218 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+var quickCfg = Config{Seed: 42, Quick: true}
+
+// checkFigure validates the invariants every figure must satisfy.
+func checkFigure(t *testing.T, f *Figure, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID == "" || f.Title == "" {
+		t.Error("missing ID/Title")
+	}
+	if len(f.CSVHeader) == 0 || len(f.CSVRows) == 0 {
+		t.Fatalf("%s: empty CSV data", f.ID)
+	}
+	for i, row := range f.CSVRows {
+		if len(row) != len(f.CSVHeader) {
+			t.Fatalf("%s: row %d has %d columns, header %d", f.ID, i, len(row), len(f.CSVHeader))
+		}
+	}
+	if f.Rendered == "" {
+		t.Errorf("%s: empty rendering", f.ID)
+	}
+	if f.Notes == "" {
+		t.Errorf("%s: empty notes", f.ID)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Registry() {
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// Every paper figure must be present.
+	for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+		if !ids[want] {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", quickCfg); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	f, err := Fig1MetricDiscrepancy(quickCfg)
+	checkFigure(t, f, err)
+	if !strings.Contains(f.Notes, "Total_Time") {
+		t.Errorf("notes: %s", f.Notes)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	f, err := Fig2SimplexGeometry(quickCfg)
+	checkFigure(t, f, err)
+	if len(f.CSVRows) != 12 {
+		t.Errorf("rows = %d, want 12 (4 simplexes x 3 points)", len(f.CSVRows))
+	}
+}
+
+func TestFig3(t *testing.T) {
+	f, err := Fig3Traces(quickCfg)
+	checkFigure(t, f, err)
+	if len(f.CSVHeader) != 1+traceProcs {
+		t.Errorf("header = %v", f.CSVHeader)
+	}
+	// Trace values are positive times.
+	for _, row := range f.CSVRows {
+		for _, v := range row[1:] {
+			if v <= 0 {
+				t.Fatalf("non-positive trace value %g", v)
+			}
+		}
+	}
+}
+
+func TestFig4(t *testing.T) {
+	f, err := Fig4Pdf(quickCfg)
+	checkFigure(t, f, err)
+}
+
+func TestFig5HeavyTailDetected(t *testing.T) {
+	f, err := Fig5Tail(quickCfg)
+	checkFigure(t, f, err)
+	if !strings.Contains(f.Notes, "alpha=") {
+		t.Errorf("notes should contain a tail fit: %s", f.Notes)
+	}
+}
+
+func TestFig6(t *testing.T) {
+	f, err := Fig6TruncatedPdf(quickCfg)
+	checkFigure(t, f, err)
+	if !strings.Contains(f.Notes, "truncation removed") {
+		t.Errorf("notes: %s", f.Notes)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	f, err := Fig7TruncatedTail(quickCfg)
+	checkFigure(t, f, err)
+	// Truncated data must not exceed the threshold.
+	for _, row := range f.CSVRows {
+		if row[0] > traceThreshold {
+			t.Fatalf("truncated survival point at x=%g > %g", row[0], traceThreshold)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	f, err := Fig8Surface(quickCfg)
+	checkFigure(t, f, err)
+	if len(f.CSVRows) != 57*29 {
+		t.Errorf("rows = %d, want %d", len(f.CSVRows), 57*29)
+	}
+}
+
+func TestFig9(t *testing.T) {
+	f, err := Fig9InitialSimplex(quickCfg)
+	checkFigure(t, f, err)
+	if !strings.Contains(f.Notes, "2N beats minimal") {
+		t.Errorf("notes: %s", f.Notes)
+	}
+}
+
+func TestFig10(t *testing.T) {
+	f, err := Fig10MultiSampling(quickCfg)
+	checkFigure(t, f, err)
+	if !strings.Contains(f.Notes, "optimal K") {
+		t.Errorf("notes: %s", f.Notes)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	for _, id := range []string{"ablation-estimators", "ablation-expansion", "ablation-accept", "ablation-projection", "ablation-remeasure"} {
+		t.Run(id, func(t *testing.T) {
+			f, err := Run(id, quickCfg)
+			checkFigure(t, f, err)
+		})
+	}
+}
+
+// Determinism: the same seed regenerates identical figures.
+func TestFiguresDeterministic(t *testing.T) {
+	a, err := Fig10MultiSampling(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig10MultiSampling(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.CSVRows) != len(b.CSVRows) {
+		t.Fatal("row count changed")
+	}
+	for i := range a.CSVRows {
+		for j := range a.CSVRows[i] {
+			if a.CSVRows[i][j] != b.CSVRows[i][j] {
+				t.Fatalf("row %d col %d: %g != %g", i, j, a.CSVRows[i][j], b.CSVRows[i][j])
+			}
+		}
+	}
+}
+
+func TestConfigReps(t *testing.T) {
+	if (Config{Replications: 7}).reps(100, 5) != 7 {
+		t.Error("explicit reps")
+	}
+	if (Config{Quick: true}).reps(100, 5) != 5 {
+		t.Error("quick reps")
+	}
+	if (Config{}).reps(100, 5) != 100 {
+		t.Error("default reps")
+	}
+}
+
+func TestExtAdaptiveK(t *testing.T) {
+	f, err := ExtAdaptiveK(quickCfg)
+	checkFigure(t, f, err)
+	if !strings.Contains(f.Notes, "controller settled") {
+		t.Errorf("notes: %s", f.Notes)
+	}
+}
+
+func TestExtAsync(t *testing.T) {
+	f, err := ExtAsync(quickCfg)
+	checkFigure(t, f, err)
+	if !strings.Contains(f.Notes, "speedup") {
+		t.Errorf("notes: %s", f.Notes)
+	}
+}
+
+func TestExtParallelSampling(t *testing.T) {
+	f, err := ExtParallelSampling(quickCfg)
+	checkFigure(t, f, err)
+	if !strings.Contains(f.Notes, "overhead") {
+		t.Errorf("notes: %s", f.Notes)
+	}
+}
+
+func TestExtSharedNoise(t *testing.T) {
+	f, err := ExtSharedNoise(quickCfg)
+	checkFigure(t, f, err)
+	if !strings.Contains(f.Notes, "shared") {
+		t.Errorf("notes: %s", f.Notes)
+	}
+}

@@ -1,0 +1,33 @@
+package harmony
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDispatch: arbitrary request JSON must never panic the server and must
+// always produce a well-formed response.
+func FuzzDispatch(f *testing.F) {
+	f.Add(`{"op":"register","session":"s","params":[{"name":"x","kind":"integer","lower":0,"upper":5}]}`)
+	f.Add(`{"op":"fetch","session":"s"}`)
+	f.Add(`{"op":"report","session":"s","tag":1,"value":2.5}`)
+	f.Add(`{"op":"best","session":"s"}`)
+	f.Add(`{"op":"stats","session":"s"}`)
+	f.Add(`{"op":"???","session":""}`)
+	f.Add(`{"op":"register","session":"s","params":[{"name":"","kind":"weird"}]}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		var req request
+		if err := json.Unmarshal([]byte(raw), &req); err != nil {
+			return // transport layer rejects malformed JSON before dispatch
+		}
+		srv := NewServer(ServerOptions{})
+		defer srv.Close()
+		resp := dispatch(srv, &req)
+		if !resp.OK && resp.Error == "" {
+			t.Fatalf("failed response without error message for %q", raw)
+		}
+		if _, err := json.Marshal(resp); err != nil {
+			t.Fatalf("unmarshalable response: %v", err)
+		}
+	})
+}

@@ -1,0 +1,470 @@
+package harmony
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"paratune/internal/core"
+	"paratune/internal/dist"
+	"paratune/internal/noise"
+	"paratune/internal/objective"
+	"paratune/internal/sample"
+	"paratune/internal/space"
+)
+
+func gs2Params() []space.Parameter {
+	return []space.Parameter{
+		space.IntParam("ntheta", 8, 64),
+		space.IntParam("negrid", 4, 32),
+		space.DiscreteParam("nodes", 1, 2, 4, 8, 16, 32, 64),
+	}
+}
+
+// runClients simulates nClients SPMD processes measuring db (noiselessly,
+// so convergence is guaranteed and the test exercises the protocol) until
+// the session converges or the wall-clock deadline expires.
+func runClients(t *testing.T, srv *Server, name string, db objective.Function, nClients int, timeout time.Duration) {
+	t.Helper()
+	var m noise.Model = noise.None{}
+	var wg sync.WaitGroup
+	var once sync.Once
+	deadline := time.Now().Add(timeout)
+	stop := make(chan struct{})
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := dist.NewRNG(int64(1000 + id))
+			for time.Now().Before(deadline) {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fr, err := srv.Fetch(name)
+				if err != nil {
+					t.Errorf("client %d fetch: %v", id, err)
+					return
+				}
+				if fr.Converged {
+					once.Do(func() { close(stop) })
+					return
+				}
+				y := m.Perturb(db.Eval(fr.Point), rng)
+				if fr.Tag != 0 {
+					if err := srv.Report(name, fr.Tag, y); err != nil {
+						// Tag may have completed concurrently via another
+						// client's re-issued sample; that is expected.
+						continue
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestRegisterValidation(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	defer srv.Close()
+	if err := srv.Register("", gs2Params()); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := srv.Register("s", nil); err == nil {
+		t.Error("empty params should fail")
+	}
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	// Re-register with identical params joins.
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Errorf("rejoin failed: %v", err)
+	}
+	// Re-register with different params is rejected.
+	if err := srv.Register("s", []space.Parameter{space.IntParam("x", 0, 1)}); err == nil {
+		t.Error("mismatched rejoin should fail")
+	}
+	if len(srv.Sessions()) != 1 {
+		t.Errorf("sessions = %v", srv.Sessions())
+	}
+}
+
+func TestUnknownSession(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	defer srv.Close()
+	if _, err := srv.Fetch("nope"); err == nil {
+		t.Error("fetch unknown session should fail")
+	}
+	if err := srv.Report("nope", 1, 1); err == nil {
+		t.Error("report unknown session should fail")
+	}
+	if _, _, _, err := srv.Best("nope"); err == nil {
+		t.Error("best unknown session should fail")
+	}
+	if err := srv.Stop("nope"); err == nil {
+		t.Error("stop unknown session should fail")
+	}
+}
+
+func TestInProcessTuningSession(t *testing.T) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 31, Coverage: 1})
+	est, _ := sample.NewMinOfK(2)
+	srv := NewServer(ServerOptions{Estimator: est})
+	defer srv.Close()
+	if err := srv.Register("gs2", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	runClients(t, srv, "gs2", db, 8, 30*time.Second)
+	best, _, conv, err := srv.Best("gs2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conv {
+		t.Fatal("session did not converge")
+	}
+	if !db.Space().Admissible(best) {
+		t.Fatalf("best %v not admissible", best)
+	}
+	// Tuning should beat the starting centre on the noise-free surface.
+	if db.Eval(best) > db.Eval(db.Space().Center())+0.2 {
+		t.Errorf("tuned config %v (%.3f) worse than centre (%.3f)",
+			best, db.Eval(best), db.Eval(db.Space().Center()))
+	}
+	// After convergence every fetch returns tag 0 with the best point.
+	fr, err := srv.Fetch("gs2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Tag != 0 || !fr.Converged || !fr.Point.Equal(best) {
+		t.Errorf("post-convergence fetch = %+v", fr)
+	}
+	// Tag-0 reports are accepted and ignored.
+	if err := srv.Report("gs2", 0, 123); err != nil {
+		t.Errorf("tag-0 report: %v", err)
+	}
+}
+
+func TestReportUnknownTag(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Report("s", 999999, 1.0); err == nil {
+		t.Error("unknown tag should fail")
+	}
+}
+
+func TestLostClientDoesNotStall(t *testing.T) {
+	// One client fetches work and never reports; another client must still
+	// be able to drive the batch to completion via re-issued candidates.
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 7, Coverage: 1})
+	est, _ := sample.NewMinOfK(1)
+	srv := NewServer(ServerOptions{Estimator: est})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	// The "lost" client grabs several work items and vanishes.
+	for i := 0; i < 3; i++ {
+		if _, err := srv.Fetch("s"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A healthy client still finishes the tuning run.
+	runClients(t, srv, "s", db, 2, 30*time.Second)
+	_, _, conv, err := srv.Best("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conv {
+		t.Error("session stalled after client loss")
+	}
+}
+
+func TestStopAbandonsSession(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Stop("s"); err != nil {
+		t.Fatal(err)
+	}
+	// Double stop is fine.
+	if err := srv.Stop("s"); err != nil {
+		t.Fatal(err)
+	}
+	// The optimiser goroutine should wind down; give it a moment and make
+	// sure Fetch either errors or serves the best point without blocking.
+	deadline := time.After(2 * time.Second)
+	doneCh := make(chan struct{})
+	go func() {
+		_, _ = srv.Fetch("s")
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-deadline:
+		t.Fatal("Fetch blocked after Stop")
+	}
+}
+
+func TestCustomAlgorithmFactoryError(t *testing.T) {
+	srv := NewServer(ServerOptions{
+		NewAlgorithm: func(s *space.Space) (core.Algorithm, error) {
+			return core.NewPRO(core.Options{}) // missing space -> error
+		},
+	})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err == nil {
+		t.Error("factory error should propagate")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 13, Coverage: 1})
+	est, _ := sample.NewMinOfK(1)
+	srv := NewServer(ServerOptions{Estimator: est})
+	defer srv.Close()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = Serve(l, srv) }()
+
+	cl, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Register("net", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := noise.NewIIDPareto(1.7, 0.1)
+	rng := dist.NewRNG(9)
+	converged := false
+	deadline := time.Now().Add(30 * time.Second)
+	for !converged && time.Now().Before(deadline) {
+		fr, err := cl.Fetch("net")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Converged {
+			converged = true
+			break
+		}
+		if !db.Space().Admissible(fr.Point) {
+			t.Fatalf("server sent inadmissible point %v", fr.Point)
+		}
+		y := m.Perturb(db.Eval(fr.Point), rng)
+		if fr.Tag != 0 {
+			if err := cl.Report("net", fr.Tag, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !converged {
+		t.Fatal("TCP session did not converge")
+	}
+	best, val, conv, err := cl.Best("net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conv || !db.Space().Admissible(best) || val <= 0 {
+		t.Errorf("best = %v, %g, conv=%v", best, val, conv)
+	}
+}
+
+func TestTCPErrors(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = Serve(l, srv) }()
+
+	cl, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Unknown session surfaces as a client error.
+	if _, err := cl.Fetch("missing"); err == nil {
+		t.Error("fetch of missing session should fail over TCP")
+	}
+	// Unknown parameter kind rejected.
+	if _, err := fromWireParams([]wireParam{{Name: "x", Kind: "weird"}}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	// Kind round-trip.
+	ps, err := fromWireParams(toWireParams(gs2Params()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 || ps[2].Kind != space.Discrete || len(ps[2].Values) != 7 {
+		t.Errorf("round-trip params = %+v", ps)
+	}
+}
+
+func TestDispatchUnknownOp(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	defer srv.Close()
+	resp := dispatch(srv, &request{Op: "nonsense"})
+	if resp.OK || resp.Error == "" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestRunLoop(t *testing.T) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 3, Coverage: 1})
+	est, _ := sample.NewMinOfK(1)
+	srv := NewServer(ServerOptions{Estimator: est})
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = Serve(l, srv) }()
+
+	cl, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("loop", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	best, err := RunLoop(cl, "loop", func(p space.Point) (float64, error) {
+		return db.Eval(p), nil
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Space().Admissible(best) {
+		t.Fatalf("best %v not admissible", best)
+	}
+	if db.Eval(best) > db.Eval(db.Space().Center()) {
+		t.Errorf("RunLoop result %v worse than the centre", best)
+	}
+}
+
+func TestRunLoopValidation(t *testing.T) {
+	if _, err := RunLoop(nil, "s", nil, 10); err == nil {
+		t.Error("nil measure should fail")
+	}
+}
+
+func TestRunLoopMeasureError(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = Serve(l, srv) }()
+	cl, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("err", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLoop(cl, "err", func(space.Point) (float64, error) {
+		return 0, errors.New("sensor broken")
+	}, 100); err == nil {
+		t.Error("measurement error should abort the loop")
+	}
+}
+
+func TestStatsOp(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	defer srv.Close()
+	if _, err := srv.Stats("missing"); err == nil {
+		t.Error("stats of unknown session should fail")
+	}
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := srv.Stats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "s" {
+		t.Errorf("stats = %+v", st)
+	}
+	// Over TCP.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = Serve(l, srv) }()
+	cl, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	wireStats, err := cl.Stats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wireStats.Name != "s" {
+		t.Errorf("wire stats = %+v", wireStats)
+	}
+	if _, err := cl.Stats("missing"); err == nil {
+		t.Error("wire stats of unknown session should fail")
+	}
+}
+
+// Wire parameters survive a marshalling round trip for arbitrary admissible
+// parameter shapes.
+func TestWireParamRoundTripProperty(t *testing.T) {
+	f := func(lo, hi int16, vals []float64) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		params := []space.Parameter{
+			space.IntParam("i", int(lo), int(hi)),
+			space.ContinuousParam("c", float64(lo), float64(hi)+1),
+		}
+		if len(vals) > 0 {
+			ok := true
+			for _, v := range vals {
+				if v != v || v > 1e300 || v < -1e300 { // NaN or overflow-prone
+					ok = false
+				}
+			}
+			if ok {
+				params = append(params, space.DiscreteParam("d", vals...))
+			}
+		}
+		out, err := fromWireParams(toWireParams(params))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(params) {
+			return false
+		}
+		for i := range out {
+			if out[i].Name != params[i].Name || out[i].Kind != params[i].Kind {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,367 @@
+// Package harmony provides an Active-Harmony-style on-line tuning server:
+// the infrastructure role of [18] in the paper. Applications register their
+// tunable parameters, then repeatedly fetch a candidate configuration, run
+// one iteration, and report the measured time. The server drives a PRO
+// optimiser (or any core.Algorithm) behind the scenes, aggregates repeated
+// measurements with a configurable estimator (min-of-K by default), and
+// serves the best-known configuration once tuning has converged.
+//
+// Two transports are provided: direct in-process calls on *Server, and a
+// newline-delimited JSON protocol over TCP (Serve/Client).
+package harmony
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"paratune/internal/core"
+	"paratune/internal/sample"
+	"paratune/internal/space"
+)
+
+// AlgorithmFactory builds the optimiser for a new session.
+type AlgorithmFactory func(s *space.Space) (core.Algorithm, error)
+
+// ServerOptions configures session behaviour.
+type ServerOptions struct {
+	// Estimator reduces repeated measurements per candidate; min-of-3 when
+	// nil.
+	Estimator sample.Estimator
+	// NewAlgorithm builds the per-session optimiser; PRO with defaults when
+	// nil.
+	NewAlgorithm AlgorithmFactory
+}
+
+// Server coordinates tuning sessions.
+type Server struct {
+	opts     ServerOptions
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+// NewServer creates an empty server.
+func NewServer(opts ServerOptions) *Server {
+	if opts.Estimator == nil {
+		est, _ := sample.NewMinOfK(3)
+		opts.Estimator = est
+	}
+	if opts.NewAlgorithm == nil {
+		opts.NewAlgorithm = func(s *space.Space) (core.Algorithm, error) {
+			return core.NewPRO(core.Options{Space: s})
+		}
+	}
+	return &Server{opts: opts, sessions: make(map[string]*session)}
+}
+
+// candidate is one configuration awaiting measurements.
+type candidate struct {
+	point  space.Point
+	tag    uint64
+	obs    []float64
+	need   int
+	issued int
+}
+
+// session is one application's tuning state.
+type session struct {
+	name string
+	sp   *space.Space
+	est  sample.Estimator
+	alg  core.Algorithm
+
+	mu        sync.Mutex
+	batch     map[uint64]*candidate
+	order     []uint64 // batch tags in submission order
+	resultCh  chan []float64
+	nextTag   uint64
+	converged bool
+	best      space.Point
+	bestVal   float64
+	runErr    error
+	stopped   bool
+	done      chan struct{}
+}
+
+// Register creates (or returns) the named session over the given parameters
+// and starts its optimiser. Re-registering with the same name joins the
+// existing session; its space must match.
+func (srv *Server) Register(name string, params []space.Parameter) error {
+	if name == "" {
+		return errors.New("harmony: session name required")
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if s, ok := srv.sessions[name]; ok {
+		// Joining: verify the space matches.
+		joined, err := space.New(params...)
+		if err != nil {
+			return err
+		}
+		if joined.String() != s.sp.String() {
+			return fmt.Errorf("harmony: session %q already registered with different parameters", name)
+		}
+		return nil
+	}
+	sp, err := space.New(params...)
+	if err != nil {
+		return err
+	}
+	alg, err := srv.opts.NewAlgorithm(sp)
+	if err != nil {
+		return err
+	}
+	s := &session{
+		name:    name,
+		sp:      sp,
+		est:     srv.opts.Estimator,
+		alg:     alg,
+		batch:   make(map[uint64]*candidate),
+		nextTag: 1,
+		best:    sp.Center(),
+		bestVal: 0,
+		done:    make(chan struct{}),
+	}
+	srv.sessions[name] = s
+	go s.run()
+	return nil
+}
+
+// run drives the optimiser until convergence or shutdown.
+func (s *session) run() {
+	ev := &sessionEvaluator{s: s}
+	err := s.alg.Init(ev)
+	for err == nil && !s.alg.Converged() {
+		select {
+		case <-s.done:
+			err = errors.New("harmony: session stopped")
+		default:
+			_, err = s.alg.Step(ev)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil && !s.stopped {
+		s.runErr = err
+	}
+	if best, val := s.alg.Best(); best != nil {
+		s.best, s.bestVal = best, val
+	}
+	s.converged = true
+}
+
+// sessionEvaluator hands the optimiser's batches to the fetch/report
+// machinery and blocks until every candidate has enough measurements.
+type sessionEvaluator struct {
+	s *session
+}
+
+func (e *sessionEvaluator) Eval(points []space.Point) ([]float64, error) {
+	s := e.s
+	ch := make(chan []float64, 1)
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, errors.New("harmony: session stopped")
+	}
+	s.order = s.order[:0]
+	for _, p := range points {
+		tag := s.nextTag
+		s.nextTag++
+		s.batch[tag] = &candidate{point: p.Clone(), tag: tag, need: s.est.K()}
+		s.order = append(s.order, tag)
+	}
+	s.resultCh = ch
+	// Keep the session's public best in sync with the optimiser.
+	if best, val := s.alg.Best(); best != nil {
+		s.best, s.bestVal = best, val
+	}
+	s.mu.Unlock()
+
+	select {
+	case vals := <-ch:
+		return vals, nil
+	case <-s.done:
+		return nil, errors.New("harmony: session stopped")
+	}
+}
+
+// FetchResult is a unit of work for a client.
+type FetchResult struct {
+	// Point is the configuration to run next.
+	Point space.Point
+	// Tag identifies the candidate for Report; 0 means the point is the
+	// best-known configuration and needs no measurement report.
+	Tag uint64
+	// Converged reports whether tuning has finished.
+	Converged bool
+}
+
+// Fetch returns the next configuration for a client of the named session.
+// While a candidate batch is outstanding it hands out the least-measured
+// candidate (re-issuing candidates whose earlier clients never reported, so
+// a lost client cannot stall tuning); otherwise it returns the best-known
+// configuration with Tag 0.
+func (srv *Server) Fetch(name string) (FetchResult, error) {
+	s, err := srv.session(name)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.runErr != nil {
+		return FetchResult{}, s.runErr
+	}
+	var pick *candidate
+	for _, tag := range s.order {
+		c, ok := s.batch[tag]
+		if !ok || len(c.obs) >= c.need {
+			continue
+		}
+		if pick == nil || c.issued+len(c.obs) < pick.issued+len(pick.obs) {
+			pick = c
+		}
+	}
+	if pick == nil {
+		return FetchResult{Point: s.best.Clone(), Tag: 0, Converged: s.converged}, nil
+	}
+	pick.issued++
+	return FetchResult{Point: pick.point.Clone(), Tag: pick.tag, Converged: false}, nil
+}
+
+// Report records a measurement for the tagged candidate. Tag 0 reports
+// (measurements of the production configuration) are accepted and ignored.
+// When every candidate in the current batch has enough measurements, the
+// batch is reduced with the estimator and the optimiser resumes.
+func (srv *Server) Report(name string, tag uint64, value float64) error {
+	s, err := srv.session(name)
+	if err != nil {
+		return err
+	}
+	if tag == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	c, ok := s.batch[tag]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("harmony: unknown or completed tag %d", tag)
+	}
+	c.obs = append(c.obs, value)
+	// Batch complete?
+	complete := true
+	for _, t := range s.order {
+		if bc, ok := s.batch[t]; ok && len(bc.obs) < bc.need {
+			complete = false
+			break
+		}
+	}
+	if !complete || s.resultCh == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	vals := make([]float64, len(s.order))
+	for i, t := range s.order {
+		vals[i] = s.est.Estimate(s.batch[t].obs)
+		delete(s.batch, t)
+	}
+	ch := s.resultCh
+	s.resultCh = nil
+	s.mu.Unlock()
+	ch <- vals
+	return nil
+}
+
+// Best returns the best-known configuration and its estimate.
+func (srv *Server) Best(name string) (space.Point, float64, bool, error) {
+	s, err := srv.session(name)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.best.Clone(), s.bestVal, s.converged, nil
+}
+
+// Stop shuts a session down; outstanding Fetch work is abandoned.
+func (srv *Server) Stop(name string) error {
+	s, err := srv.session(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.done)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Close stops every session.
+func (srv *Server) Close() {
+	srv.mu.Lock()
+	names := make([]string, 0, len(srv.sessions))
+	for n := range srv.sessions {
+		names = append(names, n)
+	}
+	srv.mu.Unlock()
+	for _, n := range names {
+		_ = srv.Stop(n)
+	}
+}
+
+// SessionStats summarises one session for monitoring.
+type SessionStats struct {
+	Name      string    `json:"name"`
+	Converged bool      `json:"converged"`
+	Best      []float64 `json:"best"`
+	BestValue float64   `json:"best_value"`
+	Pending   int       `json:"pending"` // candidates awaiting measurements
+	NextTag   uint64    `json:"next_tag"`
+}
+
+// Stats returns a monitoring snapshot of the named session.
+func (srv *Server) Stats(name string) (SessionStats, error) {
+	s, err := srv.session(name)
+	if err != nil {
+		return SessionStats{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pending := 0
+	for _, tag := range s.order {
+		if c, ok := s.batch[tag]; ok && len(c.obs) < c.need {
+			pending++
+		}
+	}
+	return SessionStats{
+		Name:      s.name,
+		Converged: s.converged,
+		Best:      append([]float64(nil), s.best...),
+		BestValue: s.bestVal,
+		Pending:   pending,
+		NextTag:   s.nextTag,
+	}, nil
+}
+
+// Sessions lists registered session names.
+func (srv *Server) Sessions() []string {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	names := make([]string, 0, len(srv.sessions))
+	for n := range srv.sessions {
+		names = append(names, n)
+	}
+	return names
+}
+
+func (srv *Server) session(name string) (*session, error) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	s, ok := srv.sessions[name]
+	if !ok {
+		return nil, fmt.Errorf("harmony: unknown session %q", name)
+	}
+	return s, nil
+}

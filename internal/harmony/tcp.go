@@ -1,0 +1,269 @@
+package harmony
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"paratune/internal/space"
+)
+
+// wireParam is the JSON encoding of a space.Parameter.
+type wireParam struct {
+	Name   string    `json:"name"`
+	Kind   string    `json:"kind"` // "continuous" | "integer" | "discrete"
+	Lower  float64   `json:"lower,omitempty"`
+	Upper  float64   `json:"upper,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+}
+
+func toWireParams(params []space.Parameter) []wireParam {
+	out := make([]wireParam, len(params))
+	for i, p := range params {
+		out[i] = wireParam{Name: p.Name, Kind: p.Kind.String(), Lower: p.Lower, Upper: p.Upper, Values: p.Values}
+	}
+	return out
+}
+
+func fromWireParams(ws []wireParam) ([]space.Parameter, error) {
+	out := make([]space.Parameter, len(ws))
+	for i, w := range ws {
+		var k space.Kind
+		switch w.Kind {
+		case "continuous":
+			k = space.Continuous
+		case "integer":
+			k = space.Integer
+		case "discrete":
+			k = space.Discrete
+		default:
+			return nil, fmt.Errorf("harmony: unknown parameter kind %q", w.Kind)
+		}
+		out[i] = space.Parameter{Name: w.Name, Kind: k, Lower: w.Lower, Upper: w.Upper, Values: w.Values}
+	}
+	return out, nil
+}
+
+// request is one JSON-line client message.
+type request struct {
+	Op      string      `json:"op"` // register | fetch | report | best
+	Session string      `json:"session"`
+	Params  []wireParam `json:"params,omitempty"`
+	Tag     uint64      `json:"tag,omitempty"`
+	Value   float64     `json:"value,omitempty"`
+}
+
+// response is one JSON-line server reply.
+type response struct {
+	OK        bool          `json:"ok"`
+	Error     string        `json:"error,omitempty"`
+	Point     []float64     `json:"point,omitempty"`
+	Tag       uint64        `json:"tag,omitempty"`
+	Value     float64       `json:"value,omitempty"`
+	Converged bool          `json:"converged,omitempty"`
+	Stats     *SessionStats `json:"stats,omitempty"`
+}
+
+// Serve accepts connections on l and dispatches the JSON-line protocol to
+// srv until l is closed. Each connection is handled on its own goroutine;
+// a malformed request closes only that connection.
+func Serve(l net.Listener, srv *Server) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go handleConn(conn, srv)
+	}
+}
+
+func handleConn(conn net.Conn, srv *Server) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			_ = enc.Encode(response{OK: false, Error: "bad request: " + err.Error()})
+			return
+		}
+		resp := dispatch(srv, &req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func dispatch(srv *Server, req *request) response {
+	switch req.Op {
+	case "register":
+		params, err := fromWireParams(req.Params)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		if err := srv.Register(req.Session, params); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "fetch":
+		fr, err := srv.Fetch(req.Session)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, Point: fr.Point, Tag: fr.Tag, Converged: fr.Converged}
+	case "report":
+		if err := srv.Report(req.Session, req.Tag, req.Value); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "best":
+		p, v, conv, err := srv.Best(req.Session)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, Point: p, Value: v, Converged: conv}
+	case "stats":
+		st, err := srv.Stats(req.Session)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, Stats: &st, Converged: st.Converged}
+	default:
+		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is a TCP client for the harmony protocol. Safe for use by one
+// goroutine at a time per method call (calls are serialised internally).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	rd   *bufio.Scanner
+	enc  *json.Encoder
+}
+
+// Dial connects to a harmony server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Client{conn: conn, rd: sc, enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	if !c.rd.Scan() {
+		if err := c.rd.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	var resp response
+	if err := json.Unmarshal(c.rd.Bytes(), &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Error)
+	}
+	return &resp, nil
+}
+
+// Register creates or joins a session.
+func (c *Client) Register(session string, params []space.Parameter) error {
+	_, err := c.roundTrip(&request{Op: "register", Session: session, Params: toWireParams(params)})
+	return err
+}
+
+// Fetch obtains the next configuration to run.
+func (c *Client) Fetch(session string) (FetchResult, error) {
+	resp, err := c.roundTrip(&request{Op: "fetch", Session: session})
+	if err != nil {
+		return FetchResult{}, err
+	}
+	return FetchResult{Point: space.Point(resp.Point), Tag: resp.Tag, Converged: resp.Converged}, nil
+}
+
+// Report sends one measurement.
+func (c *Client) Report(session string, tag uint64, value float64) error {
+	_, err := c.roundTrip(&request{Op: "report", Session: session, Tag: tag, Value: value})
+	return err
+}
+
+// Stats fetches a monitoring snapshot of the session.
+func (c *Client) Stats(session string) (SessionStats, error) {
+	resp, err := c.roundTrip(&request{Op: "stats", Session: session})
+	if err != nil {
+		return SessionStats{}, err
+	}
+	if resp.Stats == nil {
+		return SessionStats{}, errors.New("harmony: server returned no stats")
+	}
+	return *resp.Stats, nil
+}
+
+// Best returns the best-known configuration.
+func (c *Client) Best(session string) (space.Point, float64, bool, error) {
+	resp, err := c.roundTrip(&request{Op: "best", Session: session})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return space.Point(resp.Point), resp.Value, resp.Converged, nil
+}
+
+// MeasureFunc runs one application iteration at the given configuration and
+// returns its measured time.
+type MeasureFunc func(space.Point) (float64, error)
+
+// RunLoop drives the standard client protocol until the session converges or
+// maxIters fetches have been issued: fetch a configuration, measure it, and
+// report the time (tag-0 best-configuration runs are measured but not
+// reported). It returns the final best configuration. This is the loop every
+// SPMD process embeds; see cmd/harmonyclient for a complete program.
+func RunLoop(c *Client, session string, measure MeasureFunc, maxIters int) (space.Point, error) {
+	if measure == nil {
+		return nil, errors.New("harmony: RunLoop needs a measure function")
+	}
+	if maxIters <= 0 {
+		maxIters = 1 << 30
+	}
+	for i := 0; i < maxIters; i++ {
+		fr, err := c.Fetch(session)
+		if err != nil {
+			return nil, err
+		}
+		if fr.Converged {
+			best, _, _, err := c.Best(session)
+			return best, err
+		}
+		y, err := measure(fr.Point)
+		if err != nil {
+			return nil, fmt.Errorf("harmony: measurement failed: %w", err)
+		}
+		if fr.Tag != 0 {
+			if err := c.Report(session, fr.Tag, y); err != nil {
+				// A concurrently completed tag is expected; other errors are
+				// surfaced on the next Fetch.
+				continue
+			}
+		}
+	}
+	return nil, errors.New("harmony: iteration cap reached before convergence")
+}

@@ -1,0 +1,28 @@
+package objective
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadDB: arbitrary CSV input must never panic; it either loads cleanly
+// (all points admissible) or returns an error.
+func FuzzLoadDB(f *testing.F) {
+	f.Add("ntheta,negrid,nodes,time\n8,4,1,2.5\n")
+	f.Add("ntheta,negrid,nodes,time\nx,4,1,2.5\n")
+	f.Add("a,b\n1,2\n")
+	f.Add("")
+	f.Add("ntheta,negrid,nodes,time\n8,4,1\n")
+	f.Add("ntheta,negrid,nodes,time\n1e309,4,1,2\n")
+	f.Fuzz(func(t *testing.T, csv string) {
+		db, err := LoadDB(GS2Space(), 4, strings.NewReader(csv))
+		if err != nil {
+			return
+		}
+		// Loaded: every stored point must be admissible and evaluable.
+		if db.Len() > 0 {
+			v := db.Eval(GS2Space().Center())
+			_ = v
+		}
+	})
+}

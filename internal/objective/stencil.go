@@ -1,0 +1,102 @@
+package objective
+
+import (
+	"fmt"
+	"math"
+
+	"paratune/internal/space"
+)
+
+// Stencil models one time step of a 2-D Jacobi-style halo-exchange solver —
+// the canonical SPMD iterative application the paper's §2 model describes.
+// Three parameters are tunable per step:
+//
+//   - tile: the cache-blocking tile edge. Small tiles pay loop overhead;
+//     tiles whose working set exceeds the cache pay miss penalties.
+//   - halo: the ghost-zone depth exchanged per message. Deeper halos
+//     amortise message latency over several steps but add redundant
+//     computation on the ghost cells.
+//   - px: the processor-grid width (the grid is px × procs/px). Skewed
+//     grids increase the surface-to-volume ratio and thus halo traffic.
+//
+// The model is analytic but carries the real trade-off structure, so every
+// parameter has an interior optimum that shifts with the machine constants.
+type Stencil struct {
+	S *space.Space
+	// N is the global grid edge (default 4096).
+	N float64
+	// Procs is the processor count (default 64; must be a power of two).
+	Procs float64
+	// Latency and Bandwidth are the network constants (seconds, cells/s).
+	Latency   float64
+	Bandwidth float64
+	// CacheCells is the per-core cache capacity in grid cells.
+	CacheCells float64
+	// FlopTime is the per-cell update cost in seconds.
+	FlopTime float64
+}
+
+// NewStencil builds the model and its tuning space for a power-of-two
+// processor count.
+func NewStencil(procs int) (*Stencil, error) {
+	if procs < 1 || procs&(procs-1) != 0 {
+		return nil, fmt.Errorf("objective: stencil needs a power-of-two processor count, got %d", procs)
+	}
+	var pxVals []float64
+	for p := 1; p <= procs; p *= 2 {
+		pxVals = append(pxVals, float64(p))
+	}
+	s := space.MustNew(
+		space.IntParam("tile", 8, 512),
+		space.IntParam("halo", 1, 8),
+		space.DiscreteParam("px", pxVals...),
+	)
+	return &Stencil{
+		S:          s,
+		N:          4096,
+		Procs:      float64(procs),
+		Latency:    40e-6,
+		Bandwidth:  5e8,
+		CacheCells: 64 * 1024,
+		FlopTime:   1.2e-9,
+	}, nil
+}
+
+// Eval returns the modelled seconds per application time step.
+func (st *Stencil) Eval(x space.Point) float64 {
+	tile, halo, px := x[0], x[1], x[2]
+	py := st.Procs / px
+	// Local block dimensions.
+	bx := st.N / px
+	by := st.N / py
+
+	// Compute: cells per processor, with cache-efficiency factor.
+	cells := bx * by
+	// Loop overhead for small tiles: ~12 extra cycles per tile row.
+	loopOverhead := 1 + 12/tile
+	// Cache misses once the 2-row working set of a tile exceeds cache.
+	working := tile * tile
+	missFactor := 1.0
+	if working > st.CacheCells {
+		missFactor = 1 + 0.8*math.Log2(working/st.CacheCells)
+	}
+	// Redundant ghost computation for deep halos: each extra ghost row is
+	// recomputed every step it is reused.
+	redundant := 1 + (halo-1)*(bx+by)/cells*2
+	compute := cells * st.FlopTime * loopOverhead * missFactor * redundant
+
+	// Communication: one exchange every halo steps (amortised), 4 messages
+	// (up/down/left/right) of halo·edge cells each.
+	msgs := 4.0 / halo
+	volume := halo * 2 * (bx + by) / halo // per-step average cells moved
+	comm := msgs*st.Latency + volume/st.Bandwidth
+
+	return compute + comm
+}
+
+// Space implements Function.
+func (st *Stencil) Space() *space.Space { return st.S }
+
+func (st *Stencil) String() string {
+	return fmt.Sprintf("stencil(N=%g, procs=%g)", st.N, st.Procs)
+}

@@ -1,0 +1,133 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	out, err := Line(Config{Title: "t", XLabel: "x", YLabel: "y"},
+		Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+		Series{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"t", "legend", "* a", "+ b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLineValidation(t *testing.T) {
+	if _, err := Line(Config{}); err == nil {
+		t.Error("no series should fail")
+	}
+	if _, err := Line(Config{}, Series{Name: "a", X: []float64{1}, Y: nil}); err == nil {
+		t.Error("mismatched data should fail")
+	}
+	if _, err := Line(Config{LogX: true}, Series{Name: "a", X: []float64{-1, -2}, Y: []float64{1, 2}}); err == nil {
+		t.Error("all-negative data on log axis should fail")
+	}
+}
+
+func TestLineLogLog(t *testing.T) {
+	// Pareto survival: straight line in log-log.
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = math.Pow(xs[i], -1.7)
+	}
+	out, err := Line(Config{LogX: true, LogY: true, XLabel: "x", YLabel: "P[X>x]"}, Series{Name: "tail", X: xs, Y: ys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "log10") {
+		t.Error("log axes should be labelled")
+	}
+}
+
+func TestLineSkipsNonFinite(t *testing.T) {
+	out, err := Line(Config{},
+		Series{Name: "a", X: []float64{0, 1, 2, 3}, Y: []float64{1, math.NaN(), math.Inf(1), 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestLineConstantSeries(t *testing.T) {
+	if _, err := Line(Config{}, Series{Name: "c", X: []float64{1, 2}, Y: []float64{5, 5}}); err != nil {
+		t.Fatalf("constant series should render: %v", err)
+	}
+	if _, err := Line(Config{}, Series{Name: "c", X: []float64{1, 1}, Y: []float64{5, 6}}); err != nil {
+		t.Fatalf("vertical series should render: %v", err)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{10, 20}
+	z := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	out, err := Heatmap(Config{Title: "surface", XLabel: "ys"}, xs, ys, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "surface") || !strings.Contains(out, "intensity") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestHeatmapValidation(t *testing.T) {
+	if _, err := Heatmap(Config{}, nil, nil, nil); err == nil {
+		t.Error("empty heatmap should fail")
+	}
+	if _, err := Heatmap(Config{}, []float64{1}, []float64{1, 2}, [][]float64{{1}}); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+	if _, err := Heatmap(Config{}, []float64{1}, []float64{1}, [][]float64{{math.NaN()}}); err == nil {
+		t.Error("all-NaN heatmap should fail")
+	}
+	// Constant surface renders.
+	if _, err := Heatmap(Config{}, []float64{1, 2}, []float64{1}, [][]float64{{3}, {3}}); err != nil {
+		t.Errorf("constant surface: %v", err)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out, err := Bars(Config{Title: "b"}, []string{"pro", "nm"}, []float64{3, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "pro") || !strings.Contains(out, "#") {
+		t.Errorf("output:\n%s", out)
+	}
+	if _, err := Bars(Config{}, []string{"a"}, nil); err == nil {
+		t.Error("mismatch should fail")
+	}
+	// Non-finite and zero values render without panic.
+	if _, err := Bars(Config{}, []string{"a", "b"}, []float64{math.Inf(1), 0}); err != nil {
+		t.Errorf("non-finite bars: %v", err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]float64{{1, 2}, {3.5, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3.5,4\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+	if err := WriteCSV(&buf, []string{"a"}, [][]float64{{1, 2}}); err == nil {
+		t.Error("column mismatch should fail")
+	}
+}

@@ -1,0 +1,58 @@
+package space
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzProject: for any input coordinates, projection must return an
+// admissible point and be idempotent.
+func FuzzProject(f *testing.F) {
+	f.Add(36.5, 18.2, 5.0)
+	f.Add(-1e308, 1e308, math.Pi)
+	f.Add(0.0, 0.0, 0.0)
+	f.Add(math.Inf(1), math.Inf(-1), math.NaN())
+	s := MustNew(
+		IntParam("ntheta", 8, 64),
+		IntParam("negrid", 4, 32),
+		DiscreteParam("nodes", 1, 2, 4, 8, 16, 32, 64),
+	)
+	center := s.Center()
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		x := Point{a, b, c}
+		p := s.Project(x, center)
+		if !s.Admissible(p) {
+			t.Fatalf("Project(%v) = %v not admissible", x, p)
+		}
+		if !s.Project(p, center).Equal(p) {
+			t.Fatalf("Project not idempotent at %v", p)
+		}
+		n := s.ProjectNearest(x)
+		if !s.Admissible(n) {
+			t.Fatalf("ProjectNearest(%v) = %v not admissible", x, n)
+		}
+	})
+}
+
+// FuzzParameterNeighbors: neighbours must be admissible and bracket v.
+func FuzzParameterNeighbors(f *testing.F) {
+	f.Add(5.0)
+	f.Add(-100.0)
+	f.Add(math.NaN())
+	p := DiscreteParam("d", 1, 2, 4, 8, 16)
+	if err := p.validate(); err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, v float64) {
+		lo, hasLo, hi, hasHi := p.Neighbors(v)
+		if hasLo && !p.Admissible(lo) {
+			t.Fatalf("low neighbour %g of %g not admissible", lo, v)
+		}
+		if hasHi && !p.Admissible(hi) {
+			t.Fatalf("high neighbour %g of %g not admissible", hi, v)
+		}
+		if hasLo && hasHi && lo >= hi {
+			t.Fatalf("neighbours of %g out of order: %g >= %g", v, lo, hi)
+		}
+	})
+}

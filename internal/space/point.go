@@ -1,0 +1,144 @@
+package space
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a parameter vector. Coordinates are ordered as the Space's
+// parameters. A Point is a plain slice; callers that retain one across
+// mutations must Clone it.
+type Point []float64
+
+// Clone returns an independent copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports exact coordinate-wise equality.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Close reports coordinate-wise equality within tol.
+func (p Point) Close(q Point, tol float64) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if math.Abs(p[i]-q[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns p + q as a new point.
+func (p Point) Add(q Point) Point {
+	out := make(Point, len(p))
+	for i := range p {
+		out[i] = p[i] + q[i]
+	}
+	return out
+}
+
+// Sub returns p - q as a new point.
+func (p Point) Sub(q Point) Point {
+	out := make(Point, len(p))
+	for i := range p {
+		out[i] = p[i] - q[i]
+	}
+	return out
+}
+
+// Scale returns a*p as a new point.
+func (p Point) Scale(a float64) Point {
+	out := make(Point, len(p))
+	for i := range p {
+		out[i] = a * p[i]
+	}
+	return out
+}
+
+// Axpy returns p + a*q as a new point.
+func (p Point) Axpy(a float64, q Point) Point {
+	out := make(Point, len(p))
+	for i := range p {
+		out[i] = p[i] + a*q[i]
+	}
+	return out
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Norm returns the Euclidean norm of p.
+func (p Point) Norm() float64 {
+	var s float64
+	for _, v := range p {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Key returns a canonical string encoding of the point, usable as a map key
+// for databases of evaluated configurations.
+func (p Point) Key() string {
+	var b strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%g", v)
+	}
+	return b.String()
+}
+
+// String formats the point as (v0, v1, ...).
+func (p Point) String() string {
+	return "(" + p.Key() + ")"
+}
+
+// Transform computes center + alpha*(center - x): the family of simplex
+// transformations from §3.1. alpha = 1 reflects x through center, alpha = 2
+// expands, alpha = -0.5 shrinks toward center.
+func Transform(center, x Point, alpha float64) Point {
+	out := make(Point, len(center))
+	for i := range center {
+		out[i] = center[i] + alpha*(center[i]-x[i])
+	}
+	return out
+}
+
+// Reflect returns 2*best - x (the PRO reflection of x around best, Alg. 2 l.5).
+func Reflect(best, x Point) Point { return Transform(best, x, 1) }
+
+// Expand returns 3*best - 2*x (the PRO expansion of x around best, Alg. 2 l.8).
+func Expand(best, x Point) Point { return Transform(best, x, 2) }
+
+// Shrink returns 0.5*(best + x) (the PRO shrink of x toward best, Alg. 2 l.16).
+func Shrink(best, x Point) Point {
+	out := make(Point, len(best))
+	for i := range best {
+		out[i] = 0.5 * (best[i] + x[i])
+	}
+	return out
+}

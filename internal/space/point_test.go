@@ -1,0 +1,131 @@
+package space
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := Point{4, 5, 6}
+	if got := p.Add(q); !got.Equal(Point{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); !got.Equal(Point{3, 3, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); !got.Equal(Point{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Axpy(2, q); !got.Equal(Point{9, 12, 15}) {
+		t.Errorf("Axpy = %v", got)
+	}
+}
+
+func TestPointCloneIndependent(t *testing.T) {
+	p := Point{1, 2}
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestPointEqualAndClose(t *testing.T) {
+	if !(Point{1, 2}).Equal(Point{1, 2}) {
+		t.Error("Equal false negative")
+	}
+	if (Point{1, 2}).Equal(Point{1, 2, 3}) {
+		t.Error("Equal across dimensions")
+	}
+	if (Point{1, 2}).Equal(Point{1, 3}) {
+		t.Error("Equal false positive")
+	}
+	if !(Point{1, 2}).Close(Point{1.0001, 2}, 0.001) {
+		t.Error("Close false negative")
+	}
+	if (Point{1, 2}).Close(Point{1.1, 2}, 0.001) {
+		t.Error("Close false positive")
+	}
+	if (Point{1}).Close(Point{1, 2}, 1) {
+		t.Error("Close across dimensions")
+	}
+}
+
+func TestDistNorm(t *testing.T) {
+	if d := (Point{0, 3}).Dist(Point{4, 0}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("Dist = %g, want 5", d)
+	}
+	if n := (Point{3, 4}).Norm(); math.Abs(n-5) > 1e-12 {
+		t.Errorf("Norm = %g, want 5", n)
+	}
+}
+
+func TestKeyDistinct(t *testing.T) {
+	a := Point{1, 2, 3}
+	b := Point{1, 2, 4}
+	if a.Key() == b.Key() {
+		t.Error("distinct points share a key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Error("equal points have different keys")
+	}
+	if a.String() != "(1,2,3)" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestTransformFamilies(t *testing.T) {
+	best := Point{2, 2}
+	x := Point{4, 0}
+	if got := Reflect(best, x); !got.Equal(Point{0, 4}) {
+		t.Errorf("Reflect = %v, want (0,4)", got)
+	}
+	if got := Expand(best, x); !got.Equal(Point{-2, 6}) {
+		t.Errorf("Expand = %v, want (-2,6)", got)
+	}
+	if got := Shrink(best, x); !got.Equal(Point{3, 1}) {
+		t.Errorf("Shrink = %v, want (3,1)", got)
+	}
+}
+
+// Reflection is an involution: reflecting twice returns the original point.
+func TestReflectInvolution(t *testing.T) {
+	f := func(rb1, rb2, rx1, rx2 float64) bool {
+		best := Point{math.Mod(rb1, 1e6), math.Mod(rb2, 1e6)}
+		x := Point{math.Mod(rx1, 1e6), math.Mod(rx2, 1e6)}
+		return Reflect(best, Reflect(best, x)).Close(x, 1e-9*(1+x.Norm()+best.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Expansion equals reflecting then stepping the same distance again:
+// e = best + 2(best-x), so e - r = best - x.
+func TestExpandGeometry(t *testing.T) {
+	f := func(rb, rx float64) bool {
+		b1, x1 := math.Mod(rb, 1e6), math.Mod(rx, 1e6)
+		best, x := Point{b1}, Point{x1}
+		r := Reflect(best, x)
+		e := Expand(best, x)
+		return math.Abs((e[0]-r[0])-(best[0]-x[0])) < 1e-9*(1+math.Abs(b1)+math.Abs(x1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Shrink halves the distance to best.
+func TestShrinkHalvesDistance(t *testing.T) {
+	f := func(rb1, rb2, rx1, rx2 float64) bool {
+		best := Point{math.Mod(rb1, 1e6), math.Mod(rb2, 1e6)}
+		x := Point{math.Mod(rx1, 1e6), math.Mod(rx2, 1e6)}
+		s := Shrink(best, x)
+		return math.Abs(s.Dist(best)-x.Dist(best)/2) < 1e-9*(1+x.Dist(best))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

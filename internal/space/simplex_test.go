@@ -1,0 +1,238 @@
+package space
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimplexSort(t *testing.T) {
+	s := NewSimplex([]Point{{1, 0}, {2, 0}, {3, 0}})
+	s.Values = []float64{5, 1, 3}
+	s.Sort()
+	want := []float64{1, 3, 5}
+	for i, v := range want {
+		if s.Values[i] != v {
+			t.Fatalf("sorted values = %v, want %v", s.Values, want)
+		}
+	}
+	if !s.Vertices[0].Equal(Point{2, 0}) {
+		t.Errorf("best vertex = %v, want (2,0)", s.Vertices[0])
+	}
+	b, bv := s.Best()
+	if bv != 1 || !b.Equal(Point{2, 0}) {
+		t.Errorf("Best = %v,%g", b, bv)
+	}
+	w, wv := s.Worst()
+	if wv != 5 || !w.Equal(Point{1, 0}) {
+		t.Errorf("Worst = %v,%g", w, wv)
+	}
+}
+
+func TestSimplexSortStable(t *testing.T) {
+	s := NewSimplex([]Point{{1}, {2}, {3}})
+	s.Values = []float64{1, 1, 1}
+	s.Sort()
+	if !s.Vertices[0].Equal(Point{1}) || !s.Vertices[1].Equal(Point{2}) {
+		t.Errorf("tie order not preserved: %v", s.Vertices)
+	}
+}
+
+func TestSimplexUnevaluatedIsInf(t *testing.T) {
+	s := NewSimplex([]Point{{0}})
+	if !math.IsInf(s.Values[0], 1) {
+		t.Error("unevaluated vertex should be +Inf")
+	}
+}
+
+func TestSpreadAndCollapsed(t *testing.T) {
+	s := NewSimplex([]Point{{0, 0}, {1, 3}, {2, 1}})
+	if got := s.Spread(); got != 3 {
+		t.Errorf("Spread = %g, want 3", got)
+	}
+	if s.Collapsed(2.9) {
+		t.Error("should not be collapsed at tol 2.9")
+	}
+	if !s.Collapsed(3) {
+		t.Error("should be collapsed at tol 3")
+	}
+	c := NewSimplex([]Point{{5, 5}, {5, 5}})
+	if !c.Collapsed(0) {
+		t.Error("identical vertices should collapse at tol 0")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	s := NewSimplex([]Point{{0, 0}, {2, 0}, {0, 2}})
+	c := s.Centroid(0)
+	want := Point{2.0 / 3, 2.0 / 3}
+	if !c.Close(want, 1e-12) {
+		t.Errorf("Centroid = %v, want %v", c, want)
+	}
+	c2 := s.Centroid(2)
+	if !c2.Close(Point{1, 0}, 1e-12) {
+		t.Errorf("Centroid(2) = %v, want (1,0)", c2)
+	}
+}
+
+func TestRankAndDegenerate(t *testing.T) {
+	full := NewSimplex([]Point{{0, 0}, {1, 0}, {0, 1}})
+	if full.Rank() != 2 || full.Degenerate() {
+		t.Errorf("full 2-D simplex: rank=%d degenerate=%v", full.Rank(), full.Degenerate())
+	}
+	line := NewSimplex([]Point{{0, 0}, {1, 1}, {2, 2}})
+	if line.Rank() != 1 || !line.Degenerate() {
+		t.Errorf("collinear simplex: rank=%d degenerate=%v", line.Rank(), line.Degenerate())
+	}
+	pt := NewSimplex([]Point{{3, 4}})
+	if pt.Rank() != 0 || !pt.Degenerate() {
+		t.Errorf("single point: rank=%d", pt.Rank())
+	}
+	empty := NewSimplex(nil)
+	if !empty.Degenerate() {
+		t.Error("empty simplex should be degenerate")
+	}
+	// 3-D full-rank with 6 vertices (2N style).
+	s3 := NewSimplex([]Point{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}})
+	if s3.Rank() != 3 || s3.Degenerate() {
+		t.Errorf("2N 3-D simplex rank = %d", s3.Rank())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewSimplex([]Point{{1, 2}})
+	s.Values[0] = 7
+	c := s.Clone()
+	c.Vertices[0][0] = 99
+	c.Values[0] = 0
+	if s.Vertices[0][0] != 1 || s.Values[0] != 7 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestInitial2N(t *testing.T) {
+	s := MustNew(
+		IntParam("ntheta", 8, 64),
+		IntParam("negrid", 4, 32),
+		DiscreteParam("nodes", 1, 2, 4, 8, 16, 32, 64),
+	)
+	sim := Initial2N(s, nil, 0.2)
+	if sim.Len() != 6 {
+		t.Fatalf("2N simplex has %d vertices, want 6", sim.Len())
+	}
+	for _, v := range sim.Vertices {
+		if !s.Admissible(v) {
+			t.Errorf("vertex %v not admissible", v)
+		}
+	}
+	if sim.Degenerate() {
+		t.Error("2N initial simplex must span the space")
+	}
+}
+
+func TestInitialMinimal(t *testing.T) {
+	s := MustNew(IntParam("a", 0, 100), IntParam("b", 0, 100))
+	sim := InitialMinimal(s, nil, 0.2)
+	if sim.Len() != 3 {
+		t.Fatalf("minimal simplex has %d vertices, want 3", sim.Len())
+	}
+	for _, v := range sim.Vertices {
+		if !s.Admissible(v) {
+			t.Errorf("vertex %v not admissible", v)
+		}
+	}
+	if sim.Degenerate() {
+		t.Error("minimal initial simplex must span the space")
+	}
+	if !sim.Vertices[0].Equal(s.Center()) {
+		t.Errorf("first vertex should be the centre, got %v", sim.Vertices[0])
+	}
+}
+
+func TestInitialSimplexCustomCenter(t *testing.T) {
+	s := MustNew(IntParam("a", 0, 100), IntParam("b", 0, 100))
+	c := Point{10, 90}
+	sim := Initial2N(s, c, 0.2)
+	// Each vertex should differ from c in exactly one coordinate.
+	for _, v := range sim.Vertices {
+		diff := 0
+		for i := range v {
+			if v[i] != c[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Errorf("vertex %v differs from centre %v in %d coords", v, c, diff)
+		}
+	}
+}
+
+func TestInitialScale(t *testing.T) {
+	s := MustNew(IntParam("a", 0, 100))
+	b := InitialScale(s, 0.2)
+	if math.Abs(b[0]-10) > 1e-12 {
+		t.Errorf("b = %v, want [10] (0.1 * range per §3.2.3)", b)
+	}
+}
+
+func TestConvergenceProbe(t *testing.T) {
+	s := MustNew(IntParam("a", 0, 10), DiscreteParam("b", 1, 2, 4))
+	// Interior point: 2 probes per parameter.
+	probes := ConvergenceProbe(s, Point{5, 2})
+	if len(probes) != 4 {
+		t.Fatalf("interior probes = %d, want 4", len(probes))
+	}
+	for _, p := range probes {
+		if !s.Admissible(p) {
+			t.Errorf("probe %v not admissible", p)
+		}
+		if p.Equal(Point{5, 2}) {
+			t.Errorf("probe equals the centre point")
+		}
+	}
+	// Boundary point: lower probe of a and lower probe of b dropped.
+	probes = ConvergenceProbe(s, Point{0, 1})
+	if len(probes) != 2 {
+		t.Fatalf("boundary probes = %d, want 2: %v", len(probes), probes)
+	}
+}
+
+func TestSimplexString(t *testing.T) {
+	s := NewSimplex([]Point{{1, 2}, {3, 4}})
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+// Randomised invariant: simplex transforms projected into the space keep all
+// vertices admissible and the vertex count fixed.
+func TestTransformProjectionInvariant(t *testing.T) {
+	s := MustNew(
+		IntParam("ntheta", 8, 64),
+		IntParam("negrid", 4, 32),
+		DiscreteParam("nodes", 1, 2, 4, 8, 16, 32, 64),
+	)
+	rng := rand.New(rand.NewSource(42))
+	sim := Initial2N(s, nil, 0.3)
+	best := sim.Vertices[0]
+	for iter := 0; iter < 200; iter++ {
+		i := rng.Intn(sim.Len())
+		var cand Point
+		switch rng.Intn(3) {
+		case 0:
+			cand = Reflect(best, sim.Vertices[i])
+		case 1:
+			cand = Expand(best, sim.Vertices[i])
+		default:
+			cand = Shrink(best, sim.Vertices[i])
+		}
+		proj := s.Project(cand, best)
+		if !s.Admissible(proj) {
+			t.Fatalf("iter %d: projected point %v inadmissible (raw %v)", iter, proj, cand)
+		}
+		sim.Vertices[i] = proj
+		if sim.Len() != 6 {
+			t.Fatal("vertex count changed")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"paratune/internal/dist"
+)
+
+func TestStdErr(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	want := Summarize(xs).Std / math.Sqrt(5)
+	if got := StdErr(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdErr = %g, want %g", got, want)
+	}
+	if !math.IsNaN(StdErr([]float64{1})) {
+		t.Error("single sample should give NaN")
+	}
+}
+
+func TestBootstrapCIValidation(t *testing.T) {
+	rng := dist.NewRNG(1)
+	if _, _, err := BootstrapCI([]float64{1}, 100, 0.95, rng); err == nil {
+		t.Error("single sample should fail")
+	}
+	if _, _, err := BootstrapCI([]float64{1, 2}, 5, 0.95, rng); err == nil {
+		t.Error("too few resamples should fail")
+	}
+	if _, _, err := BootstrapCI([]float64{1, 2}, 100, 1.5, rng); err == nil {
+		t.Error("bad confidence should fail")
+	}
+}
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	rng := dist.NewRNG(2)
+	xs := dist.SampleN(dist.Normal{Mu: 10, Sigma: 2}, rng, 400)
+	lo, hi, err := BootstrapCI(xs, 2000, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate interval [%g, %g]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Errorf("95%% CI [%g, %g] misses the true mean 10 (can fail 5%% of seeds; seed is fixed)", lo, hi)
+	}
+	mean := Mean(xs)
+	if mean < lo || mean > hi {
+		t.Errorf("CI [%g, %g] must contain the sample mean %g", lo, hi, mean)
+	}
+	// Wider confidence, wider interval.
+	lo99, hi99, err := BootstrapCI(xs, 2000, 0.99, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi99-lo99 < hi-lo {
+		t.Errorf("99%% interval [%g, %g] narrower than 95%% [%g, %g]", lo99, hi99, lo, hi)
+	}
+}
+
+func TestQQPointsStraightLineForMatchingDist(t *testing.T) {
+	rng := dist.NewRNG(3)
+	d := dist.Exponential{Lambda: 2}
+	xs := dist.SampleN(d, rng, 50000)
+	th, em, err := QQPoints(xs, d, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th) != 20 || len(em) != 20 {
+		t.Fatalf("lengths %d/%d", len(th), len(em))
+	}
+	// Slope of empirical vs theoretical should be ≈ 1.
+	fit, err := FitLine(th, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-1) > 0.1 || fit.R2 < 0.99 {
+		t.Errorf("QQ fit slope %g R2 %g, want ≈ 1 / > 0.99", fit.Slope, fit.R2)
+	}
+}
+
+func TestQQPointsDetectHeavierTail(t *testing.T) {
+	rng := dist.NewRNG(4)
+	heavy := dist.SampleN(dist.Pareto{Alpha: 1.2, Beta: 1}, rng, 50000)
+	// Compare against an exponential reference with the same median.
+	ref := dist.Exponential{Lambda: math.Ln2 / Percentile(heavy, 0.5)}
+	th, em, err := QQPoints(heavy, ref, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the upper tail the empirical quantiles must exceed the reference.
+	last := len(th) - 1
+	if em[last] <= th[last]*1.5 {
+		t.Errorf("upper-tail QQ point %g vs reference %g should diverge upward", em[last], th[last])
+	}
+}
+
+func TestQQPointsValidation(t *testing.T) {
+	if _, _, err := QQPoints(nil, dist.Exponential{Lambda: 1}, 10); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if _, _, err := QQPoints([]float64{1, 2}, dist.Exponential{Lambda: 1}, 1); err == nil {
+		t.Error("k < 2 should fail")
+	}
+}
+
+func TestWelchLike(t *testing.T) {
+	a := []float64{10, 11, 9, 10, 10}
+	b := []float64{5, 6, 4, 5, 5}
+	diff, se := WelchLike(a, b)
+	if math.Abs(diff-5) > 1e-12 {
+		t.Errorf("diff = %g", diff)
+	}
+	if se <= 0 {
+		t.Errorf("se = %g", se)
+	}
+	if diff < 2*se {
+		t.Error("clearly separated samples should screen as significant")
+	}
+}

@@ -1,0 +1,410 @@
+// Package stats provides the descriptive statistics and heavy-tail detection
+// tools used by the variability study (§4.3, Figs. 4–7): empirical cdfs,
+// histograms (pdf estimates), log-log survival-function regression, and the
+// Hill tail-index estimator.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1) sample variance
+	Std      float64
+	Min      float64
+	Max      float64
+	Sum      float64
+}
+
+// Summarize computes a Summary. An empty sample yields a zero Summary with
+// NaN mean.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(xs) == 0 {
+		s.Mean = math.NaN()
+		s.Min, s.Max = math.NaN(), math.NaN()
+		return s
+	}
+	for _, x := range xs {
+		s.Sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = s.Sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+		s.Std = math.Sqrt(s.Variance)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// Min returns the smallest element (the paper's estimator operator, Eq. 13).
+// It panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the sample median. It panics on empty input.
+func Median(xs []float64) float64 { return Percentile(xs, 0.5) }
+
+// Percentile returns the p-quantile (0 <= p <= 1) using linear interpolation
+// between order statistics. It copies and sorts the input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Truncate returns the elements of xs that are <= max, the operation used to
+// isolate the small spikes in Figs. 6–7.
+func Truncate(xs []float64, max float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x <= max {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts xs. It returns an error on empty input.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("stats: ECDF needs at least one sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// Eval returns the fraction of samples <= x.
+func (e *ECDF) Eval(x float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, x)
+	// Advance over ties so Eval is right-continuous: count values == x too.
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Survival returns 1 - Eval(x) = P[X > x].
+func (e *ECDF) Survival(x float64) float64 { return 1 - e.Eval(x) }
+
+// N returns the sample count.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Quantile returns the empirical p-quantile.
+func (e *ECDF) Quantile(p float64) float64 { return percentileSorted(e.sorted, p) }
+
+// SurvivalPoints returns (x, P[X > x]) pairs at each distinct sample, with
+// the zero-survival tail point dropped so the series is usable on a log-log
+// plot (Figs. 5 and 7).
+func (e *ECDF) SurvivalPoints() (xs, qs []float64) {
+	n := len(e.sorted)
+	for i := 0; i < n; {
+		j := i
+		for j < n && e.sorted[j] == e.sorted[i] {
+			j++
+		}
+		q := float64(n-j) / float64(n)
+		if q > 0 {
+			xs = append(xs, e.sorted[i])
+			qs = append(qs, q)
+		}
+		i = j
+	}
+	return xs, qs
+}
+
+// Histogram is a fixed-width-bin estimate of a pdf (Figs. 4 and 6).
+type Histogram struct {
+	Lo, Hi    float64
+	BinWidth  float64
+	Counts    []int
+	Total     int
+	Underflow int
+	Overflow  int
+}
+
+// NewHistogram bins xs into bins equal-width bins over [lo, hi]. Samples
+// outside the range are tallied as under/overflow.
+func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs positive bin count, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram needs lo < hi, got [%g, %g]", lo, hi)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, BinWidth: (hi - lo) / float64(bins), Counts: make([]int, bins)}
+	for _, x := range xs {
+		switch {
+		case x < lo:
+			h.Underflow++
+		case x >= hi:
+			if x == hi {
+				h.Counts[bins-1]++
+				h.Total++
+			} else {
+				h.Overflow++
+			}
+		default:
+			i := int((x - lo) / h.BinWidth)
+			if i >= bins {
+				i = bins - 1
+			}
+			h.Counts[i]++
+			h.Total++
+		}
+	}
+	return h, nil
+}
+
+// AutoHistogram bins xs over [min, max] of the data.
+func AutoHistogram(xs []float64, bins int) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("stats: histogram of empty sample")
+	}
+	s := Summarize(xs)
+	hi := s.Max
+	if hi == s.Min {
+		hi = s.Min + 1
+	}
+	return NewHistogram(xs, s.Min, hi, bins)
+}
+
+// Density returns the pdf estimate for bin i: count/(total*width).
+func (h *Histogram) Density(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / (float64(h.Total) * h.BinWidth)
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth
+}
+
+// Fraction returns the fraction of in-range samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// LinearFit is an ordinary-least-squares line fit.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+	N         int
+}
+
+// FitLine fits y = a + b*x by least squares.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("stats: FitLine needs >= 2 paired points, got %d/%d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}, errors.New("stats: FitLine degenerate x values")
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	// R².
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := a + b*xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: b, Intercept: a, R2: r2, N: len(xs)}, nil
+}
+
+// TailFit is the result of a heavy-tail analysis.
+type TailFit struct {
+	Alpha float64 // estimated tail index
+	R2    float64 // linearity of the log-log survival tail
+	K     int     // points used in the fit
+}
+
+// HeavyTailed applies the paper's Eq. 8 criterion to the estimate: a tail
+// index below 2 with a reasonably linear log-log survival tail.
+func (t TailFit) HeavyTailed() bool { return t.Alpha > 0 && t.Alpha < 2 && t.R2 > 0.8 }
+
+// LogLogTailFit estimates the tail index by regressing log P[X > x] against
+// log x over the upper tailFrac of the sample, the "systematic way" of §4.3:
+// for a Pareto tail, log Q(x) = alpha*log(beta) - alpha*log(x), so the slope
+// is -alpha and the plot is linear (Fig. 5).
+func LogLogTailFit(xs []float64, tailFrac float64) (TailFit, error) {
+	if tailFrac <= 0 || tailFrac > 1 {
+		return TailFit{}, fmt.Errorf("stats: tailFrac must be in (0, 1], got %g", tailFrac)
+	}
+	e, err := NewECDF(xs)
+	if err != nil {
+		return TailFit{}, err
+	}
+	px, pq := e.SurvivalPoints()
+	if len(px) < 3 {
+		return TailFit{}, errors.New("stats: too few distinct samples for a tail fit")
+	}
+	start := int(float64(len(px)) * (1 - tailFrac))
+	if start > len(px)-3 {
+		start = len(px) - 3
+	}
+	var lx, lq []float64
+	for i := start; i < len(px); i++ {
+		if px[i] <= 0 {
+			continue
+		}
+		lx = append(lx, math.Log(px[i]))
+		lq = append(lq, math.Log(pq[i]))
+	}
+	fit, err := FitLine(lx, lq)
+	if err != nil {
+		return TailFit{}, err
+	}
+	return TailFit{Alpha: -fit.Slope, R2: fit.R2, K: fit.N}, nil
+}
+
+// HillEstimator returns the Hill estimate of the tail index using the k
+// largest order statistics: alpha = k / sum_{i=1..k} log(x_(n-i+1) / x_(n-k)).
+func HillEstimator(xs []float64, k int) (float64, error) {
+	n := len(xs)
+	if k < 1 || k >= n {
+		return 0, fmt.Errorf("stats: Hill estimator needs 1 <= k < n, got k=%d n=%d", k, n)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	xk := sorted[n-1-k]
+	if xk <= 0 {
+		return 0, errors.New("stats: Hill estimator needs positive order statistics")
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += math.Log(sorted[n-1-i] / xk)
+	}
+	if sum <= 0 {
+		return 0, errors.New("stats: Hill estimator degenerate (all tail values equal)")
+	}
+	return float64(k) / sum, nil
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation, used to inspect
+// the cross-step correlation structure of the spike traces (Fig. 3).
+func Autocorrelation(xs []float64, lag int) (float64, error) {
+	n := len(xs)
+	if lag < 0 || lag >= n {
+		return 0, fmt.Errorf("stats: lag %d out of range for n=%d", lag, n)
+	}
+	s := Summarize(xs)
+	if s.Variance == 0 {
+		return 0, errors.New("stats: zero-variance series")
+	}
+	var num float64
+	for i := 0; i+lag < n; i++ {
+		num += (xs[i] - s.Mean) * (xs[i+lag] - s.Mean)
+	}
+	den := s.Variance * float64(n-1)
+	return num / den, nil
+}
+
+// RunningMean returns the cumulative mean sequence m_k = mean(xs[:k+1]); for
+// heavy-tailed data it visibly fails to settle, which is the §5.1 argument
+// against the average operator.
+func RunningMean(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		sum += x
+		out[i] = sum / float64(i+1)
+	}
+	return out
+}
+
+// RunningMin returns the cumulative minimum sequence, the §5.1 estimator.
+func RunningMin(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	m := math.Inf(1)
+	for i, x := range xs {
+		if x < m {
+			m = x
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// CumSum returns the prefix sums of xs; Total_Time(k) is the cumulative sum
+// of the per-step worst-case times (Eq. 2 / Fig. 1-b).
+func CumSum(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		sum += x
+		out[i] = sum
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package paratune
+
+import (
+	"math"
+	"testing"
+
+	"paratune/internal/dist"
+	"paratune/internal/noise"
+)
+
+func quadratic(x []float64) float64 {
+	return (x[0]-30)*(x[0]-30) + (x[1]-70)*(x[1]-70)
+}
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := NewSpace(Int("a", 0, 100), Int("b", 0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMinimizeValidation(t *testing.T) {
+	s := testSpace(t)
+	if _, _, _, err := Minimize(nil, quadratic, Options{}); err == nil {
+		t.Error("nil space should fail")
+	}
+	if _, _, _, err := Minimize(s, nil, Options{}); err == nil {
+		t.Error("nil function should fail")
+	}
+	if _, _, _, err := Minimize(s, quadratic, Options{Algorithm: "nope"}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestMinimizeFindsMinimum(t *testing.T) {
+	s := testSpace(t)
+	best, val, conv, err := Minimize(s, quadratic, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conv {
+		t.Fatal("PRO should certify convergence on a bowl")
+	}
+	if best[0] != 30 || best[1] != 70 || val != 0 {
+		t.Errorf("best = %v, val = %g", best, val)
+	}
+}
+
+func TestMinimizeAllAlgorithms(t *testing.T) {
+	s := testSpace(t)
+	for _, alg := range []string{"pro", "sro", "nelder-mead", "random", "annealing", "genetic", "compass"} {
+		t.Run(alg, func(t *testing.T) {
+			best, val, _, err := Minimize(s, quadratic, Options{Algorithm: alg, MaxIterations: 400, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(best) != 2 {
+				t.Fatalf("best = %v", best)
+			}
+			// Every algorithm must at least improve on the worst corner.
+			if val > quadratic([]float64{0, 0}) {
+				t.Errorf("%s: val %g worse than the corner", alg, val)
+			}
+		})
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	s := testSpace(t)
+	if _, err := Tune(nil, quadratic, Options{}); err == nil {
+		t.Error("nil space should fail")
+	}
+	if _, err := Tune(s, nil, Options{}); err == nil {
+		t.Error("nil function should fail")
+	}
+	if _, err := Tune(s, quadratic, Options{Estimator: "nope"}); err == nil {
+		t.Error("unknown estimator should fail")
+	}
+	if _, err := Tune(s, quadratic, Options{Rho: 2}); err == nil {
+		t.Error("invalid rho should fail")
+	}
+}
+
+func TestTuneNoiseless(t *testing.T) {
+	s := testSpace(t)
+	res, err := Tune(s, quadratic, Options{Budget: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 150 {
+		t.Errorf("steps = %d", res.Steps)
+	}
+	if res.TrueValue > 5 {
+		t.Errorf("tuned value = %g, want near 0", res.TrueValue)
+	}
+	if res.NTT != res.TotalTime {
+		t.Error("NTT should equal TotalTime at rho=0")
+	}
+}
+
+func TestTuneWithNoise(t *testing.T) {
+	s := testSpace(t)
+	res, err := Tune(s, func(x []float64) float64 { return 1 + quadratic(x)/1000 },
+		Options{Rho: 0.25, Samples: 3, Budget: 100, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.NTT-0.75*res.TotalTime) > 1e-9 {
+		t.Errorf("NTT = %g, want 0.75 * %g", res.NTT, res.TotalTime)
+	}
+	if res.TrueValue <= 0 {
+		t.Errorf("TrueValue = %g", res.TrueValue)
+	}
+}
+
+func TestTuneGS2(t *testing.T) {
+	res, err := TuneGS2(Options{Rho: 0.2, Samples: 2, Budget: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 100 {
+		t.Errorf("steps = %d", res.Steps)
+	}
+	if !GS2Space().Admissible(res.Best) {
+		t.Errorf("best %v not admissible", res.Best)
+	}
+}
+
+func TestTuneAllEstimators(t *testing.T) {
+	s := testSpace(t)
+	for _, est := range []string{"single", "min", "mean", "median", "adaptive", "controlled"} {
+		t.Run(est, func(t *testing.T) {
+			res, err := Tune(s, func(x []float64) float64 { return 1 + quadratic(x)/1000 },
+				Options{Estimator: est, Samples: 2, Rho: 0.2, Budget: 60, Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Steps != 60 {
+				t.Errorf("steps = %d", res.Steps)
+			}
+		})
+	}
+}
+
+func TestTuneParallelSamplingIsCheaper(t *testing.T) {
+	// With parallel sampling, more of the budget goes to search, so the
+	// optimiser completes more iterations within the same steps.
+	s := testSpace(t)
+	f := func(x []float64) float64 { return 1 + quadratic(x)/1000 }
+	serial, err := Tune(s, f, Options{Rho: 0.2, Samples: 5, Budget: 80, Seed: 4, Processors: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Tune(s, f, Options{Rho: 0.2, Samples: 5, Budget: 80, Seed: 4, Processors: 32, ParallelSampling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Iterations < serial.Iterations {
+		t.Errorf("parallel sampling did fewer iterations (%d) than serial (%d)",
+			parallel.Iterations, serial.Iterations)
+	}
+}
+
+func TestServerFacade(t *testing.T) {
+	l, srv, err := ListenAndServe("127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	defer srv.Close()
+
+	cl, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("demo", []Param{Int("x", 0, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := noise.NewIIDPareto(1.7, 0.1)
+	rng := dist.NewRNG(2)
+	for i := 0; i < 50000; i++ {
+		fr, err := cl.Fetch("demo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Converged {
+			break
+		}
+		cost := 1 + (fr.Point[0]-7)*(fr.Point[0]-7)
+		if fr.Tag != 0 {
+			if err := cl.Report("demo", fr.Tag, m.Perturb(cost, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	best, _, conv, err := cl.Best("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conv {
+		t.Fatal("server session did not converge")
+	}
+	if best[0] != 7 {
+		t.Logf("note: converged to %v (local minimum certified under noise)", best)
+	}
+}
+
+func TestBuildEstimatorAdaptive(t *testing.T) {
+	e, err := buildEstimator("adaptive", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.K() < 1 {
+		t.Error("adaptive K")
+	}
+}
+
+func TestMinimizeWarmStart(t *testing.T) {
+	s := testSpace(t)
+	// Warm start right at the optimum: PRO should certify almost instantly.
+	best, val, conv, err := Minimize(s, quadratic, Options{Center: []float64{30, 70}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conv || best[0] != 30 || best[1] != 70 || val != 0 {
+		t.Errorf("warm-started best = %v (%g), conv=%v", best, val, conv)
+	}
+	// Inadmissible warm start is rejected.
+	if _, _, _, err := Minimize(s, quadratic, Options{Center: []float64{1e9, 0}}); err == nil {
+		t.Error("inadmissible centre should fail")
+	}
+}
+
+func TestTuneAsync(t *testing.T) {
+	s := testSpace(t)
+	f := func(x []float64) float64 { return 1 + quadratic(x)/1000 }
+	if _, err := TuneAsync(nil, f, 100, Options{}); err == nil {
+		t.Error("nil space should fail")
+	}
+	if _, err := TuneAsync(s, nil, 100, Options{}); err == nil {
+		t.Error("nil function should fail")
+	}
+	res, err := TuneAsync(s, f, 1e6, Options{Rho: 0.2, Samples: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("generous budget should converge")
+	}
+	if res.TrueValue > f([]float64{0, 0}) {
+		t.Errorf("tuned value %g worse than the corner", res.TrueValue)
+	}
+	if res.TuningTime <= 0 {
+		t.Error("tuning time should advance")
+	}
+}
