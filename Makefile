@@ -11,7 +11,9 @@ build:
 	$(GO) vet ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./...
 
 race:
 	$(GO) test -race ./...
@@ -42,6 +44,7 @@ examples:
 	$(GO) run ./examples/adaptivek
 	$(GO) run ./examples/checkpoint
 	$(GO) run ./examples/realtuning
+	$(GO) run ./examples/faulttolerance
 
 clean:
 	rm -f test_output.txt bench_output.txt

@@ -10,6 +10,12 @@
 //
 //	harmonyclient [-addr localhost:7779] [-session gs2] [-rho 0.2]
 //	              [-seed 1] [-max-iters 100000]
+//	              [-dial-retries 5] [-dial-backoff 100ms]
+//
+// The client survives server restarts: a broken connection is redialled with
+// exponential backoff (-dial-retries attempts starting at -dial-backoff, with
+// jitter), and reports carry idempotency ids so retries are never counted
+// twice by the server.
 package main
 
 import (
@@ -27,15 +33,20 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:7779", "harmonyd address")
-		session  = flag.String("session", "gs2", "session name")
-		rho      = flag.Float64("rho", 0.2, "simulated idle throughput")
-		seed     = flag.Int64("seed", 1, "random seed")
-		maxIters = flag.Int("max-iters", 100000, "iteration cap")
+		addr        = flag.String("addr", "localhost:7779", "harmonyd address")
+		session     = flag.String("session", "gs2", "session name")
+		rho         = flag.Float64("rho", 0.2, "simulated idle throughput")
+		seed        = flag.Int64("seed", 1, "random seed")
+		maxIters    = flag.Int("max-iters", 100000, "iteration cap")
+		dialRetries = flag.Int("dial-retries", 5, "connection attempts before giving up")
+		dialBackoff = flag.Duration("dial-backoff", 100*time.Millisecond, "initial redial backoff (doubles per attempt, with jitter)")
 	)
 	flag.Parse()
 
-	cl, err := harmony.Dial(*addr)
+	cl, err := harmony.DialWith(*addr, harmony.DialOptions{
+		Retries: *dialRetries,
+		Backoff: *dialBackoff,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	harmonyd [-addr :7779] [-samples 3] [-estimator min]
+//	         [-checkpoint tuning.ckpt] [-checkpoint-interval 30s]
+//	         [-measure-timeout 30s] [-idle-timeout 0]
+//
+// With -checkpoint set, harmonyd restores every session found in the file at
+// startup (a missing file is fine), rewrites it every -checkpoint-interval,
+// and writes it a final time on SIGINT — so a killed and restarted harmonyd
+// resumes tuning mid-simplex instead of starting over.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"paratune/internal/harmony"
 	"paratune/internal/sample"
@@ -21,9 +29,13 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7779", "listen address")
-		samples   = flag.Int("samples", 3, "measurements per candidate (K)")
-		estimator = flag.String("estimator", "min", "min, mean, median, single")
+		addr       = flag.String("addr", ":7779", "listen address")
+		samples    = flag.Int("samples", 3, "measurements per candidate (K)")
+		estimator  = flag.String("estimator", "min", "min, mean, median, single")
+		ckptPath   = flag.String("checkpoint", "", "checkpoint file: restore on start, rewrite periodically and on SIGINT")
+		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "how often to rewrite the checkpoint file")
+		measureTO  = flag.Duration("measure-timeout", 0, "per-batch measurement progress deadline (0 = default 30s, <0 = disabled)")
+		idleExpiry = flag.Duration("idle-timeout", 0, "drop sessions idle this long (0 = never)")
 	)
 	flag.Parse()
 
@@ -31,17 +43,50 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := harmony.NewServer(harmony.ServerOptions{Estimator: est})
+	srv := harmony.NewServer(harmony.ServerOptions{
+		Estimator:          est,
+		MeasurementTimeout: *measureTO,
+		IdleTimeout:        *idleExpiry,
+	})
+
+	if *ckptPath != "" {
+		if data, err := os.ReadFile(*ckptPath); err == nil {
+			if err := srv.RestoreAll(data); err != nil {
+				fatal(fmt.Errorf("restore %s: %w", *ckptPath, err))
+			}
+			fmt.Printf("harmonyd: restored %d session(s) from %s\n", len(srv.Sessions()), *ckptPath)
+		} else if !os.IsNotExist(err) {
+			fatal(err)
+		}
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("harmonyd listening on %s (estimator %v)\n", l.Addr(), est)
 
+	if *ckptPath != "" && *ckptEvery > 0 {
+		go func() {
+			for range time.Tick(*ckptEvery) {
+				if err := writeCheckpoint(srv, *ckptPath); err != nil {
+					fmt.Fprintln(os.Stderr, "harmonyd: checkpoint:", err)
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	go func() {
 		<-sig
+		if *ckptPath != "" {
+			if err := writeCheckpoint(srv, *ckptPath); err != nil {
+				fmt.Fprintln(os.Stderr, "harmonyd: final checkpoint:", err)
+			} else {
+				fmt.Printf("harmonyd: checkpoint written to %s\n", *ckptPath)
+			}
+		}
 		fmt.Println("harmonyd: shutting down")
 		l.Close()
 		srv.Close()
@@ -50,6 +95,20 @@ func main() {
 	if err := harmony.Serve(l, srv); err != nil {
 		fatal(err)
 	}
+}
+
+// writeCheckpoint snapshots every session and replaces path atomically, so a
+// crash mid-write never leaves a truncated checkpoint behind.
+func writeCheckpoint(srv *harmony.Server, path string) error {
+	data, err := srv.CheckpointAll()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func buildEstimator(name string, k int) (sample.Estimator, error) {

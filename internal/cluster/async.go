@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"paratune/internal/dist"
+	"paratune/internal/fault"
 	"paratune/internal/noise"
 	"paratune/internal/objective"
 	"paratune/internal/space"
@@ -28,6 +29,8 @@ type AsyncSim struct {
 	clocks []float64 // per-processor virtual time
 	queue  completionHeap
 	nextID uint64
+	faults *fault.Injector
+	dead   []bool // processors removed by injected crashes
 }
 
 // Completion is one finished measurement.
@@ -66,7 +69,7 @@ func NewAsync(p int, model noise.Model, seed int64) (*AsyncSim, error) {
 	if model == nil {
 		model = noise.None{}
 	}
-	s := &AsyncSim{model: model, rngs: make([]*rand.Rand, p), clocks: make([]float64, p)}
+	s := &AsyncSim{model: model, rngs: make([]*rand.Rand, p), clocks: make([]float64, p), dead: make([]bool, p)}
 	root := dist.NewRNG(seed)
 	for i := range s.rngs {
 		s.rngs[i] = dist.NewRNG(root.Int63())
@@ -76,6 +79,27 @@ func NewAsync(p int, model noise.Model, seed int64) (*AsyncSim, error) {
 
 // P returns the processor count.
 func (s *AsyncSim) P() int { return len(s.clocks) }
+
+// SetFaults attaches a fault injector; nil detaches it. Faults are drawn per
+// scheduled sample inside Submit.
+func (s *AsyncSim) SetFaults(in *fault.Injector) { s.faults = in }
+
+// Faults returns the attached injector (nil when fault-free).
+func (s *AsyncSim) Faults() *fault.Injector { return s.faults }
+
+// Live returns the number of processors that have not crashed.
+func (s *AsyncSim) Live() int {
+	n := 0
+	for _, d := range s.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Dead reports whether processor p has crashed.
+func (s *AsyncSim) Dead(p int) bool { return s.dead[p] }
 
 // Makespan returns the largest per-processor virtual clock: the wall-clock
 // time the tuning activity has consumed so far.
@@ -92,21 +116,30 @@ func (s *AsyncSim) Makespan() float64 {
 // Clock returns processor p's virtual time.
 func (s *AsyncSim) Clock(p int) float64 { return s.clocks[p] }
 
-// idleProc returns the processor with the smallest clock.
+// idleProc returns the live processor with the smallest clock, or -1 when
+// every processor has crashed.
 func (s *AsyncSim) idleProc() int {
-	best := 0
+	best := -1
 	for i, c := range s.clocks {
-		if c < s.clocks[best] {
+		if s.dead[i] {
+			continue
+		}
+		if best < 0 || c < s.clocks[best] {
 			best = i
 		}
-		_ = c
 	}
 	return best
 }
 
-// Submit schedules samples measurements of x on the least-loaded processor
-// and returns the request ID. Each sample is one application iteration; the
-// processor runs them back to back.
+// Submit schedules samples measurements of x on the least-loaded live
+// processor and returns the request ID. Each sample is one application
+// iteration; the processor runs them back to back.
+//
+// With a fault injector attached, a sample may crash its processor (the
+// remaining samples migrate to the next least-loaded live processor — the
+// crashed processor's clock freezes, so makespan accounting stays correct),
+// stretch by a straggler factor, lose its completion (the clock advances but
+// no Completion is queued), or complete with a corrupted value.
 func (s *AsyncSim) Submit(f objective.Function, x space.Point, samples int) (uint64, error) {
 	if samples < 1 {
 		return 0, fmt.Errorf("cluster: need at least one sample, got %d", samples)
@@ -117,13 +150,34 @@ func (s *AsyncSim) Submit(f objective.Function, x space.Point, samples int) (uin
 	id := s.nextID
 	s.nextID++
 	proc := s.idleProc()
+	if proc < 0 {
+		return 0, ErrAllProcessorsCrashed
+	}
 	base := f.Eval(x)
-	for k := 0; k < samples; k++ {
+	for k := 0; k < samples; {
+		out := s.faults.Next(proc, id)
+		if out.Kind == fault.Crash {
+			s.dead[proc] = true
+			if proc = s.idleProc(); proc < 0 {
+				return id, ErrAllProcessorsCrashed
+			}
+			continue // retry this sample on the surviving processor
+		}
 		y := s.model.Perturb(base, s.rngs[proc])
+		if out.Kind == fault.Straggler {
+			y *= out.Factor
+		}
 		s.clocks[proc] += y
-		heap.Push(&s.queue, Completion{
-			ID: id, Proc: proc, Point: x.Clone(), Value: y, Finish: s.clocks[proc],
-		})
+		val := y
+		if out.Kind == fault.Corrupt {
+			val = out.Value
+		}
+		if out.Kind != fault.Drop {
+			heap.Push(&s.queue, Completion{
+				ID: id, Proc: proc, Point: x.Clone(), Value: val, Finish: s.clocks[proc],
+			})
+		}
+		k++
 	}
 	return id, nil
 }
@@ -152,45 +206,92 @@ type AsyncEvaluator struct {
 		K() int
 		Estimate([]float64) float64
 	}
+
+	// worstKnown mirrors Evaluator's degradation stand-in: the largest
+	// estimate produced so far, used to score candidates whose every
+	// observation was lost to injected faults.
+	worstKnown float64
+	haveWorst  bool
 }
 
-// Eval implements core.Evaluator.
+// Eval implements core.Evaluator. Corrupt completions (non-finite or
+// negative values) are discarded; samples lost to drops or crashes are
+// reissued up to two rounds, after which a candidate with zero surviving
+// observations is scored at the worst estimate seen so far (rank ordering
+// proceeds instead of blocking).
 func (e *AsyncEvaluator) Eval(points []space.Point) ([]float64, error) {
 	if len(points) == 0 {
 		return nil, errors.New("cluster: Eval of empty batch")
 	}
 	k := e.Est.K()
 	ids := make(map[uint64]int, len(points))
-	for i, p := range points {
-		id, err := e.Sim.Submit(e.F, p, k)
+	submit := func(i, n int) error {
+		id, err := e.Sim.Submit(e.F, points[i], n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ids[id] = i
+		return nil
+	}
+	for i := range points {
+		if err := submit(i, k); err != nil {
+			return nil, err
+		}
 	}
 	obs := make([][]float64, len(points))
-	for {
-		done := true
+	done := func() bool {
 		for i := range obs {
 			if len(obs[i]) < k {
-				done = false
-				break
+				return false
 			}
 		}
-		if done {
-			break
-		}
+		return true
+	}
+	reissues := 0
+	for !done() {
 		c, ok := e.Sim.Next()
 		if !ok {
-			return nil, errors.New("cluster: async completions exhausted before batch finished")
+			// Completions exhausted with the batch incomplete: reports were
+			// lost. Reissue the missing samples a bounded number of times.
+			if e.Sim.Faults() == nil {
+				return nil, errors.New("cluster: async completions exhausted before batch finished")
+			}
+			if reissues >= 2 {
+				break
+			}
+			reissues++
+			for i := range obs {
+				if miss := k - len(obs[i]); miss > 0 {
+					if err := submit(i, miss); err != nil {
+						return nil, err
+					}
+				}
+			}
+			continue
 		}
-		if i, mine := ids[c.ID]; mine {
+		if i, mine := ids[c.ID]; mine && fault.ValidValue(c.Value) && len(obs[i]) < k {
 			obs[i] = append(obs[i], c.Value)
 		}
 	}
 	out := make([]float64, len(points))
+	var missing []int
 	for i := range points {
+		if len(obs[i]) == 0 {
+			missing = append(missing, i)
+			continue
+		}
 		out[i] = e.Est.Estimate(obs[i])
+		if !e.haveWorst || out[i] > e.worstKnown {
+			e.worstKnown, e.haveWorst = out[i], true
+		}
+	}
+	if len(missing) > 0 {
+		if !e.haveWorst {
+			return nil, errors.New("cluster: every measurement in the batch was lost")
+		}
+		for _, i := range missing {
+			out[i] = e.worstKnown
+		}
 	}
 	return out, nil
 }

@@ -13,14 +13,20 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"paratune/internal/dist"
+	"paratune/internal/fault"
 	"paratune/internal/noise"
 	"paratune/internal/objective"
 	"paratune/internal/sample"
 	"paratune/internal/space"
 )
+
+// ErrAllProcessorsCrashed is returned when fault injection has permanently
+// removed every processor, so no further work can run.
+var ErrAllProcessorsCrashed = errors.New("cluster: all processors have crashed")
 
 // Sim is a barrier-synchronised SPMD cluster simulator.
 type Sim struct {
@@ -31,6 +37,8 @@ type Sim struct {
 	stepRng   *rand.Rand      // stream for machine-wide per-step draws
 	stepTimes []float64       // T_k for every elapsed step
 	totalTime float64
+	faults    *fault.Injector
+	dead      []bool // processors removed by injected crashes
 }
 
 // New creates a simulator with p processors, the given variability model,
@@ -44,7 +52,7 @@ func New(p int, model noise.Model, seed int64) (*Sim, error) {
 	if model == nil {
 		model = noise.None{}
 	}
-	s := &Sim{p: p, model: model, rngs: make([]*rand.Rand, p)}
+	s := &Sim{p: p, model: model, rngs: make([]*rand.Rand, p), dead: make([]bool, p)}
 	root := dist.NewRNG(seed)
 	for i := range s.rngs {
 		s.rngs[i] = dist.NewRNG(root.Int63())
@@ -65,6 +73,53 @@ func (s *Sim) beginStep() {
 
 // P returns the processor count.
 func (s *Sim) P() int { return s.p }
+
+// SetFaults attaches a fault injector; nil detaches it. Faults are drawn per
+// measurement attempt inside RunStep.
+func (s *Sim) SetFaults(in *fault.Injector) { s.faults = in }
+
+// Faults returns the attached injector (nil when fault-free).
+func (s *Sim) Faults() *fault.Injector { return s.faults }
+
+// Live returns the number of processors that have not crashed.
+func (s *Sim) Live() int {
+	n := 0
+	for _, d := range s.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Dead reports whether processor p has crashed.
+func (s *Sim) Dead(p int) bool { return s.dead[p] }
+
+// liveProcs returns the indices of processors still alive.
+func (s *Sim) liveProcs() []int {
+	out := make([]int, 0, s.p)
+	for i, d := range s.dead {
+		if !d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// leastLoaded returns the live processor with the smallest accumulated time
+// this step, or -1 when every processor has crashed.
+func (s *Sim) leastLoaded(procTime []float64) int {
+	best := -1
+	for i := range procTime {
+		if s.dead[i] {
+			continue
+		}
+		if best < 0 || procTime[i] < procTime[best] {
+			best = i
+		}
+	}
+	return best
+}
 
 // Model returns the variability model.
 func (s *Sim) Model() noise.Model { return s.model }
@@ -105,26 +160,76 @@ func (s *Sim) Reset() {
 }
 
 // RunStep executes one SPMD time step. assign maps processors to candidate
-// configurations: processor i runs f at assign[i]. len(assign) must be in
-// [1, P]; processors beyond len(assign) idle (they are running the same
-// binary but their times are not gated on, see footnote 1 of the paper).
-// It returns the observed time per assigned processor and records
-// T_k = max over them.
+// configurations: candidate i runs on the i-th live processor. len(assign)
+// must be in [1, Live()]; processors beyond len(assign) idle (they are
+// running the same binary but their times are not gated on, see footnote 1 of
+// the paper). It returns the observed time per assigned candidate and records
+// T_k = max accumulated time over live processors.
+//
+// With a fault injector attached, each execution may crash its processor
+// (the candidate is redistributed to the least-loaded surviving processor,
+// whose step time then includes the re-run), stretch by a straggler factor,
+// lose its report (the returned observation is NaN — time was spent but no
+// value arrived), or deliver a corrupted value. Dead processors stop gating
+// the barrier; the redistributed work still counts toward T_k.
 func (s *Sim) RunStep(f objective.Function, assign []space.Point) ([]float64, error) {
 	if len(assign) == 0 {
 		return nil, errors.New("cluster: empty assignment")
 	}
-	if len(assign) > s.p {
-		return nil, fmt.Errorf("cluster: %d candidates exceed %d processors", len(assign), s.p)
+	live := s.liveProcs()
+	if len(live) == 0 {
+		return nil, ErrAllProcessorsCrashed
+	}
+	if len(assign) > len(live) {
+		return nil, fmt.Errorf("cluster: %d candidates exceed %d live processors", len(assign), len(live))
 	}
 	s.beginStep()
 	obs := make([]float64, len(assign))
+	procTime := make([]float64, s.p)
+	type job struct{ cand, proc int }
+	queue := make([]job, len(assign))
+	for i := range assign {
+		queue[i] = job{cand: i, proc: live[i]}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		j := queue[qi]
+		if j.proc < 0 || s.dead[j.proc] {
+			// Redistributed (or orphaned by an earlier crash this step):
+			// resolve the target at execution time so re-runs balance across
+			// the least-loaded survivors.
+			if j.proc = s.leastLoaded(procTime); j.proc < 0 {
+				return nil, ErrAllProcessorsCrashed
+			}
+		}
+		y := s.model.Perturb(f.Eval(assign[j.cand]), s.rngs[j.proc])
+		switch out := s.faults.Next(j.proc, 0); out.Kind {
+		case fault.Crash:
+			// The processor dies mid-execution: its partial work is wasted and
+			// it no longer gates the barrier; the candidate re-runs elsewhere.
+			s.dead[j.proc] = true
+			if s.leastLoaded(procTime) < 0 {
+				return nil, ErrAllProcessorsCrashed
+			}
+			queue = append(queue, job{cand: j.cand, proc: -1})
+		case fault.Straggler:
+			y *= out.Factor
+			procTime[j.proc] += y
+			obs[j.cand] = y
+		case fault.Drop:
+			procTime[j.proc] += y
+			obs[j.cand] = math.NaN()
+		case fault.Corrupt:
+			procTime[j.proc] += y
+			obs[j.cand] = out.Value
+		default:
+			procTime[j.proc] += y
+			obs[j.cand] = y
+		}
+	}
 	worst := 0.0
-	for i, x := range assign {
-		y := s.model.Perturb(f.Eval(x), s.rngs[i])
-		obs[i] = y
-		if y > worst {
-			worst = y
+	for p, t := range procTime {
+		if !s.dead[p] && t > worst {
+			worst = t
 		}
 	}
 	s.stepTimes = append(s.stepTimes, worst)
@@ -178,6 +283,13 @@ type Evaluator struct {
 	// (footnote 1: every processor waits for the slowest) but produce no
 	// measurements. The on-line driver keeps Fill at the incumbent best.
 	Fill space.Point
+
+	// worstKnown tracks the largest estimate produced so far; when every
+	// observation of a candidate is permanently lost to injected faults, the
+	// candidate is scored at this value so rank ordering proceeds instead of
+	// blocking (GSS convergence tolerates a pessimistic stand-in).
+	worstKnown float64
+	haveWorst  bool
 }
 
 // NewEvaluator wires an evaluator; est defaults to Single.
@@ -191,11 +303,14 @@ func NewEvaluator(sim *Sim, f objective.Function, est sample.Estimator) *Evaluat
 // Eval evaluates every point, taking the estimator's sample count per point
 // (adaptively extended for sample.Adaptive estimators), and returns one
 // estimate per point in order. Batches wider than P are split into waves.
+// Candidates whose every observation was lost to injected faults are scored
+// at the worst estimate seen so far rather than blocking the batch.
 func (e *Evaluator) Eval(points []space.Point) ([]float64, error) {
 	if len(points) == 0 {
 		return nil, errors.New("cluster: Eval of empty batch")
 	}
 	ests := make([]float64, len(points))
+	var missing []int
 	for start := 0; start < len(points); start += e.Sim.P() {
 		end := start + e.Sim.P()
 		if end > len(points) {
@@ -207,7 +322,23 @@ func (e *Evaluator) Eval(points []space.Point) ([]float64, error) {
 			return nil, err
 		}
 		for i := range wave {
-			ests[start+i] = e.Est.Estimate(obs[i])
+			if len(obs[i]) == 0 {
+				missing = append(missing, start+i)
+				continue
+			}
+			v := e.Est.Estimate(obs[i])
+			ests[start+i] = v
+			if !e.haveWorst || v > e.worstKnown {
+				e.worstKnown, e.haveWorst = v, true
+			}
+		}
+	}
+	if len(missing) > 0 {
+		if !e.haveWorst {
+			return nil, errors.New("cluster: every measurement in the batch was lost")
+		}
+		for _, i := range missing {
+			ests[i] = e.worstKnown
 		}
 	}
 	return ests, nil
@@ -224,6 +355,9 @@ func (e *Evaluator) EvalOne(p space.Point) (float64, error) {
 
 // evalWave gathers observations for a wave of at most P points.
 func (e *Evaluator) evalWave(wave []space.Point) ([][]float64, error) {
+	if e.Sim.Faults() != nil {
+		return e.evalWaveFaulty(wave)
+	}
 	n := len(wave)
 	obs := make([][]float64, n)
 	adaptive, isAdaptive := e.Est.(sample.Adaptive)
@@ -281,4 +415,89 @@ func (e *Evaluator) evalWave(wave []space.Point) ([][]float64, error) {
 		}
 	}
 	return obs, nil
+}
+
+// evalWaveFaulty is the fault-aware wave loop: each step assigns only the
+// candidates still needing observations to the processors still alive,
+// discards lost (NaN) and corrupt (non-finite/negative) observations, and
+// grants a bounded retry budget before giving up on a candidate. Candidates
+// left with zero observations are degraded by Eval, not here.
+func (e *Evaluator) evalWaveFaulty(wave []space.Point) ([][]float64, error) {
+	n := len(wave)
+	obs := make([][]float64, n)
+	adaptive, isAdaptive := e.Est.(sample.Adaptive)
+	needMore := func(i int) bool {
+		if isAdaptive {
+			return !adaptive.Enough(obs[i])
+		}
+		return len(obs[i]) < e.Est.K()
+	}
+	done := func() bool {
+		for i := range obs {
+			if needMore(i) {
+				return false
+			}
+		}
+		return true
+	}
+	maxSteps := e.Est.K()
+	if isAdaptive {
+		maxSteps = adaptive.MaxK()
+	}
+	// Lost reports cost extra steps: allow up to 3x the fault-free budget
+	// (plus slack for waves wider than the live processor count) before the
+	// remaining candidates degrade to worst-known substitution.
+	limit := 3 * maxSteps * (1 + (n-1)/maxInt(1, e.Sim.Live()))
+	for step := 0; step < limit && !done(); step++ {
+		live := e.Sim.Live()
+		if live == 0 {
+			return nil, ErrAllProcessorsCrashed
+		}
+		var pending []int
+		for i := range obs {
+			if needMore(i) {
+				pending = append(pending, i)
+			}
+		}
+		width := len(pending)
+		if width > live {
+			width = live
+		}
+		assign := make([]space.Point, 0, live)
+		idx := make([]int, 0, live)
+		for _, i := range pending[:width] {
+			assign = append(assign, wave[i])
+			idx = append(idx, i)
+		}
+		switch {
+		case e.ParallelSampling:
+			for k := width; k < live; k++ {
+				i := pending[k%len(pending)]
+				assign = append(assign, wave[i])
+				idx = append(idx, i)
+			}
+		case e.Fill != nil:
+			for k := width; k < live; k++ {
+				assign = append(assign, e.Fill)
+				idx = append(idx, -1)
+			}
+		}
+		ys, err := e.Sim.RunStep(e.F, assign)
+		if err != nil {
+			return nil, err
+		}
+		for k, y := range ys {
+			if idx[k] >= 0 && fault.ValidValue(y) {
+				obs[idx[k]] = append(obs[idx[k]], y)
+			}
+		}
+	}
+	return obs, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

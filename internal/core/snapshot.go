@@ -8,6 +8,15 @@ import (
 	"paratune/internal/space"
 )
 
+// Snapshotter is implemented by algorithms whose search state can be
+// serialised and restored, enabling checkpoint/restart of long tuning
+// sessions (PRO and SRO both qualify). Restore leaves the algorithm
+// initialised: Step may be called without Init.
+type Snapshotter interface {
+	Snapshot() ([]byte, error)
+	Restore(data []byte) error
+}
+
 // snapshot is the serialised optimiser state. Options are not serialised —
 // they describe the problem and are supplied again at restore time — only
 // the search state is.
@@ -22,7 +31,7 @@ type snapshot struct {
 
 func makeSnapshot(kind string, sim *space.Simplex, converged bool, iters, evals int) ([]byte, error) {
 	if sim == nil {
-		return nil, errors.New("core: cannot snapshot an uninitialised optimiser")
+		return nil, fmt.Errorf("core: cannot snapshot an uninitialised optimiser: %w", ErrNotInitialised)
 	}
 	s := snapshot{
 		Kind:      kind,

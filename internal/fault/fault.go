@@ -1,0 +1,245 @@
+// Package fault is a seeded, composable fault-injection layer for the
+// cluster simulators and the harmony measurement pipeline. The paper's §4
+// premise is that real clusters misbehave; the noise models perturb *values*,
+// while this package injects failures of the measurement pipeline itself:
+//
+//   - Crash: a processor or client disappears permanently; its pending work
+//     must be redistributed.
+//   - Straggler: a measurement is delayed by a Pareto-tailed factor (the
+//     heavy-tail stall of Fig. 3's big spikes, but hitting delivery rather
+//     than the measured value).
+//   - Drop: the measurement completes but its report never arrives.
+//   - Corrupt: the report arrives carrying garbage (NaN, ±Inf, a negative
+//     time, or a wildly out-of-range value).
+//
+// An Injector draws one Outcome per measurement attempt from its own seeded
+// stream, so fault schedules are reproducible, and records every injected
+// event in a Plan for test assertions. A nil *Injector is valid and injects
+// nothing, so call sites need no guards.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Kind identifies one class of injected fault.
+type Kind int
+
+const (
+	// None means the measurement proceeds unharmed.
+	None Kind = iota
+	// Crash removes the executing processor/client permanently.
+	Crash
+	// Straggler delays the measurement by Outcome.Factor.
+	Straggler
+	// Drop loses the report; time is spent but no value arrives.
+	Drop
+	// Corrupt replaces the reported value with Outcome.Value (garbage).
+	Corrupt
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Crash:
+		return "crash"
+	case Straggler:
+		return "straggler"
+	case Drop:
+		return "drop"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one injected fault, recorded in the Plan.
+type Event struct {
+	Kind Kind
+	// Proc is the processor (or client id) the fault hit; -1 when unknown.
+	Proc int
+	// Tag is the measurement tag, when the call site has one.
+	Tag uint64
+	// Factor is the straggler delay multiplier (Straggler only).
+	Factor float64
+	// Value is the injected garbage value (Corrupt only).
+	Value float64
+}
+
+// Plan records the faults an Injector has issued. Safe for concurrent use.
+type Plan struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record appends one event.
+func (p *Plan) Record(e Event) {
+	p.mu.Lock()
+	p.events = append(p.events, e)
+	p.mu.Unlock()
+}
+
+// Events returns a copy of every recorded event.
+func (p *Plan) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Event(nil), p.events...)
+}
+
+// Count returns how many events of kind k were injected.
+func (p *Plan) Count(k Kind) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the total number of injected events.
+func (p *Plan) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.events)
+}
+
+// Config sets per-kind injection probabilities. Probabilities are evaluated
+// in order Crash, Straggler, Drop, Corrupt on a single uniform draw, so their
+// sum must not exceed 1.
+type Config struct {
+	Seed int64
+	// PCrash is the per-attempt probability the executor dies permanently.
+	PCrash float64
+	// MaxCrashes bounds total injected crashes; 0 means unlimited.
+	MaxCrashes int
+	// PStraggler is the per-attempt probability of a Pareto-tail delay.
+	PStraggler float64
+	// StragglerAlpha is the Pareto tail index of the delay factor;
+	// default 1.5 (heavy tail, finite mean).
+	StragglerAlpha float64
+	// StragglerMin is the minimum delay multiplier; default 2.
+	StragglerMin float64
+	// PDrop is the per-attempt probability the report is lost.
+	PDrop float64
+	// PCorrupt is the per-attempt probability the report carries garbage.
+	PCorrupt float64
+}
+
+// Outcome is the fault decision for one measurement attempt.
+type Outcome struct {
+	Kind Kind
+	// Factor is the delay multiplier (>= 1) for Straggler outcomes.
+	Factor float64
+	// Value is the replacement report value for Corrupt outcomes.
+	Value float64
+}
+
+// Injector draws fault outcomes from a private seeded stream. Safe for
+// concurrent use; a nil *Injector injects nothing.
+type Injector struct {
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	plan    Plan
+	crashes int
+	corrupt int // rotates through the corrupt-value menu
+}
+
+// New validates cfg and returns an Injector.
+func New(cfg Config) (*Injector, error) {
+	for _, p := range []float64{cfg.PCrash, cfg.PStraggler, cfg.PDrop, cfg.PCorrupt} {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("fault: probability %g out of [0, 1]", p)
+		}
+	}
+	if sum := cfg.PCrash + cfg.PStraggler + cfg.PDrop + cfg.PCorrupt; sum > 1 {
+		return nil, fmt.Errorf("fault: probabilities sum to %g > 1", sum)
+	}
+	if cfg.StragglerAlpha <= 0 {
+		cfg.StragglerAlpha = 1.5
+	}
+	if cfg.StragglerMin < 1 {
+		cfg.StragglerMin = 2
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Plan returns the injector's event record.
+func (in *Injector) Plan() *Plan {
+	if in == nil {
+		return &Plan{}
+	}
+	return &in.plan
+}
+
+// corruptValue rotates through the menu of garbage reports.
+func (in *Injector) corruptValue() float64 {
+	menu := [...]float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, 1e300}
+	v := menu[in.corrupt%len(menu)]
+	in.corrupt++
+	return v
+}
+
+// Next draws the fault outcome for one measurement attempt by proc for the
+// tagged candidate (tag 0 when the call site has no tag). Injected events are
+// recorded in the Plan.
+func (in *Injector) Next(proc int, tag uint64) Outcome {
+	if in == nil {
+		return Outcome{Kind: None}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	u := in.rng.Float64()
+	c := in.cfg
+	switch {
+	case u < c.PCrash:
+		if c.MaxCrashes > 0 && in.crashes >= c.MaxCrashes {
+			// Crash budget exhausted: the attempt proceeds unharmed rather
+			// than falling through into another fault band.
+			return Outcome{Kind: None}
+		}
+		in.crashes++
+		in.plan.Record(Event{Kind: Crash, Proc: proc, Tag: tag})
+		return Outcome{Kind: Crash}
+	case u < c.PCrash+c.PStraggler:
+		// Pareto-tailed delay multiplier: min · U^(-1/α).
+		f := c.StragglerMin * math.Pow(1-in.rng.Float64(), -1/c.StragglerAlpha)
+		in.plan.Record(Event{Kind: Straggler, Proc: proc, Tag: tag, Factor: f})
+		return Outcome{Kind: Straggler, Factor: f}
+	case u < c.PCrash+c.PStraggler+c.PDrop:
+		in.plan.Record(Event{Kind: Drop, Proc: proc, Tag: tag})
+		return Outcome{Kind: Drop}
+	case u < c.PCrash+c.PStraggler+c.PDrop+c.PCorrupt:
+		v := in.corruptValue()
+		in.plan.Record(Event{Kind: Corrupt, Proc: proc, Tag: tag, Value: v})
+		return Outcome{Kind: Corrupt, Value: v}
+	default:
+		return Outcome{Kind: None}
+	}
+}
+
+// Crashes returns how many crashes have been injected so far.
+func (in *Injector) Crashes() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashes
+}
+
+// ValidValue reports whether a measured time is acceptable to feed an
+// estimator: finite and non-negative. Shared by every layer that guards the
+// pipeline against Corrupt reports.
+func ValidValue(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}

@@ -1,0 +1,626 @@
+package harmony
+
+import (
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"paratune/internal/dist"
+	"paratune/internal/fault"
+	"paratune/internal/noise"
+	"paratune/internal/objective"
+	"paratune/internal/sample"
+	"paratune/internal/space"
+)
+
+// --- satellite: value validation at the measurement boundary ---
+
+func TestReportRejectsInvalidValues(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.5} {
+		err := srv.Report("s", 1, bad)
+		if !errors.Is(err, ErrInvalidValue) {
+			t.Errorf("Report(%g) = %v, want ErrInvalidValue", bad, err)
+		}
+		// Tag-0 reports are validated too: garbage is garbage.
+		if err := srv.Report("s", 0, bad); !errors.Is(err, ErrInvalidValue) {
+			t.Errorf("tag-0 Report(%g) = %v, want ErrInvalidValue", bad, err)
+		}
+	}
+}
+
+func TestWireRejectsInvalidValueWithCode(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	resp := dispatch(srv, &request{Op: "report", Session: "s", Tag: 1, Value: -3})
+	if resp.OK || resp.Code != "invalid_value" {
+		t.Errorf("resp = %+v, want structured invalid_value error", resp)
+	}
+	// Over a real connection the client can classify it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = Serve(l, srv) }()
+	cl, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Report("s", 1, -3)
+	if err == nil || !IsInvalidValue(err) {
+		t.Errorf("wire report of -3: err = %v, want invalid_value", err)
+	}
+}
+
+// fetchWork polls Fetch until it hands out a real work item (the optimiser
+// goroutine issues the first batch asynchronously after Register).
+func fetchWork(t *testing.T, srv *Server, name string) FetchResult {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		fr, err := srv.Fetch(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Tag != 0 {
+			return fr
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no work item issued within 10s")
+	return FetchResult{}
+}
+
+// --- idempotent reports (rid deduplication) ---
+
+func TestReportDeduplicationByRID(t *testing.T) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 5, Coverage: 1})
+	est, _ := sample.NewMinOfK(3)
+	srv := NewServer(ServerOptions{Estimator: est})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	fr := fetchWork(t, srv, "s")
+	y := db.Eval(fr.Point)
+	// The same rid delivered three times counts once.
+	for i := 0; i < 3; i++ {
+		if err := srv.ReportTagged("s", fr.Tag, y, "retry-1"); err != nil {
+			t.Fatalf("retry %d: %v", i, err)
+		}
+	}
+	s, err := srv.session("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	c := s.batch[fr.Tag]
+	var obs int
+	if c != nil {
+		obs = len(c.obs)
+	}
+	s.mu.Unlock()
+	if obs != 1 {
+		t.Errorf("candidate has %d observations after 3 retries of one rid, want 1", obs)
+	}
+	// Distinct rids count separately.
+	if err := srv.ReportTagged("s", fr.Tag, y, "retry-2"); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	if c != nil {
+		obs = len(c.obs)
+	}
+	s.mu.Unlock()
+	if obs != 2 {
+		t.Errorf("candidate has %d observations, want 2", obs)
+	}
+}
+
+// --- satellite: the session-wedge regression ---
+
+// TestClientDeathMidBatchDoesNotWedge kills the only client mid-batch: the
+// deadline/reissue path must still drive the session to convergence through
+// forced batch completion, covering the direct in-process API.
+func TestClientDeathMidBatchDoesNotWedge(t *testing.T) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 21, Coverage: 1})
+	est, _ := sample.NewMinOfK(2)
+	srv := NewServer(ServerOptions{
+		Estimator:          est,
+		MeasurementTimeout: 20 * time.Millisecond,
+		MaxReissues:        1,
+	})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	// The doomed client: fetches work, reports a single measurement, then
+	// dies holding the rest of the batch.
+	died := make(chan struct{})
+	go func() {
+		defer close(died)
+		for i := 0; i < 3; i++ {
+			fr, err := srv.Fetch("s")
+			if err != nil || fr.Tag == 0 {
+				return
+			}
+			if i == 0 {
+				_ = srv.Report("s", fr.Tag, db.Eval(fr.Point))
+			}
+		}
+	}()
+	<-died
+	// No client remains. The session must still converge (degraded) instead
+	// of blocking forever on the incomplete batch.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		_, _, conv, err := srv.Best("s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if conv {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("session wedged after client death: no convergence within 30s")
+}
+
+// TestLateClientRecoversReissuedBatch loses one client mid-batch and checks a
+// replacement client (arriving after the loss) completes tuning with real
+// measurements via the reissue path.
+func TestLateClientRecoversReissuedBatch(t *testing.T) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 23, Coverage: 1})
+	est, _ := sample.NewMinOfK(1)
+	srv := NewServer(ServerOptions{
+		Estimator:          est,
+		MeasurementTimeout: 50 * time.Millisecond,
+		MaxReissues:        100, // plenty: the replacement client reports real values
+	})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	// Doomed client grabs three work items and vanishes.
+	for i := 0; i < 3; i++ {
+		if _, err := srv.Fetch("s"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runClients(t, srv, "s", db, 2, 30*time.Second)
+	_, _, conv, err := srv.Best("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conv {
+		t.Error("session did not converge after client loss")
+	}
+}
+
+// --- session idle expiry ---
+
+func TestIdleSessionExpires(t *testing.T) {
+	srv := NewServer(ServerOptions{
+		IdleTimeout:        40 * time.Millisecond,
+		MeasurementTimeout: 10 * time.Millisecond,
+	})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(srv.Sessions()) == 0 {
+			// Expired: the session is gone and its resources released.
+			if _, err := srv.Fetch("s"); err == nil {
+				t.Error("fetch of expired session should fail")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("idle session never expired")
+}
+
+// --- checkpoint / restore ---
+
+// driveDeterministic runs a single-threaded fetch/measure/report loop against
+// srv, recording the trajectory of distinct best points, until convergence or
+// the iteration cap. Returns the trajectory and the converged best.
+func driveDeterministic(t *testing.T, srv *Server, name string, db objective.Function, cap int, stopAfter int, reported *int) ([]string, space.Point, bool) {
+	t.Helper()
+	var traj []string
+	push := func(p space.Point) {
+		s := p.String()
+		if len(traj) == 0 || traj[len(traj)-1] != s {
+			traj = append(traj, s)
+		}
+	}
+	for i := 0; i < cap; i++ {
+		if stopAfter > 0 && *reported >= stopAfter {
+			return traj, nil, false
+		}
+		fr, err := srv.Fetch(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Converged {
+			best, _, _, err := srv.Best(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			push(best)
+			return traj, best, true
+		}
+		if fr.Tag != 0 {
+			if err := srv.Report(name, fr.Tag, db.Eval(fr.Point)); err == nil {
+				*reported++
+			}
+		}
+		best, _, _, err := srv.Best(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		push(best)
+	}
+	t.Fatal("iteration cap reached before convergence")
+	return nil, nil, false
+}
+
+// TestCheckpointRestoreTrajectoryIdentical checkpoints a mid-tuning session,
+// restores it into a fresh Server, and asserts the best-point trajectory is
+// identical to an uninterrupted run with the same seeds — the simplex is not
+// reset by the restart.
+func TestCheckpointRestoreTrajectoryIdentical(t *testing.T) {
+	newSrv := func() *Server {
+		est, _ := sample.NewMinOfK(1)
+		return NewServer(ServerOptions{Estimator: est})
+	}
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 41, Coverage: 1})
+
+	// Uninterrupted reference run.
+	ref := newSrv()
+	defer ref.Close()
+	if err := ref.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	n0 := 0
+	refTraj, refBest, _ := driveDeterministic(t, ref, "s", db, 1<<20, 0, &n0)
+
+	// Interrupted run: drive 40 reports, checkpoint, kill, restore, resume.
+	a := newSrv()
+	if err := a.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	n1 := 0
+	trajA, _, _ := driveDeterministic(t, a, "s", db, 1<<20, 40, &n1)
+	cp, err := a.Checkpoint("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	b := newSrv()
+	defer b.Close()
+	if err := b.RestoreSession(cp); err != nil {
+		t.Fatal(err)
+	}
+	n2 := 0
+	trajB, gotBest, conv := driveDeterministic(t, b, "s", db, 1<<20, 0, &n2)
+	if !conv {
+		t.Fatal("restored session did not converge")
+	}
+	if !gotBest.Equal(refBest) {
+		t.Fatalf("restored best %v != uninterrupted best %v", gotBest, refBest)
+	}
+	// The concatenated trajectory (dedup at the seam) must match the
+	// reference exactly: the restart replays at most the in-flight batch and
+	// never resets the simplex.
+	joined := append([]string(nil), trajA...)
+	for _, s := range trajB {
+		if len(joined) == 0 || joined[len(joined)-1] != s {
+			joined = append(joined, s)
+		}
+	}
+	if len(joined) != len(refTraj) {
+		t.Fatalf("trajectory lengths differ: interrupted %d vs reference %d\nA=%v\nB=%v\nref=%v",
+			len(joined), len(refTraj), trajA, trajB, refTraj)
+	}
+	for i := range joined {
+		if joined[i] != refTraj[i] {
+			t.Fatalf("trajectory diverged at %d: %s vs %s", i, joined[i], refTraj[i])
+		}
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	defer srv.Close()
+	if _, err := srv.Checkpoint("missing"); err == nil {
+		t.Error("checkpoint of unknown session should fail")
+	}
+	if err := srv.RestoreSession([]byte("{garbage")); err == nil {
+		t.Error("restore of bad JSON should fail")
+	}
+	if err := srv.RestoreSession([]byte(`{"name":""}`)); err == nil {
+		t.Error("restore without a name should fail")
+	}
+	if err := srv.RestoreAll([]byte("nonsense")); err == nil {
+		t.Error("restore-all of bad JSON should fail")
+	}
+}
+
+func TestCheckpointAllRoundTrip(t *testing.T) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 9, Coverage: 1})
+	est, _ := sample.NewMinOfK(1)
+	srv := NewServer(ServerOptions{Estimator: est})
+	if err := srv.Register("one", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("two", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	// Feed a few measurements so checkpoints capture a live simplex.
+	for _, name := range []string{"one", "two"} {
+		for i := 0; i < 20; i++ {
+			fr := fetchWork(t, srv, name)
+			_ = srv.Report(name, fr.Tag, db.Eval(fr.Point))
+		}
+	}
+	data, err := srv.CheckpointAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	srv2 := NewServer(ServerOptions{Estimator: est})
+	defer srv2.Close()
+	if err := srv2.RestoreAll(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(srv2.Sessions()); got != 2 {
+		t.Fatalf("restored %d sessions, want 2", got)
+	}
+	// Restoring on top of an existing session fails cleanly.
+	if err := srv2.RestoreAll(data); err == nil {
+		t.Error("restore over existing sessions should fail")
+	}
+}
+
+// --- client reconnect with backoff ---
+
+// trackingListener records accepted connections so the test can sever them,
+// simulating a server process crash.
+type trackingListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *trackingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *trackingListener) killConns() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.conns {
+		_ = c.Close()
+	}
+	l.conns = nil
+}
+
+// TestClientReconnectsToRestartedServer kills the server mid-session
+// (listener and live connections), restores a new server from a checkpoint
+// on the same address, and checks the same client object finishes tuning —
+// reconnect-on-EOF with backoff plus idempotent reports.
+func TestClientReconnectsToRestartedServer(t *testing.T) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 33, Coverage: 1})
+	est, _ := sample.NewMinOfK(1)
+	newSrv := func() *Server {
+		return NewServer(ServerOptions{Estimator: est})
+	}
+
+	srv1 := newSrv()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := &trackingListener{Listener: raw}
+	go func() { _ = Serve(l1, srv1) }()
+	addr := raw.Addr().String()
+
+	cl, err := DialWith(addr, DialOptions{Retries: 20, Backoff: 5 * time.Millisecond, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	for reports := 0; reports < 30; {
+		fr, err := cl.Fetch("s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Converged {
+			break
+		}
+		if fr.Tag == 0 {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if err := cl.Report("s", fr.Tag, db.Eval(fr.Point)); err == nil {
+			reports++
+		}
+	}
+	cp, err := srv1.Checkpoint("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash: listener gone, live connections reset, sessions dead.
+	_ = raw.Close()
+	l1.killConns()
+	srv1.Close()
+
+	// Restart on the same address from the checkpoint.
+	raw2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw2.Close()
+	srv2 := newSrv()
+	defer srv2.Close()
+	if err := srv2.RestoreSession(cp); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = Serve(raw2, srv2) }()
+
+	// The same client object must pick the session back up and finish.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		fr, err := cl.Fetch("s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Converged {
+			best, _, _, err := cl.Best("s")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !db.Space().Admissible(best) {
+				t.Fatalf("best %v not admissible", best)
+			}
+			return
+		}
+		if fr.Tag != 0 {
+			_ = cl.Report("s", fr.Tag, db.Eval(fr.Point))
+		}
+	}
+	t.Fatal("session did not converge after server restart")
+}
+
+func TestDialWithRetriesExhausted(t *testing.T) {
+	start := time.Now()
+	_, err := DialWith("127.0.0.1:1", DialOptions{Retries: 3, Backoff: time.Millisecond, Timeout: 100 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial of a closed port should fail")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("backoff took unreasonably long")
+	}
+}
+
+// --- the end-to-end fault drill (acceptance criterion) ---
+
+// TestFaultDrill runs 8 simulated clients against an in-process server with
+// 2 injected crashes, 10% report drops, and 5% corrupt reports, and checks
+// the session still converges on the GS2 surrogate with a converged
+// Total_Time within 10% of the fault-free run under the same seed.
+func TestFaultDrill(t *testing.T) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 31, Coverage: 1})
+
+	run := func(in *fault.Injector) space.Point {
+		est, _ := sample.NewMinOfK(3)
+		srv := NewServer(ServerOptions{
+			Estimator:          est,
+			MeasurementTimeout: 100 * time.Millisecond,
+			MaxReissues:        3,
+		})
+		defer srv.Close()
+		if err := srv.Register("drill", gs2Params()); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		var stop atomic.Bool
+		model, _ := noise.NewIIDPareto(1.7, 0.1)
+		for c := 0; c < 8; c++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rng := dist.NewRNG(int64(100 + id))
+				deadline := time.Now().Add(60 * time.Second)
+				for !stop.Load() && time.Now().Before(deadline) {
+					fr, err := srv.Fetch("drill")
+					if err != nil {
+						return
+					}
+					if fr.Converged {
+						stop.Store(true)
+						return
+					}
+					if fr.Tag == 0 {
+						time.Sleep(time.Millisecond) // between batches
+						continue
+					}
+					y := model.Perturb(db.Eval(fr.Point), rng)
+					out := in.Next(id, fr.Tag)
+					switch out.Kind {
+					case fault.Crash:
+						return // the client process dies
+					case fault.Drop:
+						continue // measurement done, report lost
+					case fault.Corrupt:
+						y = out.Value // garbage hits the wire boundary
+					}
+					_ = srv.Report("drill", fr.Tag, y)
+				}
+			}(c)
+		}
+		wg.Wait()
+		best, _, conv, err := srv.Best("drill")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !conv {
+			t.Fatal("drill session did not converge")
+		}
+		if !db.Space().Admissible(best) {
+			t.Fatalf("best %v not admissible", best)
+		}
+		return best
+	}
+
+	cleanBest := run(nil)
+	inj, err := fault.New(fault.Config{
+		Seed:     77,
+		PCrash:   0.02, MaxCrashes: 2,
+		PDrop:    0.10,
+		PCorrupt: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultyBest := run(inj)
+
+	if got := inj.Plan().Count(fault.Crash); got != 2 {
+		t.Errorf("injected %d crashes, want 2", got)
+	}
+	if inj.Plan().Count(fault.Drop) == 0 || inj.Plan().Count(fault.Corrupt) == 0 {
+		t.Errorf("drill injected too few faults: %d drops, %d corruptions",
+			inj.Plan().Count(fault.Drop), inj.Plan().Count(fault.Corrupt))
+	}
+	clean, faulty := db.Eval(cleanBest), db.Eval(faultyBest)
+	if math.Abs(faulty-clean) > 0.10*clean {
+		t.Errorf("faulty converged Total_Time %.4f deviates more than 10%% from fault-free %.4f", faulty, clean)
+	}
+}

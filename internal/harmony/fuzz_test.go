@@ -15,6 +15,14 @@ func FuzzDispatch(f *testing.F) {
 	f.Add(`{"op":"stats","session":"s"}`)
 	f.Add(`{"op":"???","session":""}`)
 	f.Add(`{"op":"register","session":"s","params":[{"name":"","kind":"weird"}]}`)
+	// Corrupt measurement reports: negative and absurd values must be
+	// rejected with a structured error, never accepted or panicking. (JSON
+	// cannot encode NaN/Inf; those arrive only via the in-process API and are
+	// covered by TestReportRejectsInvalidValues.)
+	f.Add(`{"op":"report","session":"s","tag":1,"value":-1}`)
+	f.Add(`{"op":"report","session":"s","tag":1,"value":-1e308}`)
+	f.Add(`{"op":"report","session":"s","tag":1,"value":1e308,"rid":"r-1"}`)
+	f.Add(`{"op":"report","session":"s","tag":0,"value":-0.001,"rid":""}`)
 	f.Fuzz(func(t *testing.T, raw string) {
 		var req request
 		if err := json.Unmarshal([]byte(raw), &req); err != nil {
@@ -25,6 +33,9 @@ func FuzzDispatch(f *testing.F) {
 		resp := dispatch(srv, &req)
 		if !resp.OK && resp.Error == "" {
 			t.Fatalf("failed response without error message for %q", raw)
+		}
+		if resp.OK && resp.Code != "" {
+			t.Fatalf("successful response carrying error code %q for %q", resp.Code, raw)
 		}
 		if _, err := json.Marshal(resp); err != nil {
 			t.Fatalf("unmarshalable response: %v", err)

@@ -6,22 +6,41 @@
 // measurements with a configurable estimator (min-of-K by default), and
 // serves the best-known configuration once tuning has converged.
 //
+// The measurement pipeline is fault-tolerant: reported values are validated
+// (NaN/±Inf/negative reports are rejected before they can poison the
+// estimator), every candidate batch carries a progress deadline with bounded
+// reissue so a vanished client cannot wedge a session, reports are
+// deduplicated by client-supplied id so reconnect retries are idempotent,
+// idle sessions expire, and whole sessions can be checkpointed and restored
+// across server restarts without losing the optimiser's simplex.
+//
 // Two transports are provided: direct in-process calls on *Server, and a
 // newline-delimited JSON protocol over TCP (Serve/Client).
 package harmony
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"paratune/internal/core"
+	"paratune/internal/fault"
 	"paratune/internal/sample"
 	"paratune/internal/space"
 )
 
 // AlgorithmFactory builds the optimiser for a new session.
 type AlgorithmFactory func(s *space.Space) (core.Algorithm, error)
+
+// ErrInvalidValue marks a report whose value cannot be a measurement: NaN,
+// ±Inf, or negative. Wire responses carry it as code "invalid_value".
+var ErrInvalidValue = errors.New("harmony: invalid measurement value (must be finite and non-negative)")
+
+// maxRememberedReports bounds the per-session idempotency memory of
+// client-supplied report ids.
+const maxRememberedReports = 4096
 
 // ServerOptions configures session behaviour.
 type ServerOptions struct {
@@ -31,6 +50,38 @@ type ServerOptions struct {
 	// NewAlgorithm builds the per-session optimiser; PRO with defaults when
 	// nil.
 	NewAlgorithm AlgorithmFactory
+	// MeasurementTimeout is the per-batch progress deadline: when no new
+	// measurement arrives within one window, outstanding candidates are
+	// re-issued (their issue counts reset so Fetch hands them out afresh);
+	// after MaxReissues consecutive stale windows the batch force-completes,
+	// scoring unmeasured candidates at the worst value seen so far, so a lost
+	// client can never wedge the session. 0 picks the 30s default; negative
+	// disables the deadline.
+	MeasurementTimeout time.Duration
+	// MaxReissues is the number of consecutive stale windows tolerated before
+	// a batch force-completes; default 3.
+	MaxReissues int
+	// IdleTimeout expires sessions that see no Fetch/Report activity for the
+	// given duration; expired sessions are stopped and removed. 0 disables.
+	IdleTimeout time.Duration
+}
+
+func (o *ServerOptions) normalise() {
+	if o.Estimator == nil {
+		est, _ := sample.NewMinOfK(3)
+		o.Estimator = est
+	}
+	if o.NewAlgorithm == nil {
+		o.NewAlgorithm = func(s *space.Space) (core.Algorithm, error) {
+			return core.NewPRO(core.Options{Space: s})
+		}
+	}
+	if o.MeasurementTimeout == 0 {
+		o.MeasurementTimeout = 30 * time.Second
+	}
+	if o.MaxReissues <= 0 {
+		o.MaxReissues = 3
+	}
 }
 
 // Server coordinates tuning sessions.
@@ -42,15 +93,7 @@ type Server struct {
 
 // NewServer creates an empty server.
 func NewServer(opts ServerOptions) *Server {
-	if opts.Estimator == nil {
-		est, _ := sample.NewMinOfK(3)
-		opts.Estimator = est
-	}
-	if opts.NewAlgorithm == nil {
-		opts.NewAlgorithm = func(s *space.Space) (core.Algorithm, error) {
-			return core.NewPRO(core.Options{Space: s})
-		}
-	}
+	opts.normalise()
 	return &Server{opts: opts, sessions: make(map[string]*session)}
 }
 
@@ -69,18 +112,53 @@ type session struct {
 	sp   *space.Space
 	est  sample.Estimator
 	alg  core.Algorithm
+	opts ServerOptions
 
 	mu        sync.Mutex
 	batch     map[uint64]*candidate
 	order     []uint64 // batch tags in submission order
 	resultCh  chan []float64
+	batchObs  int // measurements accepted for the current batch
 	nextTag   uint64
 	converged bool
 	best      space.Point
 	bestVal   float64
+	worstObs  float64 // largest valid measurement seen; degradation stand-in
+	haveWorst bool
 	runErr    error
 	stopped   bool
-	done      chan struct{}
+	lastUsed  time.Time
+	seenRIDs  map[string]struct{} // idempotency memory for client report ids
+	ridOrder  []string
+	restored  bool          // skip Init: the algorithm state came from a checkpoint
+	done      chan struct{} // closed by Stop
+	finished  chan struct{} // closed when the run goroutine exits
+	snapCh    chan chan snapResult
+}
+
+type snapResult struct {
+	data []byte
+	err  error
+}
+
+func (srv *Server) newSession(name string, sp *space.Space, alg core.Algorithm, restored bool) *session {
+	s := &session{
+		name:     name,
+		sp:       sp,
+		est:      srv.opts.Estimator,
+		alg:      alg,
+		opts:     srv.opts,
+		batch:    make(map[uint64]*candidate),
+		nextTag:  1,
+		best:     sp.Center(),
+		lastUsed: time.Now(),
+		seenRIDs: make(map[string]struct{}),
+		restored: restored,
+		done:     make(chan struct{}),
+		finished: make(chan struct{}),
+		snapCh:   make(chan chan snapResult),
+	}
+	return s
 }
 
 // Register creates (or returns) the named session over the given parameters
@@ -111,26 +189,52 @@ func (srv *Server) Register(name string, params []space.Parameter) error {
 	if err != nil {
 		return err
 	}
-	s := &session{
-		name:    name,
-		sp:      sp,
-		est:     srv.opts.Estimator,
-		alg:     alg,
-		batch:   make(map[uint64]*candidate),
-		nextTag: 1,
-		best:    sp.Center(),
-		bestVal: 0,
-		done:    make(chan struct{}),
-	}
+	s := srv.newSession(name, sp, alg, false)
 	srv.sessions[name] = s
 	go s.run()
+	if srv.opts.IdleTimeout > 0 {
+		go srv.expire(s)
+	}
 	return nil
+}
+
+// expire stops and removes s once it has been idle past IdleTimeout.
+func (srv *Server) expire(s *session) {
+	period := srv.opts.IdleTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			idle := time.Since(s.lastUsed)
+			s.mu.Unlock()
+			if idle >= srv.opts.IdleTimeout {
+				srv.mu.Lock()
+				if srv.sessions[s.name] == s {
+					delete(srv.sessions, s.name)
+				}
+				srv.mu.Unlock()
+				s.stop()
+				return
+			}
+		}
+	}
 }
 
 // run drives the optimiser until convergence or shutdown.
 func (s *session) run() {
+	defer close(s.finished)
 	ev := &sessionEvaluator{s: s}
-	err := s.alg.Init(ev)
+	var err error
+	if !s.restored {
+		err = s.alg.Init(ev)
+	}
 	for err == nil && !s.alg.Converged() {
 		select {
 		case <-s.done:
@@ -150,8 +254,20 @@ func (s *session) run() {
 	s.converged = true
 }
 
+// takeSnapshot serialises the algorithm state; only safe from the run
+// goroutine, or after the run goroutine has exited.
+func (s *session) takeSnapshot() snapResult {
+	snapper, ok := s.alg.(core.Snapshotter)
+	if !ok {
+		return snapResult{err: fmt.Errorf("harmony: algorithm %v does not support snapshots", s.alg)}
+	}
+	data, err := snapper.Snapshot()
+	return snapResult{data: data, err: err}
+}
+
 // sessionEvaluator hands the optimiser's batches to the fetch/report
-// machinery and blocks until every candidate has enough measurements.
+// machinery and blocks until every candidate has enough measurements, the
+// batch deadline degrades it, or the session stops.
 type sessionEvaluator struct {
 	s *session
 }
@@ -172,18 +288,98 @@ func (e *sessionEvaluator) Eval(points []space.Point) ([]float64, error) {
 		s.order = append(s.order, tag)
 	}
 	s.resultCh = ch
+	s.batchObs = 0
 	// Keep the session's public best in sync with the optimiser.
 	if best, val := s.alg.Best(); best != nil {
 		s.best, s.bestVal = best, val
 	}
 	s.mu.Unlock()
 
-	select {
-	case vals := <-ch:
-		return vals, nil
-	case <-s.done:
-		return nil, errors.New("harmony: session stopped")
+	timeout := s.opts.MeasurementTimeout
+	lastProgress, stale := 0, 0
+	for {
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if timeout > 0 {
+			timer = time.NewTimer(timeout)
+			timerC = timer.C
+		}
+		stopTimer := func() {
+			if timer != nil {
+				timer.Stop()
+			}
+		}
+		select {
+		case vals := <-ch:
+			stopTimer()
+			return vals, nil
+		case <-s.done:
+			stopTimer()
+			return nil, errors.New("harmony: session stopped")
+		case req := <-s.snapCh:
+			// Serve checkpoint requests while blocked: the run goroutine is
+			// the only mutator of the algorithm, so snapshotting here is
+			// race-free.
+			req <- s.takeSnapshot()
+			stopTimer()
+		case <-timerC:
+			s.mu.Lock()
+			if s.resultCh == nil {
+				// A report completed the batch concurrently; the values are
+				// already waiting in ch.
+				s.mu.Unlock()
+				continue
+			}
+			if s.batchObs > lastProgress {
+				// Clients are still reporting; extend the deadline.
+				lastProgress, stale = s.batchObs, 0
+				s.mu.Unlock()
+				continue
+			}
+			stale++
+			if stale <= s.opts.MaxReissues {
+				// Reissue: reset issue counts so Fetch hands the starved
+				// candidates out again (a replacement client picks them up).
+				for _, tag := range s.order {
+					if c, ok := s.batch[tag]; ok {
+						c.issued = 0
+					}
+				}
+				s.mu.Unlock()
+				continue
+			}
+			// Deadline exhausted: force-complete the batch, scoring
+			// permanently lost candidates at the worst known value so rank
+			// ordering proceeds instead of blocking (GSS tolerates a
+			// pessimistic stand-in).
+			vals := s.forceCompleteLocked()
+			s.mu.Unlock()
+			return vals, nil
+		}
 	}
+}
+
+// forceCompleteLocked reduces the current batch with whatever measurements
+// arrived, substituting the worst known value for candidates with none.
+// Caller holds s.mu and has checked s.resultCh != nil.
+func (s *session) forceCompleteLocked() []float64 {
+	vals := make([]float64, len(s.order))
+	stand := s.worstObs
+	if !s.haveWorst {
+		// No valid measurement has ever arrived; any consistent stand-in
+		// keeps the optimiser terminating rather than wedged.
+		stand = 1
+	}
+	for i, t := range s.order {
+		if c, ok := s.batch[t]; ok && len(c.obs) > 0 {
+			vals[i] = s.est.Estimate(c.obs)
+		} else {
+			vals[i] = stand
+		}
+		delete(s.batch, t)
+	}
+	s.resultCh = nil
+	return vals
 }
 
 // FetchResult is a unit of work for a client.
@@ -209,6 +405,7 @@ func (srv *Server) Fetch(name string) (FetchResult, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.lastUsed = time.Now()
 	if s.runErr != nil {
 		return FetchResult{}, s.runErr
 	}
@@ -231,23 +428,49 @@ func (srv *Server) Fetch(name string) (FetchResult, error) {
 
 // Report records a measurement for the tagged candidate. Tag 0 reports
 // (measurements of the production configuration) are accepted and ignored.
-// When every candidate in the current batch has enough measurements, the
-// batch is reduced with the estimator and the optimiser resumes.
+// Non-finite or negative values are rejected with ErrInvalidValue. When every
+// candidate in the current batch has enough measurements, the batch is
+// reduced with the estimator and the optimiser resumes.
 func (srv *Server) Report(name string, tag uint64, value float64) error {
+	return srv.ReportTagged(name, tag, value, "")
+}
+
+// ReportTagged is Report with an optional client-supplied report id: a
+// reconnecting client that retries a report with the same rid is acknowledged
+// without the measurement being counted twice (per-session memory of the
+// last 4096 ids).
+func (srv *Server) ReportTagged(name string, tag uint64, value float64, rid string) error {
 	s, err := srv.session(name)
 	if err != nil {
 		return err
+	}
+	if !fault.ValidValue(value) {
+		return fmt.Errorf("%w: %g", ErrInvalidValue, value)
 	}
 	if tag == 0 {
 		return nil
 	}
 	s.mu.Lock()
+	s.lastUsed = time.Now()
+	if rid != "" {
+		if _, dup := s.seenRIDs[rid]; dup {
+			s.mu.Unlock()
+			return nil
+		}
+	}
 	c, ok := s.batch[tag]
 	if !ok {
 		s.mu.Unlock()
 		return fmt.Errorf("harmony: unknown or completed tag %d", tag)
 	}
+	if rid != "" {
+		s.rememberRIDLocked(rid)
+	}
 	c.obs = append(c.obs, value)
+	s.batchObs++
+	if !s.haveWorst || value > s.worstObs {
+		s.worstObs, s.haveWorst = value, true
+	}
 	// Batch complete?
 	complete := true
 	for _, t := range s.order {
@@ -272,6 +495,16 @@ func (srv *Server) Report(name string, tag uint64, value float64) error {
 	return nil
 }
 
+// rememberRIDLocked records a report id, evicting the oldest past the cap.
+func (s *session) rememberRIDLocked(rid string) {
+	s.seenRIDs[rid] = struct{}{}
+	s.ridOrder = append(s.ridOrder, rid)
+	if len(s.ridOrder) > maxRememberedReports {
+		delete(s.seenRIDs, s.ridOrder[0])
+		s.ridOrder = s.ridOrder[1:]
+	}
+}
+
 // Best returns the best-known configuration and its estimate.
 func (srv *Server) Best(name string) (space.Point, float64, bool, error) {
 	s, err := srv.session(name)
@@ -283,18 +516,23 @@ func (srv *Server) Best(name string) (space.Point, float64, bool, error) {
 	return s.best.Clone(), s.bestVal, s.converged, nil
 }
 
-// Stop shuts a session down; outstanding Fetch work is abandoned.
-func (srv *Server) Stop(name string) error {
-	s, err := srv.session(name)
-	if err != nil {
-		return err
-	}
+// stop shuts the session down; idempotent.
+func (s *session) stop() {
 	s.mu.Lock()
 	if !s.stopped {
 		s.stopped = true
 		close(s.done)
 	}
 	s.mu.Unlock()
+}
+
+// Stop shuts a session down; outstanding Fetch work is abandoned.
+func (srv *Server) Stop(name string) error {
+	s, err := srv.session(name)
+	if err != nil {
+		return err
+	}
+	s.stop()
 	return nil
 }
 
@@ -309,6 +547,164 @@ func (srv *Server) Close() {
 	for _, n := range names {
 		_ = srv.Stop(n)
 	}
+}
+
+// sessionCheckpoint is the serialised state of one tuning session. The
+// algorithm snapshot comes from core.Snapshotter, so the simplex survives a
+// server restart; the in-flight candidate batch is intentionally not
+// serialised — the restored optimiser re-proposes it deterministically.
+type sessionCheckpoint struct {
+	Version   int             `json:"version"`
+	Name      string          `json:"name"`
+	Params    []wireParam     `json:"params"`
+	Alg       json.RawMessage `json:"alg"`
+	Best      []float64       `json:"best,omitempty"`
+	BestVal   float64         `json:"best_value"`
+	WorstObs  float64         `json:"worst_obs"`
+	HaveWorst bool            `json:"have_worst"`
+	NextTag   uint64          `json:"next_tag"`
+	Converged bool            `json:"converged"`
+}
+
+// Checkpoint serialises the named session — parameter space, optimiser
+// simplex, best point, tag counter — to JSON. It is safe to call mid-tuning:
+// the snapshot is taken by the optimiser goroutine between evaluations (or
+// directly once the session has finished), so it is always a consistent
+// between-steps state. Restore it into a fresh server with RestoreSession.
+func (srv *Server) Checkpoint(name string) ([]byte, error) {
+	s, err := srv.session(name)
+	if err != nil {
+		return nil, err
+	}
+	var res snapResult
+	req := make(chan snapResult, 1)
+	select {
+	case s.snapCh <- req:
+		res = <-req
+	case <-s.finished:
+		// The run goroutine has exited (converged, stopped, or errored); the
+		// algorithm is quiescent and safe to snapshot directly.
+		res = s.takeSnapshot()
+	case <-time.After(10 * time.Second):
+		return nil, errors.New("harmony: checkpoint timed out waiting for the optimiser")
+	}
+	if res.err != nil {
+		return nil, res.err
+	}
+	s.mu.Lock()
+	cp := sessionCheckpoint{
+		Version:   1,
+		Name:      s.name,
+		Params:    toWireParams(spaceParams(s.sp)),
+		Alg:       res.data,
+		Best:      append([]float64(nil), s.best...),
+		BestVal:   s.bestVal,
+		WorstObs:  s.worstObs,
+		HaveWorst: s.haveWorst,
+		NextTag:   s.nextTag,
+		Converged: s.converged,
+	}
+	s.mu.Unlock()
+	return json.Marshal(&cp)
+}
+
+// CheckpointAll serialises every registered session. Sessions still inside
+// their initial simplex evaluation have no search state worth preserving and
+// are skipped rather than failing the whole set (relevant for a periodic
+// checkpointer that may fire moments after a session registers).
+func (srv *Server) CheckpointAll() ([]byte, error) {
+	var cps []json.RawMessage
+	for _, name := range srv.Sessions() {
+		cp, err := srv.Checkpoint(name)
+		if errors.Is(err, core.ErrNotInitialised) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("harmony: checkpoint %q: %w", name, err)
+		}
+		cps = append(cps, cp)
+	}
+	return json.Marshal(cps)
+}
+
+// RestoreSession recreates a session from a Checkpoint blob: the optimiser is
+// rebuilt via the server's algorithm factory, its search state restored from
+// the snapshot, and tuning resumes exactly where the checkpoint was taken —
+// the simplex is not reset. The session name must not already exist.
+func (srv *Server) RestoreSession(data []byte) error {
+	var cp sessionCheckpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return fmt.Errorf("harmony: bad checkpoint: %w", err)
+	}
+	if cp.Name == "" {
+		return errors.New("harmony: checkpoint has no session name")
+	}
+	params, err := fromWireParams(cp.Params)
+	if err != nil {
+		return err
+	}
+	sp, err := space.New(params...)
+	if err != nil {
+		return err
+	}
+	alg, err := srv.opts.NewAlgorithm(sp)
+	if err != nil {
+		return err
+	}
+	snapper, ok := alg.(core.Snapshotter)
+	if !ok {
+		return fmt.Errorf("harmony: algorithm %v does not support snapshots", alg)
+	}
+	if err := snapper.Restore(cp.Alg); err != nil {
+		return err
+	}
+	srv.mu.Lock()
+	if _, exists := srv.sessions[cp.Name]; exists {
+		srv.mu.Unlock()
+		return fmt.Errorf("harmony: session %q already exists", cp.Name)
+	}
+	s := srv.newSession(cp.Name, sp, alg, true)
+	s.nextTag = cp.NextTag
+	if s.nextTag == 0 {
+		s.nextTag = 1
+	}
+	s.worstObs, s.haveWorst = cp.WorstObs, cp.HaveWorst
+	if len(cp.Best) > 0 {
+		s.best, s.bestVal = space.Point(cp.Best).Clone(), cp.BestVal
+	}
+	if best, val := alg.Best(); best != nil {
+		s.best, s.bestVal = best, val
+	}
+	srv.sessions[cp.Name] = s
+	srv.mu.Unlock()
+	go s.run()
+	if srv.opts.IdleTimeout > 0 {
+		go srv.expire(s)
+	}
+	return nil
+}
+
+// RestoreAll recreates every session in a CheckpointAll blob.
+func (srv *Server) RestoreAll(data []byte) error {
+	var cps []json.RawMessage
+	if err := json.Unmarshal(data, &cps); err != nil {
+		return fmt.Errorf("harmony: bad checkpoint set: %w", err)
+	}
+	for _, cp := range cps {
+		if err := srv.RestoreSession(cp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spaceParams recovers the parameter list from a space.
+func spaceParams(sp *space.Space) []space.Parameter {
+	out := make([]space.Parameter, sp.Dim())
+	for i := range out {
+		out[i] = sp.Param(i)
+	}
+	return out
 }
 
 // SessionStats summarises one session for monitoring.

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"paratune/internal/space"
 )
@@ -50,17 +52,22 @@ func fromWireParams(ws []wireParam) ([]space.Parameter, error) {
 
 // request is one JSON-line client message.
 type request struct {
-	Op      string      `json:"op"` // register | fetch | report | best
+	Op      string      `json:"op"` // register | fetch | report | best | stats
 	Session string      `json:"session"`
 	Params  []wireParam `json:"params,omitempty"`
 	Tag     uint64      `json:"tag,omitempty"`
 	Value   float64     `json:"value,omitempty"`
+	// RID is an optional client-unique report id; the server deduplicates
+	// reports by it so reconnect retries are idempotent.
+	RID string `json:"rid,omitempty"`
 }
 
 // response is one JSON-line server reply.
 type response struct {
-	OK        bool          `json:"ok"`
-	Error     string        `json:"error,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code classifies structured errors ("invalid_value", ...).
+	Code      string        `json:"code,omitempty"`
 	Point     []float64     `json:"point,omitempty"`
 	Tag       uint64        `json:"tag,omitempty"`
 	Value     float64       `json:"value,omitempty"`
@@ -68,10 +75,45 @@ type response struct {
 	Stats     *SessionStats `json:"stats,omitempty"`
 }
 
+// errResponse builds a failure response, attaching a machine-readable code
+// for the structured error classes.
+func errResponse(err error) response {
+	r := response{Error: err.Error()}
+	if errors.Is(err, ErrInvalidValue) {
+		r.Code = "invalid_value"
+	}
+	return r
+}
+
+// ConnOptions sets transport deadlines for served connections.
+type ConnOptions struct {
+	// ReadTimeout is the per-request read deadline: a connection idle past it
+	// is closed (the client reconnects with backoff). Default 5 minutes.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write. Default 30 seconds.
+	WriteTimeout time.Duration
+}
+
+func (o *ConnOptions) normalise() {
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = 5 * time.Minute
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+}
+
 // Serve accepts connections on l and dispatches the JSON-line protocol to
-// srv until l is closed. Each connection is handled on its own goroutine;
-// a malformed request closes only that connection.
+// srv with default transport deadlines until l is closed.
 func Serve(l net.Listener, srv *Server) error {
+	return ServeWith(l, srv, ConnOptions{})
+}
+
+// ServeWith is Serve with explicit transport deadlines. Each connection is
+// handled on its own goroutine; a malformed request or an expired deadline
+// closes only that connection.
+func ServeWith(l net.Listener, srv *Server, opts ConnOptions) error {
+	opts.normalise()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -80,22 +122,31 @@ func Serve(l net.Listener, srv *Server) error {
 			}
 			return err
 		}
-		go handleConn(conn, srv)
+		go handleConn(conn, srv, opts)
 	}
 }
 
-func handleConn(conn net.Conn, srv *Server) {
+func handleConn(conn net.Conn, srv *Server, opts ConnOptions) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	enc := json.NewEncoder(conn)
-	for sc.Scan() {
+	for {
+		if opts.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(opts.ReadTimeout))
+		}
+		if !sc.Scan() {
+			return
+		}
 		var req request
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
 			_ = enc.Encode(response{OK: false, Error: "bad request: " + err.Error()})
 			return
 		}
 		resp := dispatch(srv, &req)
+		if opts.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -107,33 +158,33 @@ func dispatch(srv *Server, req *request) response {
 	case "register":
 		params, err := fromWireParams(req.Params)
 		if err != nil {
-			return response{Error: err.Error()}
+			return errResponse(err)
 		}
 		if err := srv.Register(req.Session, params); err != nil {
-			return response{Error: err.Error()}
+			return errResponse(err)
 		}
 		return response{OK: true}
 	case "fetch":
 		fr, err := srv.Fetch(req.Session)
 		if err != nil {
-			return response{Error: err.Error()}
+			return errResponse(err)
 		}
 		return response{OK: true, Point: fr.Point, Tag: fr.Tag, Converged: fr.Converged}
 	case "report":
-		if err := srv.Report(req.Session, req.Tag, req.Value); err != nil {
-			return response{Error: err.Error()}
+		if err := srv.ReportTagged(req.Session, req.Tag, req.Value, req.RID); err != nil {
+			return errResponse(err)
 		}
 		return response{OK: true}
 	case "best":
 		p, v, conv, err := srv.Best(req.Session)
 		if err != nil {
-			return response{Error: err.Error()}
+			return errResponse(err)
 		}
 		return response{OK: true, Point: p, Value: v, Converged: conv}
 	case "stats":
 		st, err := srv.Stats(req.Session)
 		if err != nil {
-			return response{Error: err.Error()}
+			return errResponse(err)
 		}
 		return response{OK: true, Stats: &st, Converged: st.Converged}
 	default:
@@ -141,32 +192,156 @@ func dispatch(srv *Server, req *request) response {
 	}
 }
 
-// Client is a TCP client for the harmony protocol. Safe for use by one
-// goroutine at a time per method call (calls are serialised internally).
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	rd   *bufio.Scanner
-	enc  *json.Encoder
+// DialOptions configures connection retries and per-call deadlines.
+type DialOptions struct {
+	// Retries is the number of connection attempts per dial or reconnect;
+	// default 5.
+	Retries int
+	// Backoff is the initial retry delay, doubled per attempt (with up to
+	// 50% random jitter to avoid thundering herds) and capped at 30x;
+	// default 100ms.
+	Backoff time.Duration
+	// Timeout bounds each request/response round trip; default 30s.
+	Timeout time.Duration
 }
 
-// Dial connects to a harmony server.
+func (o *DialOptions) normalise() {
+	if o.Retries <= 0 {
+		o.Retries = 5
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+}
+
+// Client is a TCP client for the harmony protocol. Safe for use by one
+// goroutine at a time per method call (calls are serialised internally).
+// On a connection-level failure (EOF, reset, expired deadline) it redials
+// with exponential backoff and retries the request; reports carry a unique
+// id, so a retry that reaches the server twice is counted once.
+type Client struct {
+	mu     sync.Mutex
+	addr   string
+	opts   DialOptions
+	conn   net.Conn
+	rd     *bufio.Scanner
+	enc    *json.Encoder
+	rng    *rand.Rand
+	nonce  int64
+	nextID uint64
+}
+
+// Dial connects to a harmony server with default retry/backoff options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	return DialWith(addr, DialOptions{})
+}
+
+// DialWith connects to a harmony server, retrying the initial connection
+// with exponential backoff per opts.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	opts.normalise()
+	c := &Client{
+		addr: addr,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.nonce = c.rng.Int63()
+	if err := c.reconnectLocked(); err != nil {
 		return nil, err
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	return &Client{conn: conn, rd: sc, enc: json.NewEncoder(conn)}, nil
+	return c, nil
+}
+
+// reconnectLocked dials with backoff and jitter; caller holds c.mu (or is
+// the constructor).
+func (c *Client) reconnectLocked() error {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	backoff := c.opts.Backoff
+	var lastErr error
+	for attempt := 0; attempt < c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			d := backoff + time.Duration(c.rng.Int63n(int64(backoff)/2+1))
+			time.Sleep(d)
+			if backoff < 30*c.opts.Backoff {
+				backoff *= 2
+			}
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, c.opts.Timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		c.conn, c.rd, c.enc = conn, sc, json.NewEncoder(conn)
+		return nil
+	}
+	return fmt.Errorf("harmony: dial %s failed after %d attempts: %w", c.addr, c.opts.Retries, lastErr)
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// appError marks a server-side (application-level) failure, which must not
+// trigger a reconnect.
+type appError struct{ msg, code string }
+
+func (e *appError) Error() string { return e.msg }
+
+// IsInvalidValue reports whether an error returned by a Client method is the
+// server's structured rejection of a non-finite/negative measurement.
+func IsInvalidValue(err error) bool {
+	var ae *appError
+	return errors.As(err, &ae) && ae.code == "invalid_value"
+}
 
 func (c *Client) roundTrip(req *request) (*response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.conn == nil {
+			if err := c.reconnectLocked(); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.sendLocked(req)
+		if err == nil {
+			if !resp.OK {
+				return nil, &appError{msg: resp.Error, code: resp.Code}
+			}
+			return resp, nil
+		}
+		// Connection-level failure: drop the connection and retry once on a
+		// fresh one (requests are idempotent; reports carry a rid).
+		lastErr = err
+		if c.conn != nil {
+			_ = c.conn.Close()
+			c.conn = nil
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) sendLocked(req *request) (*response, error) {
+	if c.opts.Timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return nil, err
 	}
@@ -179,9 +354,6 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 	var resp response
 	if err := json.Unmarshal(c.rd.Bytes(), &resp); err != nil {
 		return nil, err
-	}
-	if !resp.OK {
-		return nil, errors.New(resp.Error)
 	}
 	return &resp, nil
 }
@@ -201,9 +373,14 @@ func (c *Client) Fetch(session string) (FetchResult, error) {
 	return FetchResult{Point: space.Point(resp.Point), Tag: resp.Tag, Converged: resp.Converged}, nil
 }
 
-// Report sends one measurement.
+// Report sends one measurement, stamped with a client-unique report id so a
+// reconnect retry cannot be double-counted.
 func (c *Client) Report(session string, tag uint64, value float64) error {
-	_, err := c.roundTrip(&request{Op: "report", Session: session, Tag: tag, Value: value})
+	c.mu.Lock()
+	c.nextID++
+	rid := fmt.Sprintf("%x-%d", c.nonce, c.nextID)
+	c.mu.Unlock()
+	_, err := c.roundTrip(&request{Op: "report", Session: session, Tag: tag, Value: value, RID: rid})
 	return err
 }
 
