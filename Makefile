@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz results examples clean
+.PHONY: all build lint test race bench fuzz results examples clean
 
 all: build test
 
@@ -10,7 +10,12 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test:
+# Project-specific static analysis: determinism, lock discipline, float
+# comparisons, and wire-boundary error handling. See DESIGN.md.
+lint:
+	$(GO) run ./cmd/paralint ./...
+
+test: lint
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./...

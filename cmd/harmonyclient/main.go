@@ -36,7 +36,7 @@ func main() {
 		addr        = flag.String("addr", "localhost:7779", "harmonyd address")
 		session     = flag.String("session", "gs2", "session name")
 		rho         = flag.Float64("rho", 0.2, "simulated idle throughput")
-		seed        = flag.Int64("seed", 1, "random seed")
+		seed        = flag.Int64("seed", 1, "random seed (drives measurements and redial jitter)")
 		maxIters    = flag.Int("max-iters", 100000, "iteration cap")
 		dialRetries = flag.Int("dial-retries", 5, "connection attempts before giving up")
 		dialBackoff = flag.Duration("dial-backoff", 100*time.Millisecond, "initial redial backoff (doubles per attempt, with jitter)")
@@ -46,6 +46,7 @@ func main() {
 	cl, err := harmony.DialWith(*addr, harmony.DialOptions{
 		Retries: *dialRetries,
 		Backoff: *dialBackoff,
+		Seed:    *seed,
 	})
 	if err != nil {
 		fatal(err)

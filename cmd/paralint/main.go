@@ -1,0 +1,116 @@
+// Command paralint is the project's vet-style static analysis driver. It
+// enforces the determinism contract the paper's evaluation depends on (see
+// DESIGN.md "Determinism contract & static analysis"):
+//
+//   - determinism: no wall-clock time or global rand in simulation packages;
+//     no wall-clock-seeded RNG sources anywhere
+//   - lockdiscipline: mutex-guarded fields are accessed under the lock or
+//     behind the ...Locked naming convention
+//   - floatcompare: no float ==/!= in rank-ordering and stats code
+//   - errdiscipline: no discarded errors at the harmony wire boundary
+//
+// Usage:
+//
+//	paralint [-rules determinism,lockdiscipline,...] [packages]
+//
+// With no packages, ./... is analysed. Findings print as
+// file:line:col: rule: message. Exit status: 0 clean, 1 findings,
+// 2 load or type-check failure.
+//
+// Suppress an individual finding with a trailing (or immediately preceding)
+// comment naming the rule and, by convention, the reason:
+//
+//	//paralint:allow determinism TCP deadlines are genuinely wall-clock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"paratune/internal/lint"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list available rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: paralint [-rules r1,r2] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *rules != "" {
+		analyzers = selectRules(analyzers, *rules)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paralint:", err)
+		os.Exit(2)
+	}
+	loadFailed := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "paralint: %s: %v\n", pkg.ImportPath, terr)
+			loadFailed = true
+		}
+	}
+	if loadFailed {
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "paralint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func selectRules(all []*lint.Analyzer, spec string) []*lint.Analyzer {
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paralint: unknown rule %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "paralint: -rules selected no rules")
+		os.Exit(2)
+	}
+	return out
+}

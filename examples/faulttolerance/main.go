@@ -18,7 +18,7 @@
 //     discarded, a fresh server restored from the blob, and tuning resumes
 //     without resetting the simplex.
 //
-//	go run ./examples/faulttolerance
+//     go run ./examples/faulttolerance
 package main
 
 import (

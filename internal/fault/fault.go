@@ -146,10 +146,11 @@ type Outcome struct {
 // Injector draws fault outcomes from a private seeded stream. Safe for
 // concurrent use; a nil *Injector injects nothing.
 type Injector struct {
+	cfg  Config // immutable after New
+	plan Plan   // self-locking; safe to hand out by pointer
+
 	mu      sync.Mutex
-	cfg     Config
 	rng     *rand.Rand
-	plan    Plan
 	crashes int
 	corrupt int // rotates through the corrupt-value menu
 }
@@ -181,8 +182,9 @@ func (in *Injector) Plan() *Plan {
 	return &in.plan
 }
 
-// corruptValue rotates through the menu of garbage reports.
-func (in *Injector) corruptValue() float64 {
+// corruptValueLocked rotates through the menu of garbage reports; caller
+// holds in.mu.
+func (in *Injector) corruptValueLocked() float64 {
 	menu := [...]float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, 1e300}
 	v := menu[in.corrupt%len(menu)]
 	in.corrupt++
@@ -219,7 +221,7 @@ func (in *Injector) Next(proc int, tag uint64) Outcome {
 		in.plan.Record(Event{Kind: Drop, Proc: proc, Tag: tag})
 		return Outcome{Kind: Drop}
 	case u < c.PCrash+c.PStraggler+c.PDrop+c.PCorrupt:
-		v := in.corruptValue()
+		v := in.corruptValueLocked()
 		in.plan.Record(Event{Kind: Corrupt, Proc: proc, Tag: tag, Value: v})
 		return Outcome{Kind: Corrupt, Value: v}
 	default:

@@ -1,0 +1,93 @@
+package harmony
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeClockNowAndAdvance(t *testing.T) {
+	start := time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+	clk := NewFakeClock(start)
+	if got := clk.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	clk.Advance(90 * time.Second)
+	if got, want := clk.Now(), start.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("after Advance, Now() = %v, want %v", got, want)
+	}
+}
+
+func TestFakeClockAfterFiresOnAdvance(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	ch := clk.After(time.Minute)
+	if clk.Waiters() != 1 {
+		t.Fatalf("Waiters() = %d, want 1", clk.Waiters())
+	}
+	select {
+	case at := <-ch:
+		t.Fatalf("waiter fired before deadline at %v", at)
+	default:
+	}
+
+	clk.Advance(30 * time.Second)
+	select {
+	case at := <-ch:
+		t.Fatalf("waiter fired halfway to deadline at %v", at)
+	default:
+	}
+
+	clk.Advance(30 * time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("waiter did not fire once the deadline passed")
+	}
+	if clk.Waiters() != 0 {
+		t.Fatalf("Waiters() = %d after firing, want 0", clk.Waiters())
+	}
+}
+
+func TestFakeClockAfterNonPositiveFiresImmediately(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	for _, d := range []time.Duration{0, -time.Second} {
+		select {
+		case <-clk.After(d):
+		default:
+			t.Fatalf("After(%v) did not fire immediately", d)
+		}
+	}
+	if clk.Waiters() != 0 {
+		t.Fatalf("Waiters() = %d, want 0", clk.Waiters())
+	}
+}
+
+func TestFakeClockAdvanceFiresOnlyDueWaiters(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	soon := clk.After(time.Minute)
+	late := clk.After(time.Hour)
+	if clk.Waiters() != 2 {
+		t.Fatalf("Waiters() = %d, want 2", clk.Waiters())
+	}
+
+	clk.Advance(time.Minute)
+	select {
+	case <-soon:
+	default:
+		t.Fatal("due waiter did not fire")
+	}
+	select {
+	case <-late:
+		t.Fatal("undue waiter fired early")
+	default:
+	}
+	if clk.Waiters() != 1 {
+		t.Fatalf("Waiters() = %d, want 1", clk.Waiters())
+	}
+
+	clk.Advance(time.Hour)
+	select {
+	case <-late:
+	default:
+		t.Fatal("remaining waiter did not fire after its deadline")
+	}
+}

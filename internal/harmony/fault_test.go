@@ -212,27 +212,65 @@ func TestLateClientRecoversReissuedBatch(t *testing.T) {
 
 // --- session idle expiry ---
 
+// waitUntil polls cond until it holds, failing the test after a scheduling
+// grace period. It waits only for goroutine scheduling, never for timers:
+// all time-dependent logic runs on the FakeClock.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 5000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
 func TestIdleSessionExpires(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
 	srv := NewServer(ServerOptions{
-		IdleTimeout:        40 * time.Millisecond,
-		MeasurementTimeout: 10 * time.Millisecond,
+		IdleTimeout:        time.Hour,
+		MeasurementTimeout: -1, // disabled: expiry alone drives this test
+		Clock:              clk,
 	})
 	defer srv.Close()
 	if err := srv.Register("s", gs2Params()); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if len(srv.Sessions()) == 0 {
-			// Expired: the session is gone and its resources released.
-			if _, err := srv.Fetch("s"); err == nil {
-				t.Error("fetch of expired session should fail")
-			}
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
+	// Wait for the expiry goroutine to arm its timer, then jump straight
+	// past the idle deadline — no real sleeps are involved.
+	waitUntil(t, "expiry timer to arm", func() bool { return clk.Waiters() > 0 })
+	clk.Advance(2 * time.Hour)
+	waitUntil(t, "idle session to expire", func() bool { return len(srv.Sessions()) == 0 })
+	// Expired: the session is gone and its resources released.
+	if _, err := srv.Fetch("s"); err == nil {
+		t.Error("fetch of expired session should fail")
 	}
-	t.Fatal("idle session never expired")
+}
+
+func TestActiveSessionSurvivesIdleChecks(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	srv := NewServer(ServerOptions{
+		IdleTimeout:        time.Hour,
+		MeasurementTimeout: -1,
+		Clock:              clk,
+	})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	// Several idle checks fire, but activity keeps refreshing lastUsed, so
+	// the session must survive every one of them.
+	for i := 0; i < 8; i++ {
+		waitUntil(t, "expiry timer to arm", func() bool { return clk.Waiters() > 0 })
+		if _, err := srv.Fetch("s"); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(30 * time.Minute) // past the 15-minute check period, inside the idle budget
+	}
+	if len(srv.Sessions()) != 1 {
+		t.Fatal("active session expired despite continuous activity")
+	}
 }
 
 // --- checkpoint / restore ---
@@ -602,8 +640,8 @@ func TestFaultDrill(t *testing.T) {
 
 	cleanBest := run(nil)
 	inj, err := fault.New(fault.Config{
-		Seed:     77,
-		PCrash:   0.02, MaxCrashes: 2,
+		Seed:   77,
+		PCrash: 0.02, MaxCrashes: 2,
 		PDrop:    0.10,
 		PCorrupt: 0.05,
 	})

@@ -64,11 +64,15 @@ type ServerOptions struct {
 	// IdleTimeout expires sessions that see no Fetch/Report activity for the
 	// given duration; expired sessions are stopped and removed. 0 disables.
 	IdleTimeout time.Duration
+	// Clock supplies wall time for session bookkeeping (lastUsed stamps and
+	// idle-expiry). nil uses the system clock; tests inject a FakeClock so
+	// expiry runs without real sleeps.
+	Clock Clock
 }
 
 func (o *ServerOptions) normalise() {
 	if o.Estimator == nil {
-		est, _ := sample.NewMinOfK(3)
+		est, _ := sample.NewMinOfK(3) //paralint:allow errdiscipline K=3 is statically valid
 		o.Estimator = est
 	}
 	if o.NewAlgorithm == nil {
@@ -81,6 +85,9 @@ func (o *ServerOptions) normalise() {
 	}
 	if o.MaxReissues <= 0 {
 		o.MaxReissues = 3
+	}
+	if o.Clock == nil {
+		o.Clock = SystemClock()
 	}
 }
 
@@ -106,13 +113,20 @@ type candidate struct {
 	issued int
 }
 
-// session is one application's tuning state.
+// session is one application's tuning state. Everything above the mutex is
+// immutable after newSession (the algorithm itself is mutated only by the
+// run goroutine); everything below it is guarded — the lockdiscipline
+// analyzer enforces that split.
 type session struct {
-	name string
-	sp   *space.Space
-	est  sample.Estimator
-	alg  core.Algorithm
-	opts ServerOptions
+	name     string
+	sp       *space.Space
+	est      sample.Estimator
+	alg      core.Algorithm
+	opts     ServerOptions
+	restored bool          // skip Init: the algorithm state came from a checkpoint
+	done     chan struct{} // closed by Stop
+	finished chan struct{} // closed when the run goroutine exits
+	snapCh   chan chan snapResult
 
 	mu        sync.Mutex
 	batch     map[uint64]*candidate
@@ -130,10 +144,6 @@ type session struct {
 	lastUsed  time.Time
 	seenRIDs  map[string]struct{} // idempotency memory for client report ids
 	ridOrder  []string
-	restored  bool          // skip Init: the algorithm state came from a checkpoint
-	done      chan struct{} // closed by Stop
-	finished  chan struct{} // closed when the run goroutine exits
-	snapCh    chan chan snapResult
 }
 
 type snapResult struct {
@@ -151,7 +161,7 @@ func (srv *Server) newSession(name string, sp *space.Space, alg core.Algorithm, 
 		batch:    make(map[uint64]*candidate),
 		nextTag:  1,
 		best:     sp.Center(),
-		lastUsed: time.Now(),
+		lastUsed: srv.opts.Clock.Now(),
 		seenRIDs: make(map[string]struct{}),
 		restored: restored,
 		done:     make(chan struct{}),
@@ -198,21 +208,21 @@ func (srv *Server) Register(name string, params []space.Parameter) error {
 	return nil
 }
 
-// expire stops and removes s once it has been idle past IdleTimeout.
+// expire stops and removes s once it has been idle past IdleTimeout. The
+// check runs on the server's Clock, so a FakeClock drives expiry in tests.
 func (srv *Server) expire(s *session) {
+	clock := srv.opts.Clock
 	period := srv.opts.IdleTimeout / 4
 	if period < time.Millisecond {
 		period = time.Millisecond
 	}
-	t := time.NewTicker(period)
-	defer t.Stop()
 	for {
 		select {
 		case <-s.done:
 			return
-		case <-t.C:
+		case <-clock.After(period):
 			s.mu.Lock()
-			idle := time.Since(s.lastUsed)
+			idle := clock.Now().Sub(s.lastUsed)
 			s.mu.Unlock()
 			if idle >= srv.opts.IdleTimeout {
 				srv.mu.Lock()
@@ -405,7 +415,7 @@ func (srv *Server) Fetch(name string) (FetchResult, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.lastUsed = time.Now()
+	s.lastUsed = srv.opts.Clock.Now()
 	if s.runErr != nil {
 		return FetchResult{}, s.runErr
 	}
@@ -451,7 +461,7 @@ func (srv *Server) ReportTagged(name string, tag uint64, value float64, rid stri
 		return nil
 	}
 	s.mu.Lock()
-	s.lastUsed = time.Now()
+	s.lastUsed = srv.opts.Clock.Now()
 	if rid != "" {
 		if _, dup := s.seenRIDs[rid]; dup {
 			s.mu.Unlock()

@@ -2,6 +2,8 @@ package harmony
 
 import (
 	"bufio"
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +15,17 @@ import (
 
 	"paratune/internal/space"
 )
+
+// cryptoSeed draws an RNG seed from the OS entropy source, so clients
+// started in the same instant still jitter independently. The zero fallback
+// only degrades jitter de-correlation, never correctness.
+func cryptoSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 1
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
 
 // wireParam is the JSON encoding of a space.Parameter.
 type wireParam struct {
@@ -140,6 +153,7 @@ func handleConn(conn net.Conn, srv *Server, opts ConnOptions) {
 		}
 		var req request
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			//paralint:allow errdiscipline best-effort error reply; the connection closes either way
 			_ = enc.Encode(response{OK: false, Error: "bad request: " + err.Error()})
 			return
 		}
@@ -203,6 +217,11 @@ type DialOptions struct {
 	Backoff time.Duration
 	// Timeout bounds each request/response round trip; default 30s.
 	Timeout time.Duration
+	// Seed seeds the client's backoff-jitter and report-id RNG, making
+	// redial behaviour reproducible; 0 (the default) draws an unpredictable
+	// seed from crypto/rand so independently started clients de-correlate
+	// their jitter. Tests and experiments set it explicitly.
+	Seed int64
 }
 
 func (o *DialOptions) normalise() {
@@ -223,9 +242,10 @@ func (o *DialOptions) normalise() {
 // with exponential backoff and retries the request; reports carry a unique
 // id, so a retry that reaches the server twice is counted once.
 type Client struct {
+	addr string      // immutable after DialWith
+	opts DialOptions // immutable after DialWith
+
 	mu     sync.Mutex
-	addr   string
-	opts   DialOptions
 	conn   net.Conn
 	rd     *bufio.Scanner
 	enc    *json.Encoder
@@ -243,10 +263,14 @@ func Dial(addr string) (*Client, error) {
 // with exponential backoff per opts.
 func DialWith(addr string, opts DialOptions) (*Client, error) {
 	opts.normalise()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = cryptoSeed()
+	}
 	c := &Client{
 		addr: addr,
 		opts: opts,
-		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:  rand.New(rand.NewSource(seed)),
 	}
 	c.nonce = c.rng.Int63()
 	if err := c.reconnectLocked(); err != nil {

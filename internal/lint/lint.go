@@ -1,0 +1,207 @@
+// Package lint implements paralint, the project's vet-style static
+// analysis. The analyzers encode the repo's determinism contract (see
+// DESIGN.md "Determinism contract & static analysis"): the paper's §6
+// evaluation is a seeded simulation, so every figure is reproducible only if
+// the simulator and estimators are bit-deterministic under a fixed seed, and
+// trustworthy only if the concurrent harmony server is race- and leak-free.
+//
+// Four rules are enforced:
+//
+//   - determinism: no wall-clock time and no process-global rand inside
+//     simulation packages; no wall-clock-seeded RNG sources anywhere.
+//   - lockdiscipline: methods of mutex-holding structs must hold the lock
+//     when touching guarded fields, or follow the ...Locked convention.
+//   - floatcompare: no ==/!= on floats in rank-ordering and stats packages;
+//     exact ties must be deliberate.
+//   - errdiscipline: no silently discarded errors at the harmony wire
+//     boundary.
+//
+// A finding can be suppressed with a comment on the same line or the line
+// immediately above:
+//
+//	//paralint:allow <rule> [reason...]
+//
+// The reason text is free-form but encouraged: the escape hatch is for code
+// that is genuinely wall-clock (TCP deadlines), genuinely exact (ECDF tie
+// collapsing), or genuinely best-effort (error replies on a closing
+// connection) — the annotation documents which.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	allow map[string]map[int]map[string]bool // filename -> line -> allowed rules
+	out   *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a //paralint:allow comment
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if rules, ok := p.allow[position.Filename][position.Line]; ok {
+		if rules[p.Analyzer.Name] || rules["all"] {
+			return
+		}
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Pos:     position,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns every paralint rule in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Determinism, LockDiscipline, FloatCompare, ErrDiscipline}
+}
+
+// Run applies the analyzers to each package and returns the surviving
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := allowIndex(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				allow:    allow,
+				out:      &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+	// Nested constructs can report the same defect twice (e.g. a wall-clock
+	// seed inside rand.New(rand.NewSource(...))); collapse exact duplicates.
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+const allowPrefix = "paralint:allow"
+
+// allowIndex maps file -> line -> rules suppressed on that line. A trailing
+// comment suppresses its own line; a standalone comment line suppresses the
+// line below it.
+func allowIndex(pkg *Package) map[string]map[int]map[string]bool {
+	idx := make(map[string]map[int]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rules := parseAllowRules(strings.TrimPrefix(text, allowPrefix))
+				if len(rules) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if standaloneComment(pkg, pos) {
+					line++ // the directive covers the next source line
+				}
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					idx[pos.Filename] = byLine
+				}
+				set := byLine[line]
+				if set == nil {
+					set = make(map[string]bool)
+					byLine[line] = set
+				}
+				for _, r := range rules {
+					set[r] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllowRules extracts the rule names at the head of an allow directive;
+// everything after the first non-rule token is the free-form reason.
+func parseAllowRules(s string) []string {
+	known := map[string]bool{"all": true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var rules []string
+	for _, field := range strings.Fields(s) {
+		name := strings.TrimSuffix(field, ",")
+		if !known[name] {
+			break
+		}
+		rules = append(rules, name)
+	}
+	return rules
+}
+
+// standaloneComment reports whether only whitespace precedes the comment on
+// its source line.
+func standaloneComment(pkg *Package, pos token.Position) bool {
+	src, ok := pkg.Src[pos.Filename]
+	if !ok {
+		return false
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches golden expectations: // want "regex"
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+type diagKey struct {
+	file string
+	line int
+}
+
+// runGolden loads the testdata package in dir as importPath, runs one
+// analyzer over it, and checks the findings against the // want
+// expectations embedded in the source.
+func runGolden(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", dir), importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("type error in %s: %v", dir, terr)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	wants := make(map[diagKey]*regexp.Regexp)
+	for name, src := range pkg.Src {
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, m[1], err)
+			}
+			wants[diagKey{name, i + 1}] = re
+		}
+	}
+
+	matched := make(map[diagKey]bool)
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{a}) {
+		k := diagKey{d.Pos.Filename, d.Pos.Line}
+		re, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected diagnostic %s", d)
+			continue
+		}
+		if !re.MatchString(d.Message) {
+			t.Errorf("%s:%d: diagnostic %q does not match want %q", d.Pos.Filename, d.Pos.Line, d.Message, re)
+		}
+		matched[k] = true
+	}
+	for k, re := range wants {
+		if !matched[k] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+func TestDeterminismSimPackage(t *testing.T) {
+	runGolden(t, Determinism, "determinism_sim", "paratune/internal/cluster")
+}
+
+func TestDeterminismNonSimPackage(t *testing.T) {
+	runGolden(t, Determinism, "determinism_nonsim", "paratune/internal/harmony")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	runGolden(t, LockDiscipline, "lockdiscipline", "paratune/internal/harmony")
+}
+
+func TestFloatCompare(t *testing.T) {
+	runGolden(t, FloatCompare, "floatcompare", "paratune/internal/stats")
+}
+
+// TestFloatCompareScope checks the rule stays silent outside the
+// rank-ordering/stats packages, no matter what the code does.
+func TestFloatCompareScope(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "floatcompare"), "paratune/internal/harmony")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{FloatCompare}); len(diags) != 0 {
+		t.Errorf("floatcompare fired outside its package scope: %v", diags)
+	}
+}
+
+func TestErrDiscipline(t *testing.T) {
+	runGolden(t, ErrDiscipline, "errdiscipline", "paratune/internal/harmony")
+}
+
+// TestErrDisciplineScope checks the rule is confined to the wire boundary.
+func TestErrDisciplineScope(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "errdiscipline"), "paratune/internal/experiment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{ErrDiscipline}); len(diags) != 0 {
+		t.Errorf("errdiscipline fired outside the wire boundary: %v", diags)
+	}
+}
+
+// TestRepoIsClean is the enforcement test: the whole repository must be free
+// of paralint findings. It is what makes `go test ./...` (tier-1) fail the
+// same way `make lint` and CI fail when a regression lands.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("type error in %s: %v", pkg.ImportPath, terr)
+		}
+	}
+	diags := Run(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the findings or annotate deliberate exceptions with //paralint:allow <rule> <reason>")
+	}
+}
+
+// TestAllowParsing pins the directive grammar: rule list up front, free-form
+// reason after.
+func TestAllowParsing(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{" determinism", []string{"determinism"}},
+		{" determinism, floatcompare reason text", []string{"determinism", "floatcompare"}},
+		{" all because everything here is deliberate", []string{"all"}},
+		{" floatcompare exact tie collapsing", []string{"floatcompare"}},
+		{" not-a-rule determinism", nil},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got := parseAllowRules(c.in)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("parseAllowRules(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Src        map[string][]byte // filename -> source, for comment classification
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir over the given
+// patterns and returns the package stream.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load parses and type-checks the packages matching patterns, resolved
+// relative to dir (the module root or any directory inside it). Dependencies
+// are imported from compiler export data, so loading is exact: the same
+// types the compiler sees are the types the analyzers see.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []listPkg
+	var broken []string
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			broken = append(broken, fmt.Sprintf("%s: %s", p.ImportPath, p.Error.Err))
+			continue
+		}
+		targets = append(targets, p)
+	}
+	if len(broken) > 0 {
+		return nil, fmt.Errorf("packages failed to load:\n  %s", strings.Join(broken, "\n  "))
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		files, src, err := parseFiles(fset, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		pkg := &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Src:        src,
+		}
+		pkg.Types, pkg.Info, pkg.TypeErrors = typeCheck(fset, t.ImportPath, files, imp)
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package in dir (non-test .go
+// files), assigning it asImportPath. Imports are resolved through the go
+// tool, so only importable (typically stdlib) dependencies are supported.
+// This is the entry point the golden-file tests use: testdata packages are
+// invisible to `go list ./...` but still need real type information, and
+// asImportPath lets a testdata package impersonate a simulation package.
+func LoadDir(dir, asImportPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	files, src, err := parseFiles(fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	importSet := make(map[string]bool)
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			importSet[path] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		patterns := make([]string, 0, len(importSet))
+		for p := range importSet {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		listed, err := goList(dir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	pkg := &Package{
+		ImportPath: asImportPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Src:        src,
+	}
+	imp := exportImporter(fset, exports)
+	pkg.Types, pkg.Info, pkg.TypeErrors = typeCheck(fset, asImportPath, files, imp)
+	return pkg, nil
+}
+
+// parseFiles parses the named files in dir with comments, retaining source
+// bytes for the allow-comment index.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, map[string][]byte, error) {
+	var files []*ast.File
+	src := make(map[string][]byte)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := parser.ParseFile(fset, path, data, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		src[path] = data
+	}
+	return files, src, nil
+}
+
+// exportImporter imports dependencies from the compiler export data files
+// that `go list -export` reported.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// typeCheck runs go/types over one package, collecting rather than aborting
+// on errors so analysis can proceed on a best-effort basis.
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, []error) {
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, _ := conf.Check(path, fset, files, info) // errors already collected
+	return pkg, info, errs
+}

@@ -1,0 +1,26 @@
+// Package nonsim is golden-file input for the determinism analyzer, loaded
+// as a non-simulation package (paratune/internal/harmony): wall-clock reads
+// are legitimate there, but wall-clock RNG seeding and the global rand
+// source still are not.
+package nonsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func goodDeadline() time.Time {
+	return time.Now().Add(30 * time.Second)
+}
+
+func badWallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "RNG seeded from the wall clock"
+}
+
+func badGlobalRand() float64 {
+	return rand.Float64() // want "global math/rand Float64"
+}
+
+func goodSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

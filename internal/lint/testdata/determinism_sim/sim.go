@@ -1,0 +1,46 @@
+// Package sim is golden-file input for the determinism analyzer, loaded as
+// if it were a simulation package (paratune/internal/cluster).
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badWallClock() time.Time {
+	return time.Now() // want "wall-clock time.Now in simulation package"
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock time.Since in simulation package"
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want "global math/rand Intn"
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand Shuffle"
+}
+
+func badWallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "wall-clock time.Now in simulation package"
+}
+
+func allowedTrailing() time.Time {
+	return time.Now() //paralint:allow determinism golden test of the trailing escape hatch
+}
+
+func allowedPreceding() time.Time {
+	//paralint:allow determinism golden test of the standalone escape hatch
+	return time.Now()
+}
+
+func goodSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func goodConstantTime() time.Duration {
+	return 3 * time.Second
+}

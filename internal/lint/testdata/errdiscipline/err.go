@@ -1,0 +1,61 @@
+// Package errd is golden-file input for the errdiscipline analyzer, loaded
+// as the wire-boundary package (paratune/internal/harmony).
+package errd
+
+import "errors"
+
+type conn struct{}
+
+func (conn) Close() error                { return nil }
+func (conn) SetDeadline() error          { return nil }
+func (conn) SetReadDeadline() error      { return nil }
+func (conn) Write(p []byte) (int, error) { return len(p), nil }
+
+func send() error           { return errors.New("send") }
+func recv() (string, error) { return "", errors.New("recv") }
+func count() int            { return 0 }
+
+func badBareStatement() {
+	send() // want "error from send discarded"
+}
+
+func badBlankAssign() {
+	_ = send() // want "error from send assigned to _"
+}
+
+func badTupleBlank() {
+	v, _ := recv() // want "error from recv assigned to _"
+	_ = v
+}
+
+func badDeferred() {
+	defer send() // want "error from send discarded"
+}
+
+func badWriteDropped(c conn) {
+	c.Write(nil) // want "error from Write discarded"
+}
+
+func goodExemptCleanup(c conn) {
+	_ = c.Close()
+	defer c.Close()
+	_ = c.SetDeadline()
+	_ = c.SetReadDeadline()
+}
+
+func goodHandled() error {
+	if err := send(); err != nil {
+		return err
+	}
+	v, err := recv()
+	_ = v
+	return err
+}
+
+func goodNoError() {
+	count() // no error result; nothing to discard
+}
+
+func allowedBestEffort() {
+	_ = send() //paralint:allow errdiscipline golden test of the escape hatch
+}

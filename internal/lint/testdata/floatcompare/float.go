@@ -1,0 +1,35 @@
+// Package float is golden-file input for the floatcompare analyzer, loaded
+// as a stats package (paratune/internal/stats).
+package float
+
+func badEq(a, b float64) bool {
+	return a == b // want "float equality"
+}
+
+func badNeq(a, b float64) bool {
+	return a != b // want "float equality"
+}
+
+func bad32(a, b float32) bool {
+	return a == b // want "float equality"
+}
+
+func goodZeroSentinel(a float64) bool {
+	return a == 0 // exact-zero sentinel checks are exempt
+}
+
+func goodNaNProbe(a float64) bool {
+	return a != a // the idiomatic NaN self-test is exact by definition
+}
+
+func goodInts(a, b int) bool {
+	return a == b
+}
+
+func goodOrdering(a, b float64) bool {
+	return a < b
+}
+
+func allowedExactTie(a, b float64) bool {
+	return a == b //paralint:allow floatcompare golden test of the escape hatch
+}

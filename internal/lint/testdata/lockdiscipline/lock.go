@@ -1,0 +1,65 @@
+// Package lock is golden-file input for the lockdiscipline analyzer.
+package lock
+
+import "sync"
+
+type counter struct {
+	name string // above the mutex: not guarded
+
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) Bad() int {
+	return c.n // want "Bad accesses c.n .guarded by mu. without holding the lock"
+}
+
+// incLocked follows the caller-holds-lock naming convention.
+func (c *counter) incLocked() { c.n++ }
+
+func (c *counter) Name() string { return c.name }
+
+func (c *counter) AllowedSnapshot() int {
+	return c.n //paralint:allow lockdiscipline golden test of the escape hatch
+}
+
+type rwTable struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (t *rwTable) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *rwTable) BadPut(k string, v int) {
+	t.m[k] = v // want "BadPut accesses t.m .guarded by mu. without holding the lock"
+}
+
+type embedded struct {
+	sync.Mutex
+	v int
+}
+
+func (e *embedded) Bad() int {
+	return e.v // want "Bad accesses e.v .guarded by Mutex. without holding the lock"
+}
+
+func (e *embedded) Good() int {
+	e.Lock()
+	defer e.Unlock()
+	return e.v
+}
+
+// plain has no mutex at all; nothing here is in scope.
+type plain struct{ v int }
+
+func (p *plain) Get() int { return p.v }

@@ -24,7 +24,7 @@ func (p Point) Equal(q Point) bool {
 		return false
 	}
 	for i := range p {
-		if p[i] != q[i] {
+		if p[i] != q[i] { //paralint:allow floatcompare Equal's contract is exact coordinate identity
 			return false
 		}
 	}

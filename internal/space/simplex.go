@@ -168,7 +168,7 @@ func offsetVertex(s *Space, c Point, i int, delta float64) Point {
 	x := c.Clone()
 	x[i] += delta
 	v := s.Project(x, c)
-	if v[i] != c[i] {
+	if v[i] != c[i] { //paralint:allow floatcompare collapse probe: Project returns admissible values verbatim
 		return v
 	}
 	lo, hasLo, hi, hasHi := s.Param(i).Neighbors(c[i])

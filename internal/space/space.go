@@ -102,7 +102,7 @@ func (p *Parameter) validate() error {
 			if math.IsNaN(v) {
 				return fmt.Errorf("space: discrete parameter %q has NaN value", p.Name)
 			}
-			if i == 0 || v != out[len(out)-1] {
+			if i == 0 || v != out[len(out)-1] { //paralint:allow floatcompare exact dedup over a sorted menu
 				out = append(out, v)
 			}
 		}
@@ -122,10 +122,10 @@ func (p Parameter) Admissible(v float64) bool {
 	}
 	switch p.Kind {
 	case Integer:
-		return v == math.Trunc(v)
+		return v == math.Trunc(v) //paralint:allow floatcompare exact integrality probe
 	case Discrete:
 		i := sort.SearchFloat64s(p.Values, v)
-		return i < len(p.Values) && p.Values[i] == v
+		return i < len(p.Values) && p.Values[i] == v //paralint:allow floatcompare exact menu membership
 	default:
 		return true
 	}
@@ -164,13 +164,13 @@ func (p Parameter) Neighbors(v float64) (lo float64, hasLo bool, hi float64, has
 		// i is the first index with Values[i] >= v.
 		if i > 0 {
 			lo, hasLo = p.Values[i-1], true
-			if i < len(p.Values) && p.Values[i] == v {
+			if i < len(p.Values) && p.Values[i] == v { //paralint:allow floatcompare exact menu membership
 				// exact hit: lower neighbour is Values[i-1], fine as is
 				_ = lo
 			}
 		}
 		j := i
-		if j < len(p.Values) && p.Values[j] == v {
+		if j < len(p.Values) && p.Values[j] == v { //paralint:allow floatcompare exact menu membership
 			j++
 		}
 		if j < len(p.Values) {
@@ -196,7 +196,7 @@ func (p Parameter) bracket(v float64) (l, u float64) {
 		return math.Floor(v), math.Ceil(v)
 	default: // Discrete
 		i := sort.SearchFloat64s(p.Values, v)
-		if i < len(p.Values) && p.Values[i] == v {
+		if i < len(p.Values) && p.Values[i] == v { //paralint:allow floatcompare exact menu membership
 			return v, v
 		}
 		return p.Values[i-1], p.Values[i]
@@ -211,7 +211,7 @@ func (p Parameter) Project(v, center float64) float64 {
 		return p.Project(center, center)
 	}
 	l, u := p.bracket(v)
-	if l == u {
+	if l == u { //paralint:allow floatcompare bracket returns admissible values verbatim; equality means exact hit
 		return l
 	}
 	// v lies strictly between consecutive admissible values l < v < u.

@@ -11,6 +11,26 @@ import (
 	"sort"
 )
 
+// ApproxEqual reports whether a and b agree to within tol, absolutely for
+// small magnitudes and relatively for large ones. It is the tolerance helper
+// paralint's floatcompare rule steers rank-ordering and tie decisions
+// through: two estimates separated only by rounding must compare as a tie,
+// not an ordering. NaNs never compare equal; tol <= 0 means exact equality.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { //paralint:allow floatcompare exact fast path, incl. equal infinities
+		return true
+	}
+	diff := math.Abs(a - b)
+	if math.IsInf(diff, 0) {
+		return false // opposite infinities, or one infinite operand
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol || diff <= tol*scale
+}
+
 // Summary holds basic descriptive statistics of a sample.
 type Summary struct {
 	N        int
@@ -128,6 +148,7 @@ func NewECDF(xs []float64) (*ECDF, error) {
 func (e *ECDF) Eval(x float64) float64 {
 	i := sort.SearchFloat64s(e.sorted, x)
 	// Advance over ties so Eval is right-continuous: count values == x too.
+	//paralint:allow floatcompare exact tie collapsing over a sorted sample
 	for i < len(e.sorted) && e.sorted[i] == x {
 		i++
 	}
@@ -150,7 +171,7 @@ func (e *ECDF) SurvivalPoints() (xs, qs []float64) {
 	n := len(e.sorted)
 	for i := 0; i < n; {
 		j := i
-		for j < n && e.sorted[j] == e.sorted[i] {
+		for j < n && e.sorted[j] == e.sorted[i] { //paralint:allow floatcompare exact tie collapsing over a sorted sample
 			j++
 		}
 		q := float64(n-j) / float64(n)
@@ -188,7 +209,7 @@ func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
 		case x < lo:
 			h.Underflow++
 		case x >= hi:
-			if x == hi {
+			if x == hi { //paralint:allow floatcompare closed upper bin edge is exact by definition
 				h.Counts[bins-1]++
 				h.Total++
 			} else {
@@ -213,7 +234,7 @@ func AutoHistogram(xs []float64, bins int) (*Histogram, error) {
 	}
 	s := Summarize(xs)
 	hi := s.Max
-	if hi == s.Min {
+	if hi == s.Min { //paralint:allow floatcompare degenerate-range probe on copied values
 		hi = s.Min + 1
 	}
 	return NewHistogram(xs, s.Min, hi, bins)

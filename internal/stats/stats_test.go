@@ -365,3 +365,27 @@ func TestCumSumMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},              // exact fast path
+		{0, 0, 0, true},              // exact zero
+		{1, 1 + 1e-12, 1e-9, true},   // within relative tolerance
+		{1e9, 1e9 + 1, 1e-6, true},   // relative tolerance scales with magnitude
+		{1, 1.1, 1e-3, false},        // outside tolerance
+		{0, 1e-12, 1e-9, true},       // near zero: absolute tolerance applies
+		{inf, inf, 1e-9, true},       // equal infinities compare equal
+		{inf, -inf, 1e-9, false},     // opposite infinities do not
+		{math.NaN(), 1, 1e-9, false}, // NaN is never approximately anything
+		{math.NaN(), math.NaN(), 1, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
