@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race bench fuzz results examples clean
+.PHONY: all build lint test race bench bench-smoke trace-smoke fuzz results examples clean
 
 all: build test
 
@@ -26,6 +26,19 @@ race:
 # Quick-scale figure benches + hot-path micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Compile-and-run-once pass over every benchmark (what CI runs).
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# End-to-end event-stream check: two same-seed runs must produce
+# byte-identical JSONL traces, and traceanalyze must parse them directly.
+trace-smoke:
+	$(GO) run ./cmd/paratune -seed 7 -rho 0.3 -budget 200 -trace trace.jsonl
+	$(GO) run ./cmd/paratune -seed 7 -rho 0.3 -budget 200 -trace trace2.jsonl
+	cmp trace.jsonl trace2.jsonl
+	$(GO) run ./cmd/traceanalyze -in trace.jsonl
+	rm -f trace.jsonl trace2.jsonl
 
 # Brief fuzzing passes over the parsing/projection boundaries.
 fuzz:

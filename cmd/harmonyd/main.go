@@ -7,12 +7,15 @@
 //
 //	harmonyd [-addr :7779] [-samples 3] [-estimator min]
 //	         [-checkpoint tuning.ckpt] [-checkpoint-interval 30s]
-//	         [-measure-timeout 30s] [-idle-timeout 0]
+//	         [-measure-timeout 30s] [-idle-timeout 0] [-trace events.jsonl]
 //
 // With -checkpoint set, harmonyd restores every session found in the file at
 // startup (a missing file is fine), rewrites it every -checkpoint-interval,
 // and writes it a final time on SIGINT — so a killed and restarted harmonyd
 // resumes tuning mid-simplex instead of starting over.
+//
+// With -trace set, every session's lifecycle and optimiser iterations are
+// appended to the file as JSONL events (the cmd/traceanalyze format).
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"os/signal"
 	"time"
 
+	"paratune/internal/event"
 	"paratune/internal/harmony"
 	"paratune/internal/sample"
 )
@@ -36,6 +40,7 @@ func main() {
 		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "how often to rewrite the checkpoint file")
 		measureTO  = flag.Duration("measure-timeout", 0, "per-batch measurement progress deadline (0 = default 30s, <0 = disabled)")
 		idleExpiry = flag.Duration("idle-timeout", 0, "drop sessions idle this long (0 = never)")
+		trace      = flag.String("trace", "", "append session lifecycle and iteration events to this JSONL file (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -43,11 +48,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := harmony.NewServer(harmony.ServerOptions{
+	var rec *event.JSONL
+	if *trace != "" {
+		w := os.Stdout
+		if *trace != "-" {
+			f, err := os.OpenFile(*trace, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		rec = event.NewJSONL(w)
+	}
+	opts := harmony.ServerOptions{
 		Estimator:          est,
 		MeasurementTimeout: *measureTO,
 		IdleTimeout:        *idleExpiry,
-	})
+	}
+	if rec != nil {
+		opts.Recorder = rec
+	}
+	srv := harmony.NewServer(opts)
 
 	if *ckptPath != "" {
 		if data, err := os.ReadFile(*ckptPath); err == nil {

@@ -1,13 +1,18 @@
 // Command paratune runs one on-line tuning simulation from the command line:
 // pick a surface, an algorithm, an estimator, a variability level, and a
 // step budget, and get the paper's metrics (Total_Time, NTT, final
-// configuration) plus an optional per-step trace.
+// configuration) plus an optional JSONL event trace.
 //
 // Usage:
 //
 //	paratune [-surface gs2|sphere|rugged|rosenbrock] [-algorithm pro|...]
 //	         [-estimator min|mean|median|single|adaptive] [-samples K]
-//	         [-rho R] [-budget N] [-procs P] [-seed S] [-trace]
+//	         [-rho R] [-budget N] [-procs P] [-seed S] [-trace out.jsonl]
+//
+// The -trace stream is one JSON envelope per event (run lifecycle, optimiser
+// iterations, per-step T_k, faults); "-" writes it to stdout, and
+// cmd/traceanalyze consumes it directly. With a fixed -seed the stream is
+// byte-identical across runs.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"paratune/internal/event"
 	"paratune/internal/objective"
 	"paratune/internal/space"
 
@@ -33,45 +39,70 @@ func main() {
 		budget    = flag.Int("budget", 100, "application time steps (the paper's K)")
 		procs     = flag.Int("procs", 16, "simulated SPMD processors")
 		seed      = flag.Int64("seed", 1, "random seed")
-		trace     = flag.Bool("trace", false, "print the per-step T_k trace as CSV")
+		trace     = flag.String("trace", "", "write the JSONL event trace to this file (\"-\" for stdout)")
 		parallel  = flag.Bool("parallel-sampling", false, "use idle processors for extra samples")
 	)
 	flag.Parse()
 
-	res, sp, err := run(*surface, *dbPath, paratune.Options{
+	var rec *event.JSONL
+	if *trace != "" {
+		w := os.Stdout
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paratune:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		rec = event.NewJSONL(w)
+	}
+
+	opts := paratune.Options{
 		Algorithm: *algorithm, Estimator: *estimator, Samples: *samples,
 		Rho: *rho, Alpha: *alpha, Budget: *budget, Processors: *procs,
 		Seed: *seed, ParallelSampling: *parallel,
-	})
+	}
+	if rec != nil {
+		opts.Recorder = rec
+	}
+	res, sp, err := run(*surface, *dbPath, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paratune:", err)
 		os.Exit(1)
 	}
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "paratune: trace:", err)
+			os.Exit(1)
+		}
+	}
 
-	fmt.Printf("surface:        %s\n", *surface)
-	fmt.Printf("algorithm:      %s  (estimator %s, K=%d)\n", *algorithm, *estimator, *samples)
-	fmt.Printf("variability:    rho=%.2f alpha=%.2f on %d processors\n", *rho, *alpha, *procs)
-	fmt.Printf("best config:    %v", res.Best)
+	// With the trace on stdout, keep the human-readable summary on stderr so
+	// the JSONL stream stays machine-parseable.
+	out := os.Stdout
+	if *trace == "-" {
+		out = os.Stderr
+	}
+	fmt.Fprintf(out, "surface:        %s\n", *surface)
+	fmt.Fprintf(out, "algorithm:      %s  (estimator %s, K=%d)\n", *algorithm, *estimator, *samples)
+	fmt.Fprintf(out, "variability:    rho=%.2f alpha=%.2f on %d processors\n", *rho, *alpha, *procs)
+	fmt.Fprintf(out, "best config:    %v", res.Best)
 	if names := sp.Names(); len(names) == len(res.Best) {
-		fmt.Printf("  (")
+		fmt.Fprintf(out, "  (")
 		for i, n := range names {
 			if i > 0 {
-				fmt.Printf(", ")
+				fmt.Fprintf(out, ", ")
 			}
-			fmt.Printf("%s=%g", n, res.Best[i])
+			fmt.Fprintf(out, "%s=%g", n, res.Best[i])
 		}
-		fmt.Printf(")")
+		fmt.Fprintf(out, ")")
 	}
-	fmt.Println()
-	fmt.Printf("estimate:       %.4f   noise-free value: %.4f\n", res.BestValue, res.TrueValue)
-	fmt.Printf("Total_Time(%d): %.3f   NTT: %.3f\n", res.Steps, res.TotalTime, res.NTT)
-	fmt.Printf("iterations:     %d   converged at step: %d\n", res.Iterations, res.ConvergedAtStep)
-	if *trace {
-		fmt.Println("step,Tk")
-		for k, t := range res.StepTimes {
-			fmt.Printf("%d,%g\n", k+1, t)
-		}
-	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "estimate:       %.4f   noise-free value: %.4f\n", res.BestValue, res.TrueValue)
+	fmt.Fprintf(out, "Total_Time(%d): %.3f   NTT: %.3f\n", res.Steps, res.TotalTime, res.NTT)
+	fmt.Fprintf(out, "iterations:     %d   converged at step: %d\n", res.Iterations, res.ConvergedAtStep)
 }
 
 // run builds the selected surface and executes the tuning simulation. GS2

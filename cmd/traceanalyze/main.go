@@ -4,17 +4,22 @@
 // same analysis after truncating the big spikes, autocorrelation, and the §5
 // running-min vs running-mean estimator comparison.
 //
-// Input is a text file (or stdin with -in -) with one sample per line, or a
-// CSV with -col selecting the column (0-based; the first row is skipped when
-// it does not parse).
+// Input is a text file (or stdin with -in -) with one sample per line, a CSV
+// with -col selecting the column (0-based; the first row is skipped when it
+// does not parse), or a JSONL event trace as written by paratune/harmonyd
+// -trace. JSONL input is detected automatically (lines starting with '{');
+// the per-step barrier times of its "step_time" events become the sample
+// stream.
 //
 // Usage:
 //
 //	traceanalyze -in trace.csv -col 1 -threshold 5
+//	paratune -seed 7 -rho 0.3 -budget 500 -trace - | traceanalyze
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"paratune/internal/event"
 	"paratune/internal/stats"
 )
 
@@ -58,14 +64,28 @@ func main() {
 }
 
 // readColumn parses one float column from line- or comma-separated input,
-// skipping unparsable lines (headers).
+// skipping unparsable lines (headers). Input whose first non-empty line
+// starts with '{' is treated as a JSONL event trace instead: each line is an
+// event.Envelope, and the T_k of every "step_time" event becomes a sample.
 func readColumn(r io.Reader, col int) ([]float64, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var out []float64
+	jsonl := false
+	first := true
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			jsonl = strings.HasPrefix(line, "{")
+		}
+		if jsonl {
+			if t, ok := stepTime(line); ok {
+				out = append(out, t)
+			}
 			continue
 		}
 		fields := strings.Split(line, ",")
@@ -79,6 +99,20 @@ func readColumn(r io.Reader, col int) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, sc.Err()
+}
+
+// stepTime decodes one JSONL envelope and returns the barrier time of a
+// step_time event; malformed lines and other event kinds are skipped.
+func stepTime(line string) (float64, bool) {
+	var env event.Envelope
+	if err := json.Unmarshal([]byte(line), &env); err != nil || env.Kind != event.KindStepTime {
+		return 0, false
+	}
+	var st event.StepTime
+	if err := json.Unmarshal(env.Event, &st); err != nil {
+		return 0, false
+	}
+	return st.T, true
 }
 
 // report writes the full diagnostic battery.

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"paratune/internal/event"
+)
+
+func TestReadColumnCSV(t *testing.T) {
+	in := "step,t\n1,2.5\n2,3.5\n"
+	data, err := readColumn(strings.NewReader(in), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2 || data[0] != 2.5 || data[1] != 3.5 {
+		t.Errorf("data = %v", data)
+	}
+}
+
+func TestReadColumnJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	j := event.NewJSONL(&buf)
+	j.Record(event.RunStart{Mode: "sync", Algorithm: "pro"})
+	j.Record(event.StepTime{Step: 1, T: 2.5})
+	j.Record(event.BatchEvaluated{Points: 4, VTime: 2.5})
+	j.Record(event.StepTime{Step: 2, T: 3.5})
+	j.Record(event.RunEnd{Mode: "sync"})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// -col is ignored for JSONL; only step_time events contribute samples.
+	data, err := readColumn(&buf, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2 || data[0] != 2.5 || data[1] != 3.5 {
+		t.Errorf("data = %v", data)
+	}
+}
+
+func TestReadColumnJSONLSkipsMalformed(t *testing.T) {
+	in := `{"seq":1,"kind":"step_time","event":{"step":1,"t":1.5}}
+{not json}
+{"seq":2,"kind":"iteration","event":{"iter":1}}
+{"seq":3,"kind":"step_time","event":{"step":2,"t":2.5}}
+`
+	data, err := readColumn(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2 || data[0] != 1.5 || data[1] != 2.5 {
+		t.Errorf("data = %v", data)
+	}
+}
+
+func TestReportRuns(t *testing.T) {
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = 1 + float64(i%7)*0.3
+	}
+	var out bytes.Buffer
+	if err := report(&out, data, 5, 10, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"samples:", "quantiles:", "pdf", "autocorrelation", "running mean"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

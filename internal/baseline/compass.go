@@ -22,6 +22,8 @@ type Compass struct {
 	curVal    float64
 	converged bool
 	inited    bool
+	iters     int
+	evals     int
 }
 
 // NewCompass validates the configuration.
@@ -49,6 +51,7 @@ func (c *Compass) Init(ev core.Evaluator) error {
 	}
 	c.converged = false
 	c.inited = true
+	c.iters, c.evals = 0, 1
 	return nil
 }
 
@@ -90,6 +93,8 @@ func (c *Compass) Step(ev core.Evaluator) (core.StepInfo, error) {
 	if err != nil {
 		return core.StepInfo{}, err
 	}
+	c.iters++
+	c.evals += len(probes)
 	bi, bv := -1, c.curVal
 	for i, v := range vals {
 		if v < bv {
@@ -128,3 +133,9 @@ func (c *Compass) Best() (space.Point, float64) {
 func (c *Compass) Converged() bool { return c.converged }
 
 func (c *Compass) String() string { return "compass" }
+
+// Iterations returns completed iterations.
+func (c *Compass) Iterations() int { return c.iters }
+
+// Evals returns the total point evaluations, including the initial centre.
+func (c *Compass) Evals() int { return c.evals }

@@ -25,6 +25,7 @@ type NelderMead struct {
 	converged bool
 	inited    bool
 	iters     int
+	evals     int
 }
 
 // NewNelderMead validates the options and returns the algorithm.
@@ -53,6 +54,7 @@ func (nm *NelderMead) Init(ev core.Evaluator) error {
 	nm.inited = true
 	nm.converged = false
 	nm.iters = 0
+	nm.evals = sim.Len()
 	return nil
 }
 
@@ -75,6 +77,9 @@ func (nm *NelderMead) String() string { return "nelder-mead" }
 
 // Iterations returns completed iterations.
 func (nm *NelderMead) Iterations() int { return nm.iters }
+
+// Evals returns the total point evaluations, including the initial simplex.
+func (nm *NelderMead) Evals() int { return nm.evals }
 
 // Step performs one Nelder–Mead iteration.
 func (nm *NelderMead) Step(ev core.Evaluator) (core.StepInfo, error) {
@@ -185,6 +190,7 @@ func (nm *NelderMead) replaceWorst(x space.Point, v float64) {
 }
 
 func (nm *NelderMead) info(kind core.StepKind, evals int) core.StepInfo {
+	nm.evals += evals
 	p, v := nm.simplex.Best()
 	return core.StepInfo{Kind: kind, Best: p.Clone(), BestValue: v, Evals: evals}
 }

@@ -22,6 +22,8 @@ type Random struct {
 	best    space.Point
 	bestVal float64
 	inited  bool
+	iters   int
+	evals   int
 }
 
 // NewRandom builds a random search drawing batch points per iteration.
@@ -44,6 +46,7 @@ func (r *Random) Init(ev core.Evaluator) error {
 	}
 	r.best, r.bestVal = c, vals[0]
 	r.inited = true
+	r.iters, r.evals = 0, 1
 	return nil
 }
 
@@ -60,6 +63,8 @@ func (r *Random) Step(ev core.Evaluator) (core.StepInfo, error) {
 	if err != nil {
 		return core.StepInfo{}, err
 	}
+	r.iters++
+	r.evals += r.Batch
 	for i, v := range vals {
 		if v < r.bestVal {
 			r.bestVal = v
@@ -82,6 +87,12 @@ func (r *Random) Converged() bool { return false }
 
 func (r *Random) String() string { return "random" }
 
+// Iterations returns completed iterations.
+func (r *Random) Iterations() int { return r.iters }
+
+// Evals returns the total point evaluations, including the initial centre.
+func (r *Random) Evals() int { return r.evals }
+
 // Annealing is simulated annealing: a single random walker accepting uphill
 // moves with probability exp(-Δ/T) under a geometric cooling schedule. The
 // paper singles out SA (with genetic algorithms) as *unsuitable* for on-line
@@ -100,6 +111,8 @@ type Annealing struct {
 	bestVal float64
 	temp    float64
 	inited  bool
+	iters   int
+	evals   int
 }
 
 // NewAnnealing validates the schedule. Defaults: T0 1.0, decay 0.98,
@@ -132,6 +145,7 @@ func (a *Annealing) Init(ev core.Evaluator) error {
 	a.best, a.bestVal = p.Clone(), vals[0]
 	a.temp = a.T0
 	a.inited = true
+	a.iters, a.evals = 0, 1
 	return nil
 }
 
@@ -168,6 +182,8 @@ func (a *Annealing) Step(ev core.Evaluator) (core.StepInfo, error) {
 	if err != nil {
 		return core.StepInfo{}, err
 	}
+	a.iters++
+	a.evals++
 	v := vals[0]
 	delta := v - a.curVal
 	if delta <= 0 || a.rng.Float64() < math.Exp(-delta/a.temp) {
@@ -193,6 +209,12 @@ func (a *Annealing) Converged() bool { return a.inited && a.temp < a.Tmin }
 
 func (a *Annealing) String() string { return "annealing" }
 
+// Iterations returns completed iterations.
+func (a *Annealing) Iterations() int { return a.iters }
+
+// Evals returns the total point evaluations, including the initial draw.
+func (a *Annealing) Evals() int { return a.evals }
+
 // Genetic is a steady-state genetic algorithm: tournament selection, uniform
 // crossover, neighbour mutation, one elite. Each generation is evaluated as
 // one parallel batch. Like SA it is cited by the paper as having a poor
@@ -208,6 +230,8 @@ type Genetic struct {
 	bestVal  float64
 	inited   bool
 	collapse int // generations with no improvement
+	iters    int
+	evals    int
 }
 
 // NewGenetic validates the configuration. Defaults: pop 10, mutProb 0.15.
@@ -244,6 +268,7 @@ func (g *Genetic) Init(ev core.Evaluator) error {
 	}
 	g.inited = true
 	g.collapse = 0
+	g.iters, g.evals = 0, g.Pop
 	return nil
 }
 
@@ -293,6 +318,8 @@ func (g *Genetic) Step(ev core.Evaluator) (core.StepInfo, error) {
 	if err != nil {
 		return core.StepInfo{}, err
 	}
+	g.iters++
+	g.evals += g.Pop
 	g.pop, g.vals = next, vals
 	improved := false
 	for i, v := range vals {
@@ -322,3 +349,9 @@ func (g *Genetic) Best() (space.Point, float64) {
 func (g *Genetic) Converged() bool { return g.inited && g.collapse >= 25 }
 
 func (g *Genetic) String() string { return "genetic" }
+
+// Iterations returns completed generations.
+func (g *Genetic) Iterations() int { return g.iters }
+
+// Evals returns the total point evaluations, including the initial population.
+func (g *Genetic) Evals() int { return g.evals }

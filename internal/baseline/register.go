@@ -1,0 +1,44 @@
+package baseline
+
+import "paratune/internal/core"
+
+// The baselines register themselves so core.NewByName can construct every
+// algorithm by name. Importing this package (even blank) populates the
+// registry; the Options fields Seed and Batch carry the stochastic baselines'
+// randomness and batch width, while the figure-specific hyperparameters
+// (annealing schedule, mutation probability) keep their documented defaults.
+func init() {
+	core.Register(core.Info{
+		Name:        "nelder-mead",
+		Description: "classic Nelder–Mead simplex (§3.1, sequential)",
+	}, func(opts core.Options) (core.Algorithm, error) {
+		return NewNelderMead(opts)
+	})
+	core.Register(core.Info{
+		Name:        "compass",
+		Description: "compass (coordinate) generating-set search",
+		Parallel:    true,
+	}, func(opts core.Options) (core.Algorithm, error) {
+		return NewCompass(opts.Space, 0.25)
+	})
+	core.Register(core.Info{
+		Name:        "random",
+		Description: "pure random search, Batch points per iteration",
+		Parallel:    true,
+	}, func(opts core.Options) (core.Algorithm, error) {
+		return NewRandom(opts.Space, opts.Batch, opts.Seed)
+	})
+	core.Register(core.Info{
+		Name:        "annealing",
+		Description: "simulated annealing, geometric cooling",
+	}, func(opts core.Options) (core.Algorithm, error) {
+		return NewAnnealing(opts.Space, 1, 0.98, 1e-3, opts.Seed)
+	})
+	core.Register(core.Info{
+		Name:        "genetic",
+		Description: "steady-state genetic algorithm, Batch-sized population",
+		Parallel:    true,
+	}, func(opts core.Options) (core.Algorithm, error) {
+		return NewGenetic(opts.Space, opts.Batch, 0.15, opts.Seed)
+	})
+}

@@ -1,0 +1,83 @@
+package baseline
+
+import (
+	"testing"
+
+	"paratune/internal/core"
+	"paratune/internal/objective"
+	"paratune/internal/space"
+)
+
+// Every baseline is reachable through the registry, and the constructed
+// algorithm identifies itself with its registry name.
+func TestBaselinesRegistered(t *testing.T) {
+	sp := bowlSpace()
+	opts := core.Options{Space: sp, Seed: 7, Batch: 8}
+	for _, name := range []string{"nelder-mead", "compass", "random", "annealing", "genetic"} {
+		info, ok := core.Lookup(name)
+		if !ok {
+			t.Fatalf("%q not registered", name)
+		}
+		if info.Description == "" {
+			t.Errorf("%q has no description", name)
+		}
+		alg, err := core.NewByName(name, opts)
+		if err != nil {
+			t.Fatalf("NewByName(%q): %v", name, err)
+		}
+		if alg.String() != name {
+			t.Errorf("NewByName(%q).String() = %q", name, alg.String())
+		}
+	}
+	// Parallel metadata matches whether the algorithm batches proposals.
+	for name, parallel := range map[string]bool{
+		"nelder-mead": false, "compass": true, "random": true,
+		"annealing": false, "genetic": true,
+	} {
+		if info, _ := core.Lookup(name); info.Parallel != parallel {
+			t.Errorf("%q Parallel = %v, want %v", name, info.Parallel, parallel)
+		}
+	}
+}
+
+// All baselines expose the same introspection surface as PRO/SRO: iteration
+// and evaluation counters that advance as the search runs.
+func TestBaselinesIntrospection(t *testing.T) {
+	sp := bowlSpace()
+	f := objective.NewSphere(sp, space.Point{50, 50}, 1)
+	type counted interface {
+		core.Algorithm
+		Iterations() int
+		Evals() int
+	}
+	mk := []func() (core.Algorithm, error){
+		func() (core.Algorithm, error) { return NewNelderMead(core.Options{Space: sp}) },
+		func() (core.Algorithm, error) { return NewCompass(sp, 0.25) },
+		func() (core.Algorithm, error) { return NewRandom(sp, 8, 7) },
+		func() (core.Algorithm, error) { return NewAnnealing(sp, 1, 0.98, 1e-3, 7) },
+		func() (core.Algorithm, error) { return NewGenetic(sp, 8, 0.15, 7) },
+	}
+	for _, m := range mk {
+		alg, err := m()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, ok := alg.(counted)
+		if !ok {
+			t.Fatalf("%v does not expose Iterations/Evals", alg)
+		}
+		if c.Iterations() != 0 {
+			t.Errorf("%v Iterations before Init = %d", alg, c.Iterations())
+		}
+		ev := drive(t, alg, f, 20)
+		if c.Iterations() == 0 {
+			t.Errorf("%v Iterations did not advance", alg)
+		}
+		if c.Evals() == 0 {
+			t.Errorf("%v Evals did not advance", alg)
+		}
+		if ev.calls == 0 {
+			t.Errorf("%v made no evaluator calls", alg)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"paratune/internal/dist"
+	"paratune/internal/event"
 	"paratune/internal/fault"
 	"paratune/internal/noise"
 	"paratune/internal/objective"
@@ -30,7 +31,8 @@ type AsyncSim struct {
 	queue  completionHeap
 	nextID uint64
 	faults *fault.Injector
-	dead   []bool // processors removed by injected crashes
+	dead   []bool         // processors removed by injected crashes
+	rec    event.Recorder // nil records nothing
 }
 
 // Completion is one finished measurement.
@@ -86,6 +88,10 @@ func (s *AsyncSim) SetFaults(in *fault.Injector) { s.faults = in }
 
 // Faults returns the attached injector (nil when fault-free).
 func (s *AsyncSim) Faults() *fault.Injector { return s.faults }
+
+// SetRecorder attaches an event recorder; each evaluator batch emits one
+// BatchEvaluated event stamped with the makespan. nil detaches it.
+func (s *AsyncSim) SetRecorder(r event.Recorder) { s.rec = r }
 
 // Live returns the number of processors that have not crashed.
 func (s *AsyncSim) Live() int {
@@ -292,6 +298,9 @@ func (e *AsyncEvaluator) Eval(points []space.Point) ([]float64, error) {
 		for _, i := range missing {
 			out[i] = e.worstKnown
 		}
+	}
+	if e.Sim.rec != nil {
+		e.Sim.rec.Record(event.BatchEvaluated{Points: len(points), VTime: e.Sim.Makespan()})
 	}
 	return out, nil
 }

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"paratune/internal/dist"
+	"paratune/internal/event"
 	"paratune/internal/fault"
 	"paratune/internal/noise"
 	"paratune/internal/objective"
@@ -38,7 +39,8 @@ type Sim struct {
 	stepTimes []float64       // T_k for every elapsed step
 	totalTime float64
 	faults    *fault.Injector
-	dead      []bool // processors removed by injected crashes
+	dead      []bool         // processors removed by injected crashes
+	rec       event.Recorder // nil records nothing
 }
 
 // New creates a simulator with p processors, the given variability model,
@@ -80,6 +82,11 @@ func (s *Sim) SetFaults(in *fault.Injector) { s.faults = in }
 
 // Faults returns the attached injector (nil when fault-free).
 func (s *Sim) Faults() *fault.Injector { return s.faults }
+
+// SetRecorder attaches an event recorder; each completed time step emits one
+// StepTime event and each evaluator batch one BatchEvaluated event. nil
+// detaches it.
+func (s *Sim) SetRecorder(r event.Recorder) { s.rec = r }
 
 // Live returns the number of processors that have not crashed.
 func (s *Sim) Live() int {
@@ -232,9 +239,18 @@ func (s *Sim) RunStep(f objective.Function, assign []space.Point) ([]float64, er
 			worst = t
 		}
 	}
+	s.recordStep(worst)
+	return obs, nil
+}
+
+// recordStep commits one barrier-gated step time and mirrors it into the
+// event stream.
+func (s *Sim) recordStep(worst float64) {
 	s.stepTimes = append(s.stepTimes, worst)
 	s.totalTime += worst
-	return obs, nil
+	if s.rec != nil {
+		s.rec.Record(event.StepTime{Step: len(s.stepTimes), T: worst})
+	}
 }
 
 // RunFixed runs the application at a fixed configuration for n steps on all
@@ -259,8 +275,7 @@ func (s *Sim) RunFixed(f objective.Function, x space.Point, n int) ([][]float64,
 				worst = y
 			}
 		}
-		s.stepTimes = append(s.stepTimes, worst)
-		s.totalTime += worst
+		s.recordStep(worst)
 	}
 	return traces, nil
 }
@@ -340,6 +355,9 @@ func (e *Evaluator) Eval(points []space.Point) ([]float64, error) {
 		for _, i := range missing {
 			ests[i] = e.worstKnown
 		}
+	}
+	if e.Sim.rec != nil {
+		e.Sim.rec.Record(event.BatchEvaluated{Points: len(points), VTime: e.Sim.TotalTime()})
 	}
 	return ests, nil
 }

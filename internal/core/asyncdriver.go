@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"paratune/internal/cluster"
+	"paratune/internal/event"
 	"paratune/internal/objective"
 	"paratune/internal/sample"
 )
@@ -26,23 +27,21 @@ type AsyncConfig struct {
 	// MaxIterations bounds the optimiser loop (default 10000) as a backstop
 	// for restless algorithms.
 	MaxIterations int
+	// Recorder receives the run's event stream. When set it is also plumbed
+	// into the simulator and any attached fault injector; nil records nothing.
+	Recorder event.Recorder
 }
 
 // AsyncResult summarises an asynchronous tuning run.
 type AsyncResult struct {
-	// Best is the configuration in use at the end of the run.
-	Best []float64
-	// BestValue is the optimiser's estimate for Best.
-	BestValue float64
-	// TrueValue is the noise-free cost of Best.
-	TrueValue float64
+	// RunSummary holds Best, BestValue, TrueValue, and Iterations — the
+	// fields shared with Result.
+	RunSummary
 	// TuningTime is the makespan consumed by the search itself.
 	TuningTime float64
 	// ProductionSteps is how many application iterations ran at Best within
 	// the remaining budget (per processor).
 	ProductionSteps int
-	// Iterations counts optimiser iterations.
-	Iterations int
 	// Converged reports whether the optimiser certified a local minimum
 	// within the budget.
 	Converged bool
@@ -66,17 +65,29 @@ func RunOnlineAsync(alg Algorithm, cfg AsyncConfig) (*AsyncResult, error) {
 	if est == nil {
 		est = sample.Single{}
 	}
+	rec := event.OrNop(cfg.Recorder)
+	if cfg.Recorder != nil {
+		cfg.Sim.SetRecorder(cfg.Recorder)
+		cfg.Sim.Faults().SetRecorder(cfg.Recorder)
+	}
 	ev := &cluster.AsyncEvaluator{Sim: cfg.Sim, F: cfg.F, Est: est}
 
-	if err := alg.Init(ev); err != nil {
-		return nil, err
+	rec.Record(event.RunStart{
+		Mode: "async", Algorithm: alg.String(),
+		Processors: cfg.Sim.P(), TimeBudget: cfg.TimeBudget,
+	})
+	eng := &Engine{
+		Alg:   alg,
+		Ev:    ev,
+		Rec:   cfg.Recorder,
+		VTime: cfg.Sim.Makespan,
+		Continue: func(iterations int) bool {
+			return cfg.Sim.Makespan() < cfg.TimeBudget && iterations < cfg.MaxIterations
+		},
 	}
-	iterations := 0
-	for cfg.Sim.Makespan() < cfg.TimeBudget && !alg.Converged() && iterations < cfg.MaxIterations {
-		if _, err := alg.Step(ev); err != nil {
-			return nil, err
-		}
-		iterations++
+	stats, err := eng.Run()
+	if err != nil {
+		return nil, err
 	}
 
 	best, bestVal := alg.Best()
@@ -91,13 +102,20 @@ func RunOnlineAsync(alg Algorithm, cfg AsyncConfig) (*AsyncResult, error) {
 		production = int(remaining / trueVal)
 	}
 
-	return &AsyncResult{
-		Best:            best,
-		BestValue:       bestVal,
-		TrueValue:       trueVal,
+	res := &AsyncResult{
+		RunSummary: RunSummary{
+			Best:       best,
+			BestValue:  bestVal,
+			TrueValue:  trueVal,
+			Iterations: stats.Iterations,
+		},
 		TuningTime:      tuning,
 		ProductionSteps: production,
-		Iterations:      iterations,
-		Converged:       alg.Converged(),
-	}, nil
+		Converged:       stats.Converged,
+	}
+	rec.Record(event.RunEnd{
+		Mode: "async", Best: best, BestValue: bestVal, TrueValue: trueVal,
+		Iterations: res.Iterations, VTime: tuning,
+	})
+	return res, nil
 }

@@ -146,6 +146,14 @@ type Options struct {
 	// the tuner runs for the entire fixed step budget; the driver must
 	// bound the run (Restless algorithms never report convergence).
 	Restless bool
+	// Seed drives the stochastic baseline algorithms (random, annealing,
+	// genetic) when constructed through the registry; the deterministic
+	// simplex algorithms ignore it.
+	Seed int64
+	// Batch is the proposals-per-iteration width for the batch-style
+	// baselines constructed through the registry (random sampling batch,
+	// genetic population); each algorithm applies its own default when 0.
+	Batch int
 	// RemeasureBest re-evaluates the best vertex alongside each parallel
 	// reflection batch (free in time steps: it rides with the batch) and
 	// uses the fresh measurement as the acceptance threshold and stored

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"paratune/internal/cluster"
+	"paratune/internal/event"
 	"paratune/internal/objective"
 	"paratune/internal/sample"
 	"paratune/internal/space"
@@ -26,16 +27,17 @@ type OnlineConfig struct {
 	Budget int
 	// ParallelSampling lets idle processors take extra samples per step.
 	ParallelSampling bool
+	// Recorder receives the run's event stream. When set it is also plumbed
+	// into the simulator (per-step T_k, batch events) and any attached fault
+	// injector; nil records nothing.
+	Recorder event.Recorder
 }
 
 // Result summarises an on-line tuning run.
 type Result struct {
-	// Best is the configuration in use at the end of the run.
-	Best space.Point
-	// BestValue is the optimiser's estimate for Best.
-	BestValue float64
-	// TrueValue is the noise-free cost of Best (the simulator oracle).
-	TrueValue float64
+	// RunSummary holds Best, BestValue, TrueValue, and Iterations — the
+	// fields shared with AsyncResult.
+	RunSummary
 	// Steps is the number of time steps executed (== Budget).
 	Steps int
 	// TotalTime is Total_Time(Budget) per Eq. 2.
@@ -44,8 +46,6 @@ type Result struct {
 	NTT float64
 	// StepTimes is T_k for k = 1..Budget.
 	StepTimes []float64
-	// Iterations counts optimiser iterations performed.
-	Iterations int
 	// ConvergedAtStep is the time step at which the optimiser certified
 	// convergence, or -1 if it never did within the budget.
 	ConvergedAtStep int
@@ -69,32 +69,37 @@ func RunOnline(alg Algorithm, cfg OnlineConfig) (*Result, error) {
 	if est == nil {
 		est = sample.Single{}
 	}
+	rec := event.OrNop(cfg.Recorder)
+	if cfg.Recorder != nil {
+		cfg.Sim.SetRecorder(cfg.Recorder)
+		cfg.Sim.Faults().SetRecorder(cfg.Recorder)
+	}
 	ev := cluster.NewEvaluator(cfg.Sim, cfg.F, est)
 	ev.ParallelSampling = cfg.ParallelSampling
 	// All P processors run every step (footnote 1); before tuning discovers
 	// anything, the idle ones run the centre configuration.
 	ev.Fill = cfg.F.Space().Center()
 
-	if err := alg.Init(ev); err != nil {
+	rec.Record(event.RunStart{
+		Mode: "sync", Algorithm: alg.String(),
+		Processors: cfg.Sim.P(), Budget: cfg.Budget,
+	})
+	eng := &Engine{
+		Alg:       alg,
+		Ev:        ev,
+		Rec:       cfg.Recorder,
+		VTime:     cfg.Sim.TotalTime,
+		StepIndex: cfg.Sim.Steps,
+		Continue:  func(int) bool { return cfg.Sim.Steps() < cfg.Budget },
+		BeforeStep: func() {
+			if b, _ := alg.Best(); b != nil {
+				ev.Fill = b
+			}
+		},
+	}
+	stats, err := eng.Run()
+	if err != nil {
 		return nil, err
-	}
-	iterations := 0
-	convergedAt := -1
-	for cfg.Sim.Steps() < cfg.Budget && !alg.Converged() {
-		if b, _ := alg.Best(); b != nil {
-			ev.Fill = b
-		}
-		info, err := alg.Step(ev)
-		if err != nil {
-			return nil, err
-		}
-		iterations++
-		if info.Kind == StepConverged && convergedAt < 0 {
-			convergedAt = cfg.Sim.Steps()
-		}
-	}
-	if alg.Converged() && convergedAt < 0 {
-		convergedAt = cfg.Sim.Steps()
 	}
 
 	// Production phase: the application keeps running at the best
@@ -118,15 +123,23 @@ func RunOnline(alg Algorithm, cfg OnlineConfig) (*Result, error) {
 	if len(stepTimes) > cfg.Budget {
 		stepTimes = stepTimes[:cfg.Budget]
 	}
-	return &Result{
-		Best:            best,
-		BestValue:       bestVal,
-		TrueValue:       cfg.F.Eval(best),
+	res := &Result{
+		RunSummary: RunSummary{
+			Best:       best,
+			BestValue:  bestVal,
+			TrueValue:  cfg.F.Eval(best),
+			Iterations: stats.Iterations,
+		},
 		Steps:           cfg.Budget,
 		TotalTime:       total,
 		NTT:             (1 - cfg.Sim.Model().Rho()) * total,
 		StepTimes:       stepTimes,
-		Iterations:      iterations,
-		ConvergedAtStep: convergedAt,
-	}, nil
+		ConvergedAtStep: stats.ConvergedStep,
+	}
+	rec.Record(event.RunEnd{
+		Mode: "sync", Best: best, BestValue: bestVal, TrueValue: res.TrueValue,
+		Iterations: res.Iterations, TotalTime: res.TotalTime, NTT: res.NTT,
+		VTime: res.TotalTime,
+	})
+	return res, nil
 }

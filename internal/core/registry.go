@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Info is the registry metadata for one algorithm.
+type Info struct {
+	// Name is the registry key ("pro", "nelder-mead", ...).
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Parallel reports whether the algorithm proposes whole batches per
+	// iteration (and so exploits SPMD parallelism), as opposed to probing
+	// one point at a time.
+	Parallel bool
+}
+
+// Factory constructs an algorithm from normalised Options.
+type Factory func(opts Options) (Algorithm, error)
+
+var registry = struct {
+	mu      sync.RWMutex
+	entries map[string]registration
+}{entries: map[string]registration{}}
+
+type registration struct {
+	info    Info
+	factory Factory
+}
+
+// Register adds an algorithm constructor under info.Name. It panics on an
+// empty name, a nil factory, or a duplicate registration — all programming
+// errors surfaced at package init time.
+func Register(info Info, f Factory) {
+	if info.Name == "" {
+		panic("core: Register with empty algorithm name")
+	}
+	if f == nil {
+		panic("core: Register with nil factory for " + info.Name)
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.entries[info.Name]; dup {
+		panic("core: duplicate algorithm registration for " + info.Name)
+	}
+	registry.entries[info.Name] = registration{info: info, factory: f}
+}
+
+// NewByName constructs the named algorithm. Unknown names list the available
+// registrations in the error.
+func NewByName(name string, opts Options) (Algorithm, error) {
+	registry.mu.RLock()
+	reg, ok := registry.entries[name]
+	registry.mu.RUnlock()
+	if !ok {
+		names := make([]string, 0, len(Algorithms()))
+		for _, info := range Algorithms() {
+			names = append(names, info.Name)
+		}
+		return nil, fmt.Errorf("core: unknown algorithm %q (have %s)", name, strings.Join(names, ", "))
+	}
+	return reg.factory(opts)
+}
+
+// Lookup returns the registry metadata for name.
+func Lookup(name string) (Info, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	reg, ok := registry.entries[name]
+	return reg.info, ok
+}
+
+// Algorithms lists every registration, sorted by name.
+func Algorithms() []Info {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]Info, 0, len(registry.entries))
+	for _, reg := range registry.entries {
+		out = append(out, reg.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func init() {
+	Register(Info{
+		Name:        "pro",
+		Description: "Parallel Rank Ordering direct search (Algorithm 2)",
+		Parallel:    true,
+	}, func(opts Options) (Algorithm, error) { return NewPRO(opts) })
+	Register(Info{
+		Name:        "sro",
+		Description: "Sequential Rank Ordering direct search (Algorithm 1)",
+	}, func(opts Options) (Algorithm, error) { return NewSRO(opts) })
+}

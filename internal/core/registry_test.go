@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	sp := bowlSpace()
+	for _, name := range []string{"pro", "sro"} {
+		alg, err := NewByName(name, Options{Space: sp})
+		if err != nil {
+			t.Fatalf("NewByName(%q): %v", name, err)
+		}
+		if alg.String() != name {
+			t.Errorf("String() = %q, want %q", alg.String(), name)
+		}
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := NewByName("no-such-algorithm", Options{Space: bowlSpace()})
+	if err == nil {
+		t.Fatal("unknown name should fail")
+	}
+	// The error lists what IS available, so CLI typos are self-explaining.
+	if !strings.Contains(err.Error(), "pro") {
+		t.Errorf("error should list available algorithms: %v", err)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	info, ok := Lookup("pro")
+	if !ok || info.Name != "pro" || !info.Parallel {
+		t.Errorf("Lookup(pro) = %+v, %v", info, ok)
+	}
+	if _, ok := Lookup("missing"); ok {
+		t.Error("Lookup(missing) should report absence")
+	}
+}
+
+func TestRegistrySorted(t *testing.T) {
+	infos := Algorithms()
+	if len(infos) < 2 {
+		t.Fatalf("expected at least pro and sro, got %d", len(infos))
+	}
+	names := make([]string, len(infos))
+	for i, in := range infos {
+		names[i] = in.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Algorithms() not sorted: %v", names)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty name", func() {
+		Register(Info{}, func(Options) (Algorithm, error) { return nil, nil })
+	})
+	mustPanic("nil factory", func() { Register(Info{Name: "x"}, nil) })
+	mustPanic("duplicate", func() {
+		Register(Info{Name: "pro"}, func(Options) (Algorithm, error) { return nil, nil })
+	})
+}

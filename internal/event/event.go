@@ -1,0 +1,170 @@
+// Package event defines the structured event stream the tuning engine emits:
+// a Recorder interface plus one typed event per observable fact of a run —
+// run lifecycle, optimiser iterations, batch evaluations, per-step T_k,
+// convergence certificates, injected faults, and harmony session lifecycle.
+//
+// Events carry *virtual* time only (simulated seconds, step indices,
+// iteration counters). No event holds wall-clock state, so a fixed-seed run
+// emits a byte-identical stream on every invocation — the property the
+// golden-trace tests pin and the paralint determinism analyzer enforces for
+// this package.
+package event
+
+import "strconv"
+
+// Event is one structured tuning event. Implementations are plain data; the
+// kind tag is stable and used in serialised streams.
+type Event interface {
+	// EventKind returns the stable kind tag ("run_start", "iteration", ...).
+	EventKind() string
+}
+
+// Event kind tags, one per typed event.
+const (
+	KindRunStart  = "run_start"
+	KindRunEnd    = "run_end"
+	KindIteration = "iteration"
+	KindBatch     = "batch"
+	KindStepTime  = "step_time"
+	KindConverged = "converged"
+	KindFault     = "fault"
+	KindSession   = "session"
+)
+
+// RunStart opens one tuning run.
+type RunStart struct {
+	// Mode is "sync" (barrier-stepped) or "async" (free-running clocks).
+	Mode string `json:"mode"`
+	// Algorithm is the optimiser's String() name.
+	Algorithm string `json:"algorithm"`
+	// Processors is the simulated cluster width, when known.
+	Processors int `json:"processors,omitempty"`
+	// Budget is the step budget K (sync runs).
+	Budget int `json:"budget,omitempty"`
+	// TimeBudget is the virtual wall-clock budget in seconds (async runs).
+	TimeBudget float64 `json:"time_budget,omitempty"`
+}
+
+// EventKind implements Event.
+func (RunStart) EventKind() string { return KindRunStart }
+
+// RunEnd closes one tuning run with its headline metrics.
+type RunEnd struct {
+	Mode string `json:"mode"`
+	// Best is the configuration in use at the end of the run.
+	Best []float64 `json:"best,omitempty"`
+	// BestValue is the optimiser's estimate for Best.
+	BestValue float64 `json:"best_value"`
+	// TrueValue is the noise-free cost of Best.
+	TrueValue float64 `json:"true_value"`
+	// Iterations counts optimiser Step calls the driver made.
+	Iterations int `json:"iterations"`
+	// TotalTime is Total_Time(K) (sync runs).
+	TotalTime float64 `json:"total_time,omitempty"`
+	// NTT is the Normalized Total Time (sync runs).
+	NTT float64 `json:"ntt,omitempty"`
+	// VTime is the virtual time consumed by the whole run.
+	VTime float64 `json:"vtime"`
+}
+
+// EventKind implements Event.
+func (RunEnd) EventKind() string { return KindRunEnd }
+
+// Iteration reports one optimiser iteration (iter 0 is the initial simplex
+// evaluation).
+type Iteration struct {
+	// Session names the harmony session driving the optimiser, if any.
+	Session string `json:"session,omitempty"`
+	// Iter is the driver's Step-call counter; 0 for Init.
+	Iter int `json:"iter"`
+	// Step is the StepKind the iteration accepted ("reflect", "shrink", ...).
+	Step string `json:"step"`
+	// Best is the best configuration after the iteration.
+	Best []float64 `json:"best,omitempty"`
+	// BestValue is the estimate for Best.
+	BestValue float64 `json:"best_value"`
+	// Evals is the number of point evaluations the iteration requested.
+	Evals int `json:"evals,omitempty"`
+	// VTime is the virtual time consumed so far.
+	VTime float64 `json:"vtime"`
+}
+
+// EventKind implements Event.
+func (Iteration) EventKind() string { return KindIteration }
+
+// BatchEvaluated reports one evaluator batch: a set of candidate points
+// measured together.
+type BatchEvaluated struct {
+	// Points is the number of candidates in the batch.
+	Points int `json:"points"`
+	// VTime is the virtual time after the batch completed.
+	VTime float64 `json:"vtime"`
+}
+
+// EventKind implements Event.
+func (BatchEvaluated) EventKind() string { return KindBatch }
+
+// StepTime reports one barrier-gated time step's cost T_k (Eq. 1). The
+// stream of these events is exactly the trace cmd/traceanalyze consumes.
+type StepTime struct {
+	// Step is the 1-based time step index k.
+	Step int `json:"step"`
+	// T is T_k, the worst per-processor time of the step.
+	T float64 `json:"t"`
+}
+
+// EventKind implements Event.
+func (StepTime) EventKind() string { return KindStepTime }
+
+// Converged reports a §3.2.2-style convergence certificate.
+type Converged struct {
+	// Session names the harmony session, if any.
+	Session string `json:"session,omitempty"`
+	// Iter is the driver iteration that certified convergence.
+	Iter int `json:"iter"`
+	// Step is the simulator time step at certification (sync runs).
+	Step int `json:"step,omitempty"`
+	// VTime is the virtual time at certification.
+	VTime float64 `json:"vtime"`
+}
+
+// EventKind implements Event.
+func (Converged) EventKind() string { return KindConverged }
+
+// FaultInjected mirrors one fault.Injector outcome into the stream.
+type FaultInjected struct {
+	// Fault is the fault kind name ("crash", "straggler", "drop", "corrupt").
+	Fault string `json:"fault"`
+	// Proc is the processor (or client id) the fault hit; -1 when unknown.
+	Proc int `json:"proc"`
+	// Tag is the measurement tag, when the call site has one.
+	Tag uint64 `json:"tag,omitempty"`
+	// Factor is the straggler delay multiplier (straggler only).
+	Factor float64 `json:"factor,omitempty"`
+	// Value is the injected garbage report, formatted with FormatValue so
+	// NaN/±Inf survive JSON encoding (corrupt only).
+	Value string `json:"value,omitempty"`
+}
+
+// EventKind implements Event.
+func (FaultInjected) EventKind() string { return KindFault }
+
+// Session reports a harmony session lifecycle transition.
+type Session struct {
+	// Session is the session name.
+	Session string `json:"session"`
+	// Phase is the transition: "registered", "restored", "batch_proposed",
+	// "batch_complete", "batch_degraded", "converged", "stopped", "expired".
+	Phase string `json:"phase"`
+	// Detail carries free-form context (e.g. candidate counts).
+	Detail string `json:"detail,omitempty"`
+}
+
+// EventKind implements Event.
+func (Session) EventKind() string { return KindSession }
+
+// FormatValue renders a float for an event payload. Unlike raw JSON numbers
+// it survives NaN and ±Inf, which injected corrupt reports deliberately use.
+func FormatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

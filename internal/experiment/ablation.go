@@ -139,7 +139,7 @@ func proVariantAblation(cfg Config, id, title string, mod core.Options, modName 
 			if err != nil {
 				return 0, 0, err
 			}
-			res, err := onlineRun(alg, db, 0.2, 2, budget, simProcs, seeds[rep])
+			res, err := onlineRun(alg, db, 0.2, 2, budget, simProcs, seeds[rep], cfg.Trace)
 			if err != nil {
 				return 0, 0, err
 			}

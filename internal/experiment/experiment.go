@@ -16,6 +16,7 @@ import (
 
 	"paratune/internal/cluster"
 	"paratune/internal/core"
+	"paratune/internal/event"
 	"paratune/internal/noise"
 	"paratune/internal/objective"
 	"paratune/internal/sample"
@@ -30,6 +31,10 @@ type Config struct {
 	Replications int
 	// Quick shrinks replication counts and sweeps for tests and smoke runs.
 	Quick bool
+	// Trace, when set, receives the event stream of every tuning run a
+	// figure performs (all replications share the one recorder; the
+	// run_start/run_end envelopes delimit them).
+	Trace event.Recorder
 }
 
 func (c Config) reps(def, quick int) int {
@@ -108,8 +113,9 @@ func gs2DB(seed int64) *objective.DB {
 	return objective.GenerateGS2(objective.GS2Config{Seed: seed, Coverage: 0.85})
 }
 
-// onlineRun performs one tuning run and returns its result.
-func onlineRun(alg core.Algorithm, f objective.Function, rho float64, k, budget, procs int, seed int64) (*core.Result, error) {
+// onlineRun performs one tuning run and returns its result; rec (nil for
+// none) receives the run's event stream.
+func onlineRun(alg core.Algorithm, f objective.Function, rho float64, k, budget, procs int, seed int64, rec event.Recorder) (*core.Result, error) {
 	var model noise.Model = noise.None{}
 	if rho > 0 {
 		m, err := noise.NewIIDPareto(1.7, rho)
@@ -130,7 +136,7 @@ func onlineRun(alg core.Algorithm, f objective.Function, rho float64, k, budget,
 		}
 		est = e
 	}
-	return core.RunOnline(alg, core.OnlineConfig{Sim: sim, F: f, Est: est, Budget: budget})
+	return core.RunOnline(alg, core.OnlineConfig{Sim: sim, F: f, Est: est, Budget: budget, Recorder: rec})
 }
 
 // meanOf averages a slice.

@@ -80,7 +80,7 @@ func TestOnlineRunHelper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := onlineRun(alg, db, 0.1, 2, 30, 8, 7)
+	res, err := onlineRun(alg, db, 0.1, 2, 30, 8, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,12 +89,12 @@ func TestOnlineRunHelper(t *testing.T) {
 	}
 	// Invalid rho propagates.
 	alg2, _ := core.NewPRO(core.Options{Space: db.Space()})
-	if _, err := onlineRun(alg2, db, 1.5, 1, 10, 8, 7); err == nil {
+	if _, err := onlineRun(alg2, db, 1.5, 1, 10, 8, 7, nil); err == nil {
 		t.Error("invalid rho should fail")
 	}
 	// Invalid K propagates.
 	alg3, _ := core.NewPRO(core.Options{Space: db.Space()})
-	if _, err := onlineRun(alg3, db, 0.1, -2, 10, 8, 7); err != nil {
+	if _, err := onlineRun(alg3, db, 0.1, -2, 10, 8, 7, nil); err != nil {
 		t.Errorf("k<=1 means single sample, not an error: %v", err)
 	}
 }

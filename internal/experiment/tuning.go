@@ -28,7 +28,7 @@ func Fig1MetricDiscrepancy(cfg Config) (*Figure, error) {
 	}
 	variants := []variant{
 		{"alg1: PRO 2N r=0.2", func(int64) (core.Algorithm, error) {
-			return core.NewPRO(core.Options{Space: db.Space(), R: 0.2})
+			return core.NewByName("pro", core.Options{Space: db.Space(), R: 0.2})
 		}},
 		{"alg2: simulated annealing", func(seed int64) (core.Algorithm, error) {
 			return baseline.NewAnnealing(db.Space(), 1.5, 0.99, 1e-4, seed)
@@ -49,7 +49,7 @@ func Fig1MetricDiscrepancy(cfg Config) (*Figure, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := onlineRun(alg, db, 0.1, 1, budget, simProcs, seed)
+			res, err := onlineRun(alg, db, 0.1, 1, budget, simProcs, seed, cfg.Trace)
 			if err != nil {
 				return nil, err
 			}
@@ -238,7 +238,7 @@ func Fig9InitialSimplex(cfg Config) (*Figure, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, err := onlineRun(alg, db, 0.1, 1, budget, simProcs, seeds[rep])
+				res, err := onlineRun(alg, db, 0.1, 1, budget, simProcs, seeds[rep], cfg.Trace)
 				if err != nil {
 					return nil, err
 				}
@@ -317,7 +317,7 @@ func Fig10MultiSampling(cfg Config) (*Figure, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, err := onlineRun(alg, db, rho, k, budget, simProcs, seeds[rep])
+				res, err := onlineRun(alg, db, rho, k, budget, simProcs, seeds[rep], cfg.Trace)
 				if err != nil {
 					return nil, err
 				}

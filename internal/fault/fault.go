@@ -23,6 +23,8 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+
+	"paratune/internal/event"
 )
 
 // Kind identifies one class of injected fault.
@@ -152,7 +154,8 @@ type Injector struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
 	crashes int
-	corrupt int // rotates through the corrupt-value menu
+	corrupt int            // rotates through the corrupt-value menu
+	rec     event.Recorder // nil records nothing
 }
 
 // New validates cfg and returns an Injector.
@@ -180,6 +183,33 @@ func (in *Injector) Plan() *Plan {
 		return &Plan{}
 	}
 	return &in.plan
+}
+
+// SetRecorder attaches an event recorder that mirrors every injected fault as
+// a FaultInjected event. Safe on a nil *Injector; nil detaches.
+func (in *Injector) SetRecorder(r event.Recorder) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.rec = r
+	in.mu.Unlock()
+}
+
+// recordLocked mirrors one Plan event into the attached recorder; caller
+// holds in.mu. Corrupt values are string-formatted so NaN/±Inf survive JSON.
+func (in *Injector) recordLocked(e Event) {
+	in.plan.Record(e)
+	if in.rec == nil {
+		return
+	}
+	fe := event.FaultInjected{
+		Fault: e.Kind.String(), Proc: e.Proc, Tag: e.Tag, Factor: e.Factor,
+	}
+	if e.Kind == Corrupt {
+		fe.Value = event.FormatValue(e.Value)
+	}
+	in.rec.Record(fe)
 }
 
 // corruptValueLocked rotates through the menu of garbage reports; caller
@@ -210,19 +240,19 @@ func (in *Injector) Next(proc int, tag uint64) Outcome {
 			return Outcome{Kind: None}
 		}
 		in.crashes++
-		in.plan.Record(Event{Kind: Crash, Proc: proc, Tag: tag})
+		in.recordLocked(Event{Kind: Crash, Proc: proc, Tag: tag})
 		return Outcome{Kind: Crash}
 	case u < c.PCrash+c.PStraggler:
 		// Pareto-tailed delay multiplier: min · U^(-1/α).
 		f := c.StragglerMin * math.Pow(1-in.rng.Float64(), -1/c.StragglerAlpha)
-		in.plan.Record(Event{Kind: Straggler, Proc: proc, Tag: tag, Factor: f})
+		in.recordLocked(Event{Kind: Straggler, Proc: proc, Tag: tag, Factor: f})
 		return Outcome{Kind: Straggler, Factor: f}
 	case u < c.PCrash+c.PStraggler+c.PDrop:
-		in.plan.Record(Event{Kind: Drop, Proc: proc, Tag: tag})
+		in.recordLocked(Event{Kind: Drop, Proc: proc, Tag: tag})
 		return Outcome{Kind: Drop}
 	case u < c.PCrash+c.PStraggler+c.PDrop+c.PCorrupt:
 		v := in.corruptValueLocked()
-		in.plan.Record(Event{Kind: Corrupt, Proc: proc, Tag: tag, Value: v})
+		in.recordLocked(Event{Kind: Corrupt, Proc: proc, Tag: tag, Value: v})
 		return Outcome{Kind: Corrupt, Value: v}
 	default:
 		return Outcome{Kind: None}

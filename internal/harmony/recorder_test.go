@@ -1,0 +1,77 @@
+package harmony
+
+import (
+	"testing"
+	"time"
+
+	"paratune/internal/event"
+	"paratune/internal/objective"
+	"paratune/internal/sample"
+)
+
+// A full in-process tuning session leaves a coherent event trail: the session
+// is registered, batches are proposed and completed, iterations advance, and
+// convergence is certified.
+func TestServerEmitsSessionEvents(t *testing.T) {
+	db := objective.GenerateGS2(objective.GS2Config{Seed: 31, Coverage: 1})
+	est, _ := sample.NewMinOfK(2)
+	rec := &event.Memory{}
+	srv := NewServer(ServerOptions{Estimator: est, Recorder: rec})
+	defer srv.Close()
+	if err := srv.Register("gs2", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	runClients(t, srv, "gs2", db, 8, 30*time.Second)
+	if _, _, conv, err := srv.Best("gs2"); err != nil || !conv {
+		t.Fatalf("session did not converge: %v", err)
+	}
+
+	phases := map[string]int{}
+	for _, e := range rec.Events() {
+		if s, ok := e.(event.Session); ok {
+			if s.Session != "gs2" {
+				t.Errorf("event for unexpected session %q", s.Session)
+			}
+			phases[s.Phase]++
+		}
+	}
+	for _, want := range []string{"registered", "batch_proposed", "batch_complete", "converged"} {
+		if phases[want] == 0 {
+			t.Errorf("no %q session event (got %v)", want, phases)
+		}
+	}
+	if rec.Count(event.KindIteration) == 0 {
+		t.Error("no iteration events recorded")
+	}
+	if rec.Count(event.KindConverged) != 1 {
+		t.Errorf("converged events = %d, want 1", rec.Count(event.KindConverged))
+	}
+}
+
+// Stopping a session mid-run emits the "stopped" phase instead of
+// "converged".
+func TestServerEmitsStoppedPhase(t *testing.T) {
+	rec := &event.Memory{}
+	srv := NewServer(ServerOptions{Recorder: rec})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Stop("s"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		stopped := false
+		for _, e := range rec.Events() {
+			if s, ok := e.(event.Session); ok && s.Phase == "stopped" {
+				stopped = true
+			}
+		}
+		if stopped {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("no stopped session event after Stop")
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"paratune/internal/core"
+	"paratune/internal/event"
 	"paratune/internal/fault"
 	"paratune/internal/sample"
 	"paratune/internal/space"
@@ -68,6 +69,11 @@ type ServerOptions struct {
 	// idle-expiry). nil uses the system clock; tests inject a FakeClock so
 	// expiry runs without real sleeps.
 	Clock Clock
+	// Recorder receives session lifecycle and optimiser iteration events
+	// (registered/restored, batch proposed/complete/degraded, converged,
+	// stopped, expired); nil records nothing. Payloads carry session names
+	// and counters only — never wall-clock time.
+	Recorder event.Recorder
 }
 
 func (o *ServerOptions) normalise() {
@@ -123,9 +129,10 @@ type session struct {
 	est      sample.Estimator
 	alg      core.Algorithm
 	opts     ServerOptions
-	restored bool          // skip Init: the algorithm state came from a checkpoint
-	done     chan struct{} // closed by Stop
-	finished chan struct{} // closed when the run goroutine exits
+	rec      event.Recorder // never nil (OrNop); safe for concurrent use
+	restored bool           // skip Init: the algorithm state came from a checkpoint
+	done     chan struct{}  // closed by Stop
+	finished chan struct{}  // closed when the run goroutine exits
 	snapCh   chan chan snapResult
 
 	mu        sync.Mutex
@@ -158,6 +165,7 @@ func (srv *Server) newSession(name string, sp *space.Space, alg core.Algorithm, 
 		est:      srv.opts.Estimator,
 		alg:      alg,
 		opts:     srv.opts,
+		rec:      event.OrNop(srv.opts.Recorder),
 		batch:    make(map[uint64]*candidate),
 		nextTag:  1,
 		best:     sp.Center(),
@@ -201,6 +209,7 @@ func (srv *Server) Register(name string, params []space.Parameter) error {
 	}
 	s := srv.newSession(name, sp, alg, false)
 	srv.sessions[name] = s
+	s.rec.Record(event.Session{Session: name, Phase: "registered", Detail: alg.String()})
 	go s.run()
 	if srv.opts.IdleTimeout > 0 {
 		go srv.expire(s)
@@ -230,6 +239,7 @@ func (srv *Server) expire(s *session) {
 					delete(srv.sessions, s.name)
 				}
 				srv.mu.Unlock()
+				s.rec.Record(event.Session{Session: s.name, Phase: "expired"})
 				s.stop()
 				return
 			}
@@ -237,24 +247,30 @@ func (srv *Server) expire(s *session) {
 	}
 }
 
-// run drives the optimiser until convergence or shutdown.
+// run drives the optimiser through the shared engine until convergence or
+// shutdown. A closed done channel simply ends the budget predicate: the old
+// loop's synthetic "session stopped" error was discarded when s.stopped was
+// set, so the observable behaviour is identical.
 func (s *session) run() {
 	defer close(s.finished)
 	ev := &sessionEvaluator{s: s}
-	var err error
-	if !s.restored {
-		err = s.alg.Init(ev)
+	eng := &core.Engine{
+		Alg:      s.alg,
+		Ev:       ev,
+		Rec:      s.rec,
+		Session:  s.name,
+		SkipInit: s.restored,
+		Continue: func(int) bool {
+			select {
+			case <-s.done:
+				return false
+			default:
+				return true
+			}
+		},
 	}
-	for err == nil && !s.alg.Converged() {
-		select {
-		case <-s.done:
-			err = errors.New("harmony: session stopped")
-		default:
-			_, err = s.alg.Step(ev)
-		}
-	}
+	stats, err := eng.Run()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err != nil && !s.stopped {
 		s.runErr = err
 	}
@@ -262,6 +278,13 @@ func (s *session) run() {
 		s.best, s.bestVal = best, val
 	}
 	s.converged = true
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stats.Converged {
+		s.rec.Record(event.Session{Session: s.name, Phase: "converged"})
+	} else if stopped {
+		s.rec.Record(event.Session{Session: s.name, Phase: "stopped"})
+	}
 }
 
 // takeSnapshot serialises the algorithm state; only safe from the run
@@ -304,6 +327,10 @@ func (e *sessionEvaluator) Eval(points []space.Point) ([]float64, error) {
 		s.best, s.bestVal = best, val
 	}
 	s.mu.Unlock()
+	s.rec.Record(event.Session{
+		Session: s.name, Phase: "batch_proposed",
+		Detail: fmt.Sprintf("%d candidates", len(points)),
+	})
 
 	timeout := s.opts.MeasurementTimeout
 	lastProgress, stale := 0, 0
@@ -322,6 +349,7 @@ func (e *sessionEvaluator) Eval(points []space.Point) ([]float64, error) {
 		select {
 		case vals := <-ch:
 			stopTimer()
+			s.rec.Record(event.Session{Session: s.name, Phase: "batch_complete"})
 			return vals, nil
 		case <-s.done:
 			stopTimer()
@@ -364,6 +392,7 @@ func (e *sessionEvaluator) Eval(points []space.Point) ([]float64, error) {
 			// pessimistic stand-in).
 			vals := s.forceCompleteLocked()
 			s.mu.Unlock()
+			s.rec.Record(event.Session{Session: s.name, Phase: "batch_degraded"})
 			return vals, nil
 		}
 	}
@@ -687,6 +716,7 @@ func (srv *Server) RestoreSession(data []byte) error {
 	}
 	srv.sessions[cp.Name] = s
 	srv.mu.Unlock()
+	s.rec.Record(event.Session{Session: cp.Name, Phase: "restored", Detail: alg.String()})
 	go s.run()
 	if srv.opts.IdleTimeout > 0 {
 		go srv.expire(s)

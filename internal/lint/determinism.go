@@ -10,11 +10,15 @@ import (
 // §6 figures are computed from. Code here must be a pure function of its
 // inputs and an injected seed — wall-clock reads or the process-global rand
 // source make a figure irreproducible in a way no test can pin down.
+// internal/event is included because its stream must be byte-identical
+// across same-seed runs: events carry virtual time only, and a wall-clock
+// read anywhere in the recorder path would silently break the golden traces.
 var simPackages = []string{
 	"paratune/internal/baseline",
 	"paratune/internal/cluster",
 	"paratune/internal/core",
 	"paratune/internal/dist",
+	"paratune/internal/event",
 	"paratune/internal/experiment",
 	"paratune/internal/noise",
 	"paratune/internal/objective",

@@ -71,6 +71,13 @@ func TestDeterminismSimPackage(t *testing.T) {
 	runGolden(t, Determinism, "determinism_sim", "paratune/internal/cluster")
 }
 
+// TestDeterminismEventPackage pins that the event stream layer is held to
+// the same seed-purity rules as the simulation core: a wall-clock read in a
+// recorder would break byte-identical golden traces.
+func TestDeterminismEventPackage(t *testing.T) {
+	runGolden(t, Determinism, "determinism_sim", "paratune/internal/event")
+}
+
 func TestDeterminismNonSimPackage(t *testing.T) {
 	runGolden(t, Determinism, "determinism_nonsim", "paratune/internal/harmony")
 }

@@ -22,11 +22,13 @@ package paratune
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 
-	"paratune/internal/baseline"
+	_ "paratune/internal/baseline" // registers the baseline algorithms
 	"paratune/internal/cluster"
 	"paratune/internal/core"
+	"paratune/internal/event"
 	"paratune/internal/harmony"
 	"paratune/internal/noise"
 	"paratune/internal/objective"
@@ -42,6 +44,22 @@ type Space = space.Space
 
 // Result summarises an on-line tuning run (see core.Result).
 type Result = core.Result
+
+// Recorder consumes the structured event stream a tuning run emits (run
+// lifecycle, optimiser iterations, per-step times, faults). See
+// internal/event for the taxonomy; all payloads carry virtual time only.
+type Recorder = event.Recorder
+
+// AlgorithmInfo is the registry metadata of one tuning algorithm.
+type AlgorithmInfo = core.Info
+
+// Algorithms lists every registered tuning algorithm, sorted by name.
+func Algorithms() []AlgorithmInfo { return core.Algorithms() }
+
+// NewJSONLRecorder returns a Recorder that writes one JSON envelope per event
+// to w — the format cmd/traceanalyze parses. With a fixed seed the emitted
+// stream is byte-identical across runs.
+func NewJSONLRecorder(w io.Writer) Recorder { return event.NewJSONL(w) }
 
 // Int returns an integer parameter on [lo, hi].
 func Int(name string, lo, hi int) Param { return space.IntParam(name, lo, hi) }
@@ -88,6 +106,9 @@ type Options struct {
 	// configuration (for example the best point of a prior run's database)
 	// instead of the region centre.
 	Center []float64
+	// Recorder, when set, receives the run's structured event stream (Tune,
+	// TuneGS2, and TuneAsync only; Minimize has no simulated cluster).
+	Recorder Recorder
 }
 
 func (o *Options) normalise(underNoise bool) {
@@ -124,31 +145,20 @@ func (o *Options) normalise(underNoise bool) {
 	}
 }
 
-// buildAlgorithm constructs the named optimiser.
+// buildAlgorithm constructs the named optimiser through the core registry.
 func buildAlgorithm(name string, s *Space, o Options) (core.Algorithm, error) {
 	shape := core.Shape2N
 	if o.MinimalSimplex {
 		shape = core.ShapeMinimal
 	}
-	opts := core.Options{Space: s, R: o.R, SimplexShape: shape, Center: space.Point(o.Center)}
-	switch name {
-	case "pro":
-		return core.NewPRO(opts)
-	case "sro":
-		return core.NewSRO(opts)
-	case "nelder-mead":
-		return baseline.NewNelderMead(opts)
-	case "random":
-		return baseline.NewRandom(s, o.Processors, o.Seed)
-	case "annealing":
-		return baseline.NewAnnealing(s, 1, 0.98, 1e-3, o.Seed)
-	case "genetic":
-		return baseline.NewGenetic(s, o.Processors, 0.15, o.Seed)
-	case "compass":
-		return baseline.NewCompass(s, 0.25)
-	default:
-		return nil, fmt.Errorf("paratune: unknown algorithm %q", name)
+	alg, err := core.NewByName(name, core.Options{
+		Space: s, R: o.R, SimplexShape: shape, Center: space.Point(o.Center),
+		Seed: o.Seed, Batch: o.Processors,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("paratune: %w", err)
 	}
+	return alg, nil
 }
 
 // buildEstimator constructs the named estimator with K = samples.
@@ -278,6 +288,7 @@ func tuneFunction(f objective.Function, opts Options) (*Result, error) {
 	return core.RunOnline(alg, core.OnlineConfig{
 		Sim: sim, F: f, Est: est,
 		Budget: opts.Budget, ParallelSampling: opts.ParallelSampling,
+		Recorder: opts.Recorder,
 	})
 }
 
@@ -315,6 +326,7 @@ func TuneAsync(s *Space, fn func([]float64) float64, timeBudget float64, opts Op
 	}
 	return core.RunOnlineAsync(alg, core.AsyncConfig{
 		Sim: sim, F: &funcObjective{s: s, fn: fn}, Est: est, TimeBudget: timeBudget,
+		Recorder: opts.Recorder,
 	})
 }
 
