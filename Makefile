@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race bench bench-smoke trace-smoke fuzz results examples clean
+.PHONY: all build lint lint-fix lint-sarif test race bench bench-smoke trace-smoke fuzz results examples clean
 
 all: build test
 
@@ -11,9 +11,20 @@ build:
 	$(GO) vet ./...
 
 # Project-specific static analysis: determinism, lock discipline, float
-# comparisons, and wire-boundary error handling. See DESIGN.md.
+# comparisons, wire-boundary error handling, seed provenance, goroutine
+# lifecycle, event hygiene, and hot-path allocation. See DESIGN.md.
 lint:
 	$(GO) run ./cmd/paralint ./...
+
+# Preview the suggested fixes as a unified diff, then apply them in place.
+# Applying refuses files whose unstaged changes overlap an edit.
+lint-fix:
+	$(GO) run ./cmd/paralint -diff ./...
+	$(GO) run ./cmd/paralint -fix ./...
+
+# Machine-readable findings for CI code-scanning upload.
+lint-sarif:
+	$(GO) run ./cmd/paralint -sarif ./... > paralint.sarif || true
 
 test: lint
 	$(GO) vet ./...
@@ -65,4 +76,4 @@ examples:
 	$(GO) run ./examples/faulttolerance
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt paralint.sarif

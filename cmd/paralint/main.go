@@ -1,6 +1,7 @@
 // Command paralint is the project's vet-style static analysis driver. It
 // enforces the determinism contract the paper's evaluation depends on (see
-// DESIGN.md "Determinism contract & static analysis"):
+// DESIGN.md "Determinism contract & static analysis"). Four rules are
+// syntax-local:
 //
 //   - determinism: no wall-clock time or global rand in simulation packages;
 //     no wall-clock-seeded RNG sources anywhere
@@ -9,13 +10,33 @@
 //   - floatcompare: no float ==/!= in rank-ordering and stats code
 //   - errdiscipline: no discarded errors at the harmony wire boundary
 //
+// and four follow dataflow across package boundaries through typed facts:
+//
+//   - seedflow: RNG seeds in simulation packages trace to injected seeds,
+//     never the wall clock, crypto/rand, or the process id
+//   - goroutinelifecycle: go statements in harmony/cluster/core have a
+//     provable join or cancel path
+//   - eventhygiene: event emissions use registered kinds, carry no
+//     wall-clock payload, and never happen under a mutex
+//   - hotpathalloc: //paralint:hotpath functions avoid fmt, float boxing,
+//     and per-iteration allocation
+//
 // Usage:
 //
-//	paralint [-rules determinism,lockdiscipline,...] [packages]
+//	paralint [flags] [packages]
 //
-// With no packages, ./... is analysed. Findings print as
-// file:line:col: rule: message. Exit status: 0 clean, 1 findings,
+// With no packages, ./... is analysed, including _test.go files. Findings
+// print as file:line:col: rule: message. Exit status: 0 clean, 1 findings,
 // 2 load or type-check failure.
+//
+// Output and repair flags:
+//
+//	-json    machine-readable findings (one JSON array)
+//	-sarif   SARIF 2.1.0 log for code-scanning upload
+//	-diff    preview suggested fixes as a unified diff (dry run; default
+//	         behaviour of the fixer — nothing is written without -fix)
+//	-fix     apply suggested fixes in place; files whose unstaged git
+//	         changes overlap a fix are left untouched and listed
 //
 // Suppress an individual finding with a trailing (or immediately preceding)
 // comment naming the rule and, by convention, the reason:
@@ -24,10 +45,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+
 	"strings"
 
 	"paratune/internal/lint"
@@ -36,8 +58,12 @@ import (
 func main() {
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := flag.Bool("list", false, "list available rules and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	diffOut := flag.Bool("diff", false, "preview suggested fixes as a unified diff (no files written)")
+	applyFix := flag.Bool("fix", false, "apply suggested fixes in place (skips files with overlapping unstaged changes)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: paralint [-rules r1,r2] [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: paralint [-rules r1,r2] [-list] [-json|-sarif] [-diff|-fix] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,44 +71,79 @@ func main() {
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
 	if *rules != "" {
 		analyzers = selectRules(analyzers, *rules)
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "paralint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(".", patterns...)
+	diags, typeErrs, err := lint.Analyze(".", patterns, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paralint:", err)
 		os.Exit(2)
 	}
-	loadFailed := false
-	for _, pkg := range pkgs {
-		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "paralint: %s: %v\n", pkg.ImportPath, terr)
-			loadFailed = true
+	if len(typeErrs) > 0 {
+		for _, terr := range typeErrs {
+			fmt.Fprintf(os.Stderr, "paralint: %v\n", terr)
 		}
-	}
-	if loadFailed {
 		os.Exit(2)
 	}
 
-	diags := lint.Run(pkgs, analyzers)
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
+	// Fix application works on absolute paths; do it before relativising.
+	if *applyFix || *diffOut {
+		cwd, _ := os.Getwd()
+		diff, applied, skipped, err := lint.ApplyFixes(cwd, diags, !*applyFix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paralint:", err)
+			os.Exit(2)
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		if *diffOut {
+			fmt.Print(diff)
+		}
+		for _, f := range applied {
+			fmt.Fprintf(os.Stderr, "paralint: fixed %s\n", f)
+		}
+		for _, s := range skipped {
+			fmt.Fprintf(os.Stderr, "paralint: skipped %s\n", s)
+		}
+	}
+
+	cwd, _ := os.Getwd()
+	lint.RelPaths(cwd, diags)
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "paralint:", err)
+			os.Exit(2)
+		}
+	case *sarifOut:
+		out, err := lint.SARIF(analyzers, diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paralint:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(append(out, '\n'))
+	case !*diffOut:
+		for _, d := range diags {
+			suffix := ""
+			if d.Fix != nil {
+				suffix = " [fixable: " + d.Fix.Message + "]"
+			}
+			fmt.Printf("%s:%d:%d: %s: %s%s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message, suffix)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "paralint: %d finding(s)\n", len(diags))

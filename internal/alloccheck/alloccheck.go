@@ -1,0 +1,25 @@
+// Package alloccheck pins allocation budgets for functions annotated
+// //paralint:hotpath. The static hotpathalloc rule catches allocation
+// *patterns* (fmt, boxing, per-iteration make); these guards catch the
+// *count*, so a regression that slips past the pattern rules still fails a
+// test. Budgets are upper bounds with a little slack, not exact pins:
+// amortised slice growth means the per-run average wobbles below the
+// budget, and an exact pin would be flaky.
+package alloccheck
+
+import "testing"
+
+// Guard fails t when f averages more than budget heap allocations per run.
+// It is skipped under the race detector, whose instrumentation inflates
+// allocation counts beyond anything the budget is meant to police.
+func Guard(t *testing.T, name string, budget float64, f func()) {
+	t.Helper()
+	if RaceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	got := testing.AllocsPerRun(100, f)
+	t.Logf("%s: %.1f allocs/run (budget %.1f)", name, got, budget)
+	if got > budget {
+		t.Errorf("%s: %.1f allocs/run exceeds budget %.1f", name, got, budget)
+	}
+}

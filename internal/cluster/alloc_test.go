@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"testing"
+
+	"paratune/internal/alloccheck"
+	"paratune/internal/noise"
+	"paratune/internal/objective"
+	"paratune/internal/space"
+)
+
+// Allocation guards for the //paralint:hotpath functions in this package.
+// The static hotpathalloc rule bans allocation patterns; these budgets pin
+// the counts so a regression that the patterns miss (a new clone, a buffer
+// that stopped being reused) still fails the tier-2 suite.
+
+func allocSurface(t *testing.T) objective.Function {
+	t.Helper()
+	sp, err := space.New(space.IntParam("a", 0, 31), space.IntParam("b", 0, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return objective.NewSphere(sp, nil, 1)
+}
+
+func TestRunStepAllocBudget(t *testing.T) {
+	f := allocSurface(t)
+	s, err := New(4, noise.None{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := []space.Point{f.Space().Center(), f.Space().Center()}
+	// Budget: the observation slice handed to the caller, plus amortised
+	// growth of the stepTimes record. Everything else runs on scratch.
+	alloccheck.Guard(t, "Sim.RunStep", 3, func() {
+		if _, err := s.RunStep(f, assign); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSubmitAllocBudget(t *testing.T) {
+	f := allocSurface(t)
+	s, err := NewAsync(4, noise.None{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Space().Center()
+	// Budget per Submit of 2 samples: one shared point clone, one boxed
+	// Completion per sample pushed into the heap, plus amortised queue
+	// growth. Draining between runs keeps the heap from growing unbounded.
+	alloccheck.Guard(t, "AsyncSim.Submit", 6, func() {
+		if _, err := s.Submit(f, x, 2); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+		}
+	})
+}

@@ -124,6 +124,8 @@ func (s *AsyncSim) Clock(p int) float64 { return s.clocks[p] }
 
 // idleProc returns the live processor with the smallest clock, or -1 when
 // every processor has crashed.
+//
+//paralint:hotpath
 func (s *AsyncSim) idleProc() int {
 	best := -1
 	for i, c := range s.clocks {
@@ -146,12 +148,14 @@ func (s *AsyncSim) idleProc() int {
 // crashed processor's clock freezes, so makespan accounting stays correct),
 // stretch by a straggler factor, lose its completion (the clock advances but
 // no Completion is queued), or complete with a corrupted value.
+//
+//paralint:hotpath
 func (s *AsyncSim) Submit(f objective.Function, x space.Point, samples int) (uint64, error) {
 	if samples < 1 {
-		return 0, fmt.Errorf("cluster: need at least one sample, got %d", samples)
+		return 0, errNeedSamples(samples)
 	}
 	if f == nil {
-		return 0, errors.New("cluster: nil function")
+		return 0, errNilFunction
 	}
 	id := s.nextID
 	s.nextID++
@@ -160,6 +164,9 @@ func (s *AsyncSim) Submit(f objective.Function, x space.Point, samples int) (uin
 		return 0, ErrAllProcessorsCrashed
 	}
 	base := f.Eval(x)
+	// One clone shared by every completion of this request: completions
+	// treat their Point as read-only, so per-sample clones are pure waste.
+	xc := x.Clone()
 	for k := 0; k < samples; {
 		out := s.faults.Next(proc, id)
 		if out.Kind == fault.Crash {
@@ -180,13 +187,21 @@ func (s *AsyncSim) Submit(f objective.Function, x space.Point, samples int) (uin
 		}
 		if out.Kind != fault.Drop {
 			heap.Push(&s.queue, Completion{
-				ID: id, Proc: proc, Point: x.Clone(), Value: val, Finish: s.clocks[proc],
+				ID: id, Proc: proc, Point: xc, Value: val, Finish: s.clocks[proc],
 			})
 		}
 		k++
 	}
 	return id, nil
 }
+
+// errNeedSamples and errNilFunction live outside the hot path so Submit
+// itself carries no fmt dependency.
+func errNeedSamples(n int) error {
+	return fmt.Errorf("cluster: need at least one sample, got %d", n)
+}
+
+var errNilFunction = errors.New("cluster: nil function")
 
 // Next pops the earliest pending completion, in virtual-time order. The
 // boolean is false when nothing is pending.

@@ -41,7 +41,18 @@ type Sim struct {
 	faults    *fault.Injector
 	dead      []bool         // processors removed by injected crashes
 	rec       event.Recorder // nil records nothing
+
+	// Scratch buffers reused across RunStep calls so the per-step hot path
+	// allocates only the observation slice it hands to the caller.
+	liveScratch []int
+	procScratch []float64
+	jobScratch  []stepJob
 }
+
+// stepJob is one queued execution within a step: candidate cand runs on
+// processor proc (-1 when the target is resolved at execution time after a
+// crash redistributes the work).
+type stepJob struct{ cand, proc int }
 
 // New creates a simulator with p processors, the given variability model,
 // and per-processor deterministic random streams derived from seed. Models
@@ -102,19 +113,24 @@ func (s *Sim) Live() int {
 // Dead reports whether processor p has crashed.
 func (s *Sim) Dead(p int) bool { return s.dead[p] }
 
-// liveProcs returns the indices of processors still alive.
+// liveProcs returns the indices of processors still alive. The returned
+// slice aliases the simulator's scratch buffer and is valid until the next
+// call.
 func (s *Sim) liveProcs() []int {
-	out := make([]int, 0, s.p)
+	out := s.liveScratch[:0]
 	for i, d := range s.dead {
 		if !d {
 			out = append(out, i)
 		}
 	}
+	s.liveScratch = out
 	return out
 }
 
 // leastLoaded returns the live processor with the smallest accumulated time
 // this step, or -1 when every processor has crashed.
+//
+//paralint:hotpath
 func (s *Sim) leastLoaded(procTime []float64) int {
 	best := -1
 	for i := range procTime {
@@ -179,24 +195,26 @@ func (s *Sim) Reset() {
 // lose its report (the returned observation is NaN — time was spent but no
 // value arrived), or deliver a corrupted value. Dead processors stop gating
 // the barrier; the redistributed work still counts toward T_k.
+//
+//paralint:hotpath
 func (s *Sim) RunStep(f objective.Function, assign []space.Point) ([]float64, error) {
 	if len(assign) == 0 {
-		return nil, errors.New("cluster: empty assignment")
+		return nil, errEmptyAssignment
 	}
 	live := s.liveProcs()
 	if len(live) == 0 {
 		return nil, ErrAllProcessorsCrashed
 	}
 	if len(assign) > len(live) {
-		return nil, fmt.Errorf("cluster: %d candidates exceed %d live processors", len(assign), len(live))
+		return nil, errCandidateOverflow(len(assign), len(live))
 	}
 	s.beginStep()
+	// obs is handed to the caller, so it cannot come from scratch.
 	obs := make([]float64, len(assign))
-	procTime := make([]float64, s.p)
-	type job struct{ cand, proc int }
-	queue := make([]job, len(assign))
+	procTime := s.procTimeScratch()
+	queue := s.jobScratch[:0]
 	for i := range assign {
-		queue[i] = job{cand: i, proc: live[i]}
+		queue = append(queue, stepJob{cand: i, proc: live[i]})
 	}
 	for qi := 0; qi < len(queue); qi++ {
 		j := queue[qi]
@@ -217,7 +235,7 @@ func (s *Sim) RunStep(f objective.Function, assign []space.Point) ([]float64, er
 			if s.leastLoaded(procTime) < 0 {
 				return nil, ErrAllProcessorsCrashed
 			}
-			queue = append(queue, job{cand: j.cand, proc: -1})
+			queue = append(queue, stepJob{cand: j.cand, proc: -1})
 		case fault.Straggler:
 			y *= out.Factor
 			procTime[j.proc] += y
@@ -239,12 +257,36 @@ func (s *Sim) RunStep(f objective.Function, assign []space.Point) ([]float64, er
 			worst = t
 		}
 	}
+	s.jobScratch = queue[:0]
 	s.recordStep(worst)
 	return obs, nil
 }
 
+// errEmptyAssignment and errCandidateOverflow live outside the hot path so
+// RunStep itself carries no fmt dependency.
+var errEmptyAssignment = errors.New("cluster: empty assignment")
+
+func errCandidateOverflow(n, live int) error {
+	return fmt.Errorf("cluster: %d candidates exceed %d live processors", n, live)
+}
+
+// procTimeScratch returns the per-processor accumulator zeroed for a new
+// step, growing the scratch buffer on first use.
+func (s *Sim) procTimeScratch() []float64 {
+	if cap(s.procScratch) < s.p {
+		s.procScratch = make([]float64, s.p)
+	}
+	pt := s.procScratch[:s.p]
+	for i := range pt {
+		pt[i] = 0
+	}
+	return pt
+}
+
 // recordStep commits one barrier-gated step time and mirrors it into the
 // event stream.
+//
+//paralint:hotpath
 func (s *Sim) recordStep(worst float64) {
 	s.stepTimes = append(s.stepTimes, worst)
 	s.totalTime += worst

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"paratune/internal/alloccheck"
+	"paratune/internal/space"
+)
+
+// countEvaluator scores points with a churning deterministic sequence
+// without allocating, reusing one values buffer, so the guard measures
+// PRO.Step itself and the simplex never settles into the cheap converged
+// fast path.
+type countEvaluator struct {
+	vals []float64
+	n    int
+}
+
+func (e *countEvaluator) Eval(points []space.Point) ([]float64, error) {
+	if cap(e.vals) < len(points) {
+		e.vals = make([]float64, len(points))
+	}
+	e.vals = e.vals[:len(points)]
+	for i := range points {
+		e.vals[i] = float64((e.n*31 + i*17) % 101)
+		e.n++
+	}
+	return e.vals, nil
+}
+
+// PRO.Step is //paralint:hotpath: one iteration may allocate the reflection
+// and shrink batches plus the projected points and the reported best clone,
+// but nothing proportional to the step count. The budget pins the per-step
+// cost on a 3-parameter space (simplex of 7 vertices).
+func TestPROStepAllocBudget(t *testing.T) {
+	sp, err := space.New(
+		space.IntParam("a", 0, 255),
+		space.IntParam("b", 0, 255),
+		space.IntParam("c", 0, 255),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro, err := NewPRO(Options{Space: sp, Restless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &countEvaluator{}
+	if err := pro.Init(ev); err != nil {
+		t.Fatal(err)
+	}
+	alloccheck.Guard(t, "PRO.Step", 40, func() {
+		if _, err := pro.Step(ev); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

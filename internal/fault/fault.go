@@ -196,12 +196,15 @@ func (in *Injector) SetRecorder(r event.Recorder) {
 	in.mu.Unlock()
 }
 
-// recordLocked mirrors one Plan event into the attached recorder; caller
-// holds in.mu. Corrupt values are string-formatted so NaN/±Inf survive JSON.
-func (in *Injector) recordLocked(e Event) {
+// recordLocked appends e to the Plan and, when a recorder is attached,
+// returns the mirror event for the caller to emit once in.mu is released.
+// Recorders may block or re-enter the injector, so the emission itself must
+// never happen under the lock. Corrupt values are string-formatted so
+// NaN/±Inf survive JSON.
+func (in *Injector) recordLocked(e Event) (event.Recorder, event.Event) {
 	in.plan.Record(e)
 	if in.rec == nil {
-		return
+		return nil, nil
 	}
 	fe := event.FaultInjected{
 		Fault: e.Kind.String(), Proc: e.Proc, Tag: e.Tag, Factor: e.Factor,
@@ -209,7 +212,7 @@ func (in *Injector) recordLocked(e Event) {
 	if e.Kind == Corrupt {
 		fe.Value = event.FormatValue(e.Value)
 	}
-	in.rec.Record(fe)
+	return in.rec, fe
 }
 
 // corruptValueLocked rotates through the menu of garbage reports; caller
@@ -228,6 +231,17 @@ func (in *Injector) Next(proc int, tag uint64) Outcome {
 	if in == nil {
 		return Outcome{Kind: None}
 	}
+	out, rec, mirror := in.next(proc, tag)
+	if rec != nil {
+		// Mirror into the recorder only after in.mu is released.
+		rec.Record(mirror)
+	}
+	return out
+}
+
+// next draws the outcome under in.mu and hands back any mirror event for
+// Next to emit after unlocking.
+func (in *Injector) next(proc int, tag uint64) (Outcome, event.Recorder, event.Event) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	u := in.rng.Float64()
@@ -237,25 +251,25 @@ func (in *Injector) Next(proc int, tag uint64) Outcome {
 		if c.MaxCrashes > 0 && in.crashes >= c.MaxCrashes {
 			// Crash budget exhausted: the attempt proceeds unharmed rather
 			// than falling through into another fault band.
-			return Outcome{Kind: None}
+			return Outcome{Kind: None}, nil, nil
 		}
 		in.crashes++
-		in.recordLocked(Event{Kind: Crash, Proc: proc, Tag: tag})
-		return Outcome{Kind: Crash}
+		rec, ev := in.recordLocked(Event{Kind: Crash, Proc: proc, Tag: tag})
+		return Outcome{Kind: Crash}, rec, ev
 	case u < c.PCrash+c.PStraggler:
 		// Pareto-tailed delay multiplier: min · U^(-1/α).
 		f := c.StragglerMin * math.Pow(1-in.rng.Float64(), -1/c.StragglerAlpha)
-		in.recordLocked(Event{Kind: Straggler, Proc: proc, Tag: tag, Factor: f})
-		return Outcome{Kind: Straggler, Factor: f}
+		rec, ev := in.recordLocked(Event{Kind: Straggler, Proc: proc, Tag: tag, Factor: f})
+		return Outcome{Kind: Straggler, Factor: f}, rec, ev
 	case u < c.PCrash+c.PStraggler+c.PDrop:
-		in.recordLocked(Event{Kind: Drop, Proc: proc, Tag: tag})
-		return Outcome{Kind: Drop}
+		rec, ev := in.recordLocked(Event{Kind: Drop, Proc: proc, Tag: tag})
+		return Outcome{Kind: Drop}, rec, ev
 	case u < c.PCrash+c.PStraggler+c.PDrop+c.PCorrupt:
 		v := in.corruptValueLocked()
-		in.recordLocked(Event{Kind: Corrupt, Proc: proc, Tag: tag, Value: v})
-		return Outcome{Kind: Corrupt, Value: v}
+		rec, ev := in.recordLocked(Event{Kind: Corrupt, Proc: proc, Tag: tag, Value: v})
+		return Outcome{Kind: Corrupt, Value: v}, rec, ev
 	default:
-		return Outcome{Kind: None}
+		return Outcome{Kind: None}, nil, nil
 	}
 }
 

@@ -11,9 +11,7 @@ import (
 
 	"paratune/internal/dist"
 	"paratune/internal/fault"
-	"paratune/internal/noise"
 	"paratune/internal/objective"
-	"paratune/internal/sample"
 	"paratune/internal/space"
 )
 
@@ -53,7 +51,7 @@ func TestWireRejectsInvalidValueWithCode(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go func() { _ = Serve(l, srv) }()
+	serveAsync(l, srv)
 	cl, err := Dial(l.Addr().String())
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +86,7 @@ func fetchWork(t *testing.T, srv *Server, name string) FetchResult {
 
 func TestReportDeduplicationByRID(t *testing.T) {
 	db := objective.GenerateGS2(objective.GS2Config{Seed: 5, Coverage: 1})
-	est, _ := sample.NewMinOfK(3)
+	est := mustMinOfK(t, 3)
 	srv := NewServer(ServerOptions{Estimator: est})
 	defer srv.Close()
 	if err := srv.Register("s", gs2Params()); err != nil {
@@ -137,7 +135,7 @@ func TestReportDeduplicationByRID(t *testing.T) {
 // forced batch completion, covering the direct in-process API.
 func TestClientDeathMidBatchDoesNotWedge(t *testing.T) {
 	db := objective.GenerateGS2(objective.GS2Config{Seed: 21, Coverage: 1})
-	est, _ := sample.NewMinOfK(2)
+	est := mustMinOfK(t, 2)
 	srv := NewServer(ServerOptions{
 		Estimator:          est,
 		MeasurementTimeout: 20 * time.Millisecond,
@@ -158,6 +156,7 @@ func TestClientDeathMidBatchDoesNotWedge(t *testing.T) {
 				return
 			}
 			if i == 0 {
+				//paralint:allow errdiscipline the client dies mid-batch by design; its one report is fire-and-forget
 				_ = srv.Report("s", fr.Tag, db.Eval(fr.Point))
 			}
 		}
@@ -184,7 +183,7 @@ func TestClientDeathMidBatchDoesNotWedge(t *testing.T) {
 // measurements via the reissue path.
 func TestLateClientRecoversReissuedBatch(t *testing.T) {
 	db := objective.GenerateGS2(objective.GS2Config{Seed: 23, Coverage: 1})
-	est, _ := sample.NewMinOfK(1)
+	est := mustMinOfK(t, 1)
 	srv := NewServer(ServerOptions{
 		Estimator:          est,
 		MeasurementTimeout: 50 * time.Millisecond,
@@ -324,7 +323,7 @@ func driveDeterministic(t *testing.T, srv *Server, name string, db objective.Fun
 // reset by the restart.
 func TestCheckpointRestoreTrajectoryIdentical(t *testing.T) {
 	newSrv := func() *Server {
-		est, _ := sample.NewMinOfK(1)
+		est := mustMinOfK(t, 1)
 		return NewServer(ServerOptions{Estimator: est})
 	}
 	db := objective.GenerateGS2(objective.GS2Config{Seed: 41, Coverage: 1})
@@ -403,7 +402,7 @@ func TestCheckpointErrors(t *testing.T) {
 
 func TestCheckpointAllRoundTrip(t *testing.T) {
 	db := objective.GenerateGS2(objective.GS2Config{Seed: 9, Coverage: 1})
-	est, _ := sample.NewMinOfK(1)
+	est := mustMinOfK(t, 1)
 	srv := NewServer(ServerOptions{Estimator: est})
 	if err := srv.Register("one", gs2Params()); err != nil {
 		t.Fatal(err)
@@ -415,7 +414,9 @@ func TestCheckpointAllRoundTrip(t *testing.T) {
 	for _, name := range []string{"one", "two"} {
 		for i := 0; i < 20; i++ {
 			fr := fetchWork(t, srv, name)
-			_ = srv.Report(name, fr.Tag, db.Eval(fr.Point))
+			if err := srv.Report(name, fr.Tag, db.Eval(fr.Point)); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	data, err := srv.CheckpointAll()
@@ -473,7 +474,7 @@ func (l *trackingListener) killConns() {
 // reconnect-on-EOF with backoff plus idempotent reports.
 func TestClientReconnectsToRestartedServer(t *testing.T) {
 	db := objective.GenerateGS2(objective.GS2Config{Seed: 33, Coverage: 1})
-	est, _ := sample.NewMinOfK(1)
+	est := mustMinOfK(t, 1)
 	newSrv := func() *Server {
 		return NewServer(ServerOptions{Estimator: est})
 	}
@@ -484,7 +485,7 @@ func TestClientReconnectsToRestartedServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	l1 := &trackingListener{Listener: raw}
-	go func() { _ = Serve(l1, srv1) }()
+	serveAsync(l1, srv1)
 	addr := raw.Addr().String()
 
 	cl, err := DialWith(addr, DialOptions{Retries: 20, Backoff: 5 * time.Millisecond, Timeout: 5 * time.Second})
@@ -531,7 +532,7 @@ func TestClientReconnectsToRestartedServer(t *testing.T) {
 	if err := srv2.RestoreSession(cp); err != nil {
 		t.Fatal(err)
 	}
-	go func() { _ = Serve(raw2, srv2) }()
+	serveAsync(raw2, srv2)
 
 	// The same client object must pick the session back up and finish.
 	deadline := time.Now().Add(30 * time.Second)
@@ -551,6 +552,7 @@ func TestClientReconnectsToRestartedServer(t *testing.T) {
 			return
 		}
 		if fr.Tag != 0 {
+			//paralint:allow errdiscipline the report may race the server restart; the reconnect loop retries the tag
 			_ = cl.Report("s", fr.Tag, db.Eval(fr.Point))
 		}
 	}
@@ -578,7 +580,7 @@ func TestFaultDrill(t *testing.T) {
 	db := objective.GenerateGS2(objective.GS2Config{Seed: 31, Coverage: 1})
 
 	run := func(in *fault.Injector) space.Point {
-		est, _ := sample.NewMinOfK(3)
+		est := mustMinOfK(t, 3)
 		srv := NewServer(ServerOptions{
 			Estimator:          est,
 			MeasurementTimeout: 100 * time.Millisecond,
@@ -590,7 +592,7 @@ func TestFaultDrill(t *testing.T) {
 		}
 		var wg sync.WaitGroup
 		var stop atomic.Bool
-		model, _ := noise.NewIIDPareto(1.7, 0.1)
+		model := mustPareto(t, 1.7, 0.1)
 		for c := 0; c < 8; c++ {
 			wg.Add(1)
 			go func(id int) {
@@ -620,6 +622,7 @@ func TestFaultDrill(t *testing.T) {
 					case fault.Corrupt:
 						y = out.Value // garbage hits the wire boundary
 					}
+					//paralint:allow errdiscipline injected faults make reports fail by design; the drill only checks the survivors
 					_ = srv.Report("drill", fr.Tag, y)
 				}
 			}(c)

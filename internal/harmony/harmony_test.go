@@ -16,6 +16,37 @@ import (
 	"paratune/internal/space"
 )
 
+// mustMinOfK builds the estimator or fails the test; a silent nil estimator
+// would make NewServer fall back to its default and mask the intent.
+func mustMinOfK(t *testing.T, k int) sample.Estimator {
+	t.Helper()
+	est, err := sample.NewMinOfK(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// mustPareto builds the noise model or fails the test.
+func mustPareto(t *testing.T, alpha, scale float64) noise.Model {
+	t.Helper()
+	m, err := noise.NewIIDPareto(alpha, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// serveAsync runs Serve on its own goroutine. Every caller closes the
+// listener via defer, and Serve returns nil on net.ErrClosed, so the error
+// is deliberately dropped.
+func serveAsync(l net.Listener, srv *Server) {
+	go func() {
+		//paralint:allow errdiscipline Serve returns nil once the test closes the listener
+		_ = Serve(l, srv)
+	}()
+}
+
 func gs2Params() []space.Parameter {
 	return []space.Parameter{
 		space.IntParam("ntheta", 8, 64),
@@ -112,7 +143,7 @@ func TestUnknownSession(t *testing.T) {
 
 func TestInProcessTuningSession(t *testing.T) {
 	db := objective.GenerateGS2(objective.GS2Config{Seed: 31, Coverage: 1})
-	est, _ := sample.NewMinOfK(2)
+	est := mustMinOfK(t, 2)
 	srv := NewServer(ServerOptions{Estimator: est})
 	defer srv.Close()
 	if err := srv.Register("gs2", gs2Params()); err != nil {
@@ -163,7 +194,7 @@ func TestLostClientDoesNotStall(t *testing.T) {
 	// One client fetches work and never reports; another client must still
 	// be able to drive the batch to completion via re-issued candidates.
 	db := objective.GenerateGS2(objective.GS2Config{Seed: 7, Coverage: 1})
-	est, _ := sample.NewMinOfK(1)
+	est := mustMinOfK(t, 1)
 	srv := NewServer(ServerOptions{Estimator: est})
 	defer srv.Close()
 	if err := srv.Register("s", gs2Params()); err != nil {
@@ -203,6 +234,7 @@ func TestStopAbandonsSession(t *testing.T) {
 	deadline := time.After(2 * time.Second)
 	doneCh := make(chan struct{})
 	go func() {
+		//paralint:allow errdiscipline only non-blocking completion matters; the result is irrelevant after Stop
 		_, _ = srv.Fetch("s")
 		close(doneCh)
 	}()
@@ -227,7 +259,7 @@ func TestCustomAlgorithmFactoryError(t *testing.T) {
 
 func TestTCPRoundTrip(t *testing.T) {
 	db := objective.GenerateGS2(objective.GS2Config{Seed: 13, Coverage: 1})
-	est, _ := sample.NewMinOfK(1)
+	est := mustMinOfK(t, 1)
 	srv := NewServer(ServerOptions{Estimator: est})
 	defer srv.Close()
 
@@ -236,7 +268,7 @@ func TestTCPRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go func() { _ = Serve(l, srv) }()
+	serveAsync(l, srv)
 
 	cl, err := Dial(l.Addr().String())
 	if err != nil {
@@ -247,7 +279,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	if err := cl.Register("net", gs2Params()); err != nil {
 		t.Fatal(err)
 	}
-	m, _ := noise.NewIIDPareto(1.7, 0.1)
+	m := mustPareto(t, 1.7, 0.1)
 	rng := dist.NewRNG(9)
 	converged := false
 	deadline := time.Now().Add(30 * time.Second)
@@ -290,7 +322,7 @@ func TestTCPErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go func() { _ = Serve(l, srv) }()
+	serveAsync(l, srv)
 
 	cl, err := Dial(l.Addr().String())
 	if err != nil {
@@ -326,7 +358,7 @@ func TestDispatchUnknownOp(t *testing.T) {
 
 func TestRunLoop(t *testing.T) {
 	db := objective.GenerateGS2(objective.GS2Config{Seed: 3, Coverage: 1})
-	est, _ := sample.NewMinOfK(1)
+	est := mustMinOfK(t, 1)
 	srv := NewServer(ServerOptions{Estimator: est})
 	defer srv.Close()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -334,7 +366,7 @@ func TestRunLoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go func() { _ = Serve(l, srv) }()
+	serveAsync(l, srv)
 
 	cl, err := Dial(l.Addr().String())
 	if err != nil {
@@ -372,7 +404,7 @@ func TestRunLoopMeasureError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go func() { _ = Serve(l, srv) }()
+	serveAsync(l, srv)
 	cl, err := Dial(l.Addr().String())
 	if err != nil {
 		t.Fatal(err)
@@ -410,7 +442,7 @@ func TestStatsOp(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go func() { _ = Serve(l, srv) }()
+	serveAsync(l, srv)
 	cl, err := Dial(l.Addr().String())
 	if err != nil {
 		t.Fatal(err)

@@ -6,7 +6,6 @@ import (
 
 	"paratune/internal/event"
 	"paratune/internal/objective"
-	"paratune/internal/sample"
 )
 
 // A full in-process tuning session leaves a coherent event trail: the session
@@ -14,7 +13,7 @@ import (
 // convergence is certified.
 func TestServerEmitsSessionEvents(t *testing.T) {
 	db := objective.GenerateGS2(objective.GS2Config{Seed: 31, Coverage: 1})
-	est, _ := sample.NewMinOfK(2)
+	est := mustMinOfK(t, 2)
 	rec := &event.Memory{}
 	srv := NewServer(ServerOptions{Estimator: est, Recorder: rec})
 	defer srv.Close()

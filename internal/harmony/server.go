@@ -186,35 +186,47 @@ func (srv *Server) Register(name string, params []space.Parameter) error {
 	if name == "" {
 		return errors.New("harmony: session name required")
 	}
+	s, created, err := srv.register(name, params)
+	if err != nil || !created {
+		return err
+	}
+	// Emit only after srv.mu is released: the recorder may block, and a
+	// re-entrant recorder would deadlock against the server lock.
+	s.rec.Record(event.Session{Session: name, Phase: "registered", Detail: s.alg.String()})
+	return nil
+}
+
+// register does the locked half of Register and reports whether a new
+// session was created (as opposed to joining an existing one).
+func (srv *Server) register(name string, params []space.Parameter) (*session, bool, error) {
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
 	if s, ok := srv.sessions[name]; ok {
 		// Joining: verify the space matches.
 		joined, err := space.New(params...)
 		if err != nil {
-			return err
+			return nil, false, err
 		}
 		if joined.String() != s.sp.String() {
-			return fmt.Errorf("harmony: session %q already registered with different parameters", name)
+			return nil, false, fmt.Errorf("harmony: session %q already registered with different parameters", name)
 		}
-		return nil
+		return s, false, nil
 	}
 	sp, err := space.New(params...)
 	if err != nil {
-		return err
+		return nil, false, err
 	}
 	alg, err := srv.opts.NewAlgorithm(sp)
 	if err != nil {
-		return err
+		return nil, false, err
 	}
 	s := srv.newSession(name, sp, alg, false)
 	srv.sessions[name] = s
-	s.rec.Record(event.Session{Session: name, Phase: "registered", Detail: alg.String()})
 	go s.run()
 	if srv.opts.IdleTimeout > 0 {
 		go srv.expire(s)
 	}
-	return nil
+	return s, true, nil
 }
 
 // expire stops and removes s once it has been idle past IdleTimeout. The

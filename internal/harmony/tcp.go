@@ -122,11 +122,65 @@ func Serve(l net.Listener, srv *Server) error {
 	return ServeWith(l, srv, ConnOptions{})
 }
 
+// connTracker joins the per-connection goroutines ServeWith launches: every
+// live connection is registered so shutdown can close it (unblocking its
+// read loop), and the WaitGroup collects the goroutines before ServeWith
+// returns. This is the lifecycle contract paralint's goroutinelifecycle
+// rule demands of every `go` statement in this package.
+type connTracker struct {
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// add registers conn, or reports false when the tracker is already closed
+// (the caller must close the connection itself).
+func (t *connTracker) add(conn net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	if t.conns == nil {
+		t.conns = make(map[net.Conn]struct{})
+	}
+	t.conns[conn] = struct{}{}
+	return true
+}
+
+func (t *connTracker) remove(conn net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, conn)
+	t.mu.Unlock()
+}
+
+// closeAll closes every live connection, unblocking their read loops, and
+// refuses new registrations.
+func (t *connTracker) closeAll() {
+	t.mu.Lock()
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
 // ServeWith is Serve with explicit transport deadlines. Each connection is
 // handled on its own goroutine; a malformed request or an expired deadline
-// closes only that connection.
+// closes only that connection. When the listener closes, ServeWith closes
+// every live connection and waits for all handler goroutines to drain
+// before returning — no goroutine outlives the accept loop.
 func ServeWith(l net.Listener, srv *Server, opts ConnOptions) error {
 	opts.normalise()
+	var tracker connTracker
+	defer tracker.wg.Wait()
+	defer tracker.closeAll()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -135,11 +189,18 @@ func ServeWith(l net.Listener, srv *Server, opts ConnOptions) error {
 			}
 			return err
 		}
-		go handleConn(conn, srv, opts)
+		if !tracker.add(conn) {
+			_ = conn.Close()
+			continue
+		}
+		tracker.wg.Add(1)
+		go handleConn(conn, srv, opts, &tracker)
 	}
 }
 
-func handleConn(conn net.Conn, srv *Server, opts ConnOptions) {
+func handleConn(conn net.Conn, srv *Server, opts ConnOptions, tracker *connTracker) {
+	defer tracker.wg.Done()
+	defer tracker.remove(conn)
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)

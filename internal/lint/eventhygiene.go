@@ -1,0 +1,334 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// eventPkgPath is the canonical event stream package; every Recorder
+// emission anywhere in the module is held to its registry.
+const eventPkgPath = "paratune/internal/event"
+
+// EmitsEvent is the cross-package fact marking a function that (possibly
+// transitively) calls an event.Recorder, so callers holding a mutex can be
+// warned even when the emission hides behind a helper in another package.
+type EmitsEvent struct{}
+
+// AFact marks EmitsEvent as a fact.
+func (*EmitsEvent) AFact() {}
+
+func (*EmitsEvent) String() string { return "EmitsEvent" }
+
+// EventHygiene checks every event.Recorder emission in the module:
+//
+//   - the emitted value's concrete type must be declared in the event
+//     package (the registry of kinds the trace format understands);
+//   - the payload must not derive from the wall clock — traces must be
+//     byte-identical across runs of the same seed;
+//   - the emission must not happen while a mutex is held: recorders are
+//     externally supplied and may block (JSONL to a slow disk), turning a
+//     hot lock into a convoy, and a locking recorder can deadlock.
+//
+// The mutex check tracks Lock/Unlock pairs statement-by-statement within a
+// function (defer Unlock holds to the end, branches fork the held set) and
+// follows emissions into helpers via the EmitsEvent fact.
+var EventHygiene = &Analyzer{
+	Name:      "eventhygiene",
+	Doc:       "event emissions use registered kinds, no wall-clock payload, never under a mutex",
+	FactTypes: []Fact{(*EmitsEvent)(nil)},
+	Run:       runEventHygiene,
+}
+
+// isRecordCall reports whether call invokes a Record method taking an
+// event.Event (the Recorder interface or any implementation of it).
+func isRecordCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeAnyFunc(info, call)
+	if fn == nil || fn.Name() != "Record" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil && obj.Pkg().Path() == eventPkgPath
+}
+
+func runEventHygiene(pass *Pass) {
+	// Phase 1: mark this package's functions that transitively emit, and
+	// export the facts.
+	emits := make(map[*types.Func]bool)
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	isEmitter := func(fn *types.Func) bool {
+		if emits[fn] {
+			return true
+		}
+		var e EmitsEvent
+		return pass.ImportObjectFact(fn, &e)
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if emits[fn] {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isRecordCall(pass.Info, call) {
+					found = true
+				} else if callee := calleeAnyFunc(pass.Info, call); callee != nil && callee != fn && isEmitter(callee) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				emits[fn] = true
+				changed = true
+			}
+		}
+	}
+	for fn := range emits {
+		pass.ExportObjectFact(fn, &EmitsEvent{})
+	}
+
+	// The event package itself implements recorders; its Record methods and
+	// helpers are the machinery, not emission sites.
+	if strings.TrimSuffix(pass.Pkg.Path(), "_test") == eventPkgPath {
+		return
+	}
+
+	// Phase 2: payload checks at every Record call site.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRecordCall(pass.Info, call) || len(call.Args) != 1 {
+				return true
+			}
+			checkEventPayload(pass, call.Args[0])
+			return true
+		})
+	}
+
+	// Phase 3: no emission while a mutex is held.
+	for _, fd := range decls {
+		held := make(map[string]bool)
+		if strings.HasSuffix(fd.Name.Name, "Locked") {
+			held["<caller>"] = true // ...Locked convention: caller holds a lock
+		}
+		walkLockStmts(pass, fd.Body.List, held, isEmitter)
+	}
+}
+
+// checkEventPayload verifies the emitted value's type registration and
+// wall-clock independence.
+func checkEventPayload(pass *Pass, arg ast.Expr) {
+	t := pass.Info.TypeOf(arg)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if _, isIface := named.Underlying().(*types.Interface); !isIface &&
+			obj.Pkg() != nil && strings.TrimSuffix(obj.Pkg().Path(), "_test") != eventPkgPath {
+			pass.Reportf(arg.Pos(),
+				"event type %s is not registered in %s; declare it there so trace decoding knows the kind",
+				obj.Name(), eventPkgPath)
+		}
+	}
+	ast.Inspect(arg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeAnyFunc(pass.Info, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "time" && isWallClockFunc(fn.Name()) {
+			pass.Reportf(call.Pos(),
+				"event payload derives from the wall clock (time.%s); traces must be identical across runs of one seed",
+				fn.Name())
+		}
+		return true
+	})
+}
+
+// mutexOp classifies call as a lock operation on a sync.Mutex/RWMutex,
+// returning a stable key for the lock expression and +1 (acquire), -1
+// (release), or 0 (not a lock op).
+func mutexOp(info *types.Info, call *ast.CallExpr) (key string, op int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = 1
+	case "Unlock", "RUnlock":
+		op = -1
+	default:
+		return "", 0
+	}
+	fn := calleeAnyFunc(info, call)
+	if fn == nil {
+		return "", 0
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isMutexType(sig.Recv().Type()) {
+		return "", 0
+	}
+	return types.ExprString(sel.X), op
+}
+
+// walkLockStmts interprets stmts in order, maintaining the set of held lock
+// keys, and reports any event emission made while the set is non-empty.
+// Branch bodies fork a copy of the set: an unlock on one path does not clear
+// another.
+func walkLockStmts(pass *Pass, stmts []ast.Stmt, held map[string]bool, isEmitter func(*types.Func) bool) {
+	fork := func() map[string]bool {
+		c := make(map[string]bool, len(held))
+		for k, v := range held {
+			c[k] = v
+		}
+		return c
+	}
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the rest of the
+			// function; a deferred closure runs outside this lock scope.
+			continue
+		case *ast.GoStmt:
+			// The goroutine body runs on its own stack without our locks;
+			// only the call's arguments evaluate here.
+			for _, a := range s.Call.Args {
+				checkEmissions(pass, a, held, isEmitter)
+			}
+			if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				walkLockStmts(pass, lit.Body.List, make(map[string]bool), isEmitter)
+			}
+			continue
+		case *ast.BlockStmt:
+			walkLockStmts(pass, s.List, held, isEmitter)
+			continue
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walkLockStmts(pass, []ast.Stmt{s.Init}, held, isEmitter)
+			}
+			checkEmissions(pass, s.Cond, held, isEmitter)
+			walkLockStmts(pass, s.Body.List, fork(), isEmitter)
+			if s.Else != nil {
+				walkLockStmts(pass, []ast.Stmt{s.Else}, fork(), isEmitter)
+			}
+			continue
+		case *ast.ForStmt:
+			walkLockStmts(pass, s.Body.List, fork(), isEmitter)
+			continue
+		case *ast.RangeStmt:
+			checkEmissions(pass, s.X, held, isEmitter)
+			walkLockStmts(pass, s.Body.List, fork(), isEmitter)
+			continue
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLockStmts(pass, cc.Body, fork(), isEmitter)
+				}
+			}
+			continue
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLockStmts(pass, cc.Body, fork(), isEmitter)
+				}
+			}
+			continue
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkLockStmts(pass, cc.Body, fork(), isEmitter)
+				}
+			}
+			continue
+		}
+		// Leaf statement: first account lock ops, then check emissions with
+		// the pre-statement state (mu.Lock(); rec.Record(e) on one line is
+		// two statements, so ordering within one statement is moot).
+		checkEmissions(pass, stmt, held, isEmitter)
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, op := mutexOp(pass.Info, call); op > 0 {
+					held[key] = true
+				} else if op < 0 {
+					delete(held, key)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkEmissions reports Record calls (and calls to EmitsEvent functions)
+// in n's expression tree while held is non-empty, skipping nested function
+// literals (their bodies run in their own lock scope).
+func checkEmissions(pass *Pass, n ast.Node, held map[string]bool, isEmitter func(*types.Func) bool) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	lock := anyKey(held)
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isRecordCall(pass.Info, call) {
+			pass.Reportf(call.Pos(),
+				"event emitted while holding %s; recorders may block or re-enter — emit after unlocking",
+				lock)
+		} else if fn := calleeAnyFunc(pass.Info, call); fn != nil && isEmitter(fn) {
+			pass.Reportf(call.Pos(),
+				"%s emits events and is called while holding %s; emit after unlocking",
+				fn.Name(), lock)
+		}
+		return true
+	})
+}
+
+// anyKey returns a deterministic representative held-lock key for messages.
+func anyKey(held map[string]bool) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	if best == "<caller>" {
+		return "the caller's lock (…Locked convention)"
+	}
+	return best
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sync"
+)
+
+// Fact is a typed, analyzer-defined piece of knowledge attached to a
+// types.Object while a package is analyzed, and visible to every later
+// analysis of a package that imports it. Facts are how paralint's dataflow
+// rules reason across package boundaries: the seedflow analyzer, for
+// example, exports a SeedSink fact on dist.NewRNG while analyzing
+// internal/dist, and the analysis of internal/cluster imports that fact to
+// know that the first argument of a dist.NewRNG call is an RNG seed.
+//
+// Fact types must be pointers to structs. Each analyzer declares the fact
+// types it exports in Analyzer.FactTypes.
+type Fact interface {
+	// AFact marks the type as a paralint fact.
+	AFact()
+}
+
+// FactBase stores object facts for one analysis run. Packages are analyzed
+// in dependency order (in parallel across independent packages), so by the
+// time a package is analyzed every fact of its dependencies is present. The
+// store is safe for concurrent use.
+//
+// Fact lookup is by object identity, which works because the driver
+// type-checks every in-module package from source exactly once and reuses
+// the same *types.Package as the import of every dependent — the
+// types.Object a consumer resolves is the very object the defining package
+// exported the fact on.
+type FactBase struct {
+	mu    sync.RWMutex
+	facts map[types.Object]map[reflect.Type]Fact
+}
+
+// NewFactBase returns an empty fact store.
+func NewFactBase() *FactBase {
+	return &FactBase{facts: make(map[types.Object]map[reflect.Type]Fact)}
+}
+
+func (fb *FactBase) set(obj types.Object, f Fact) {
+	t := reflect.TypeOf(f)
+	if t.Kind() != reflect.Ptr {
+		panic(fmt.Sprintf("lint: fact %T must be a pointer to a struct", f))
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	byType := fb.facts[obj]
+	if byType == nil {
+		byType = make(map[reflect.Type]Fact)
+		fb.facts[obj] = byType
+	}
+	byType[t] = f
+}
+
+func (fb *FactBase) get(obj types.Object, ptr Fact) bool {
+	t := reflect.TypeOf(ptr)
+	if t.Kind() != reflect.Ptr {
+		panic(fmt.Sprintf("lint: fact %T must be a pointer to a struct", ptr))
+	}
+	fb.mu.RLock()
+	f, ok := fb.facts[obj][t]
+	fb.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// ExportObjectFact attaches f to obj for consumption by the analysis of any
+// package that imports the current one (and by later analyzers of the same
+// package).
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj == nil || p.facts == nil {
+		return
+	}
+	p.facts.set(obj, f)
+}
+
+// ImportObjectFact copies the fact of ptr's type attached to obj into ptr,
+// reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if obj == nil || p.facts == nil {
+		return false
+	}
+	return p.facts.get(obj, ptr)
+}

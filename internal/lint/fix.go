@@ -1,0 +1,321 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FixPlan groups the suggested-fix edits from diags by file, resolving
+// conflicts: identical edits (one rename reported from two findings)
+// collapse, and of two genuinely overlapping edits the earlier diagnostic
+// wins while the loser is reported in conflicts. The returned edit lists
+// are sorted by offset and non-overlapping, ready for ApplyEdits.
+func FixPlan(diags []Diagnostic) (map[string][]TextEdit, []string) {
+	type span struct{ start, end int }
+	taken := make(map[string][]span)
+	byFile := make(map[string][]TextEdit)
+	seen := make(map[TextEdit]bool)
+	var conflicts []string
+
+	overlaps := func(file string, e TextEdit) bool {
+		for _, s := range taken[file] {
+			if e.Start < s.end && s.start < e.End {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		// All-or-nothing per fix: a half-applied rename is worse than none.
+		clash := false
+		for _, e := range d.Fix.Edits {
+			if !seen[e] && overlaps(e.Filename, e) {
+				clash = true
+				break
+			}
+		}
+		if clash {
+			conflicts = append(conflicts, fmt.Sprintf("%s: fix %q overlaps an earlier fix; rerun after applying", d.Pos, d.Fix.Message))
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			byFile[e.Filename] = append(byFile[e.Filename], e)
+			taken[e.Filename] = append(taken[e.Filename], span{e.Start, e.End})
+		}
+	}
+	for file := range byFile {
+		edits := byFile[file]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start < edits[j].Start })
+		byFile[file] = edits
+	}
+	return byFile, conflicts
+}
+
+// ApplyEdits applies sorted, non-overlapping edits to src.
+func ApplyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	var out bytes.Buffer
+	last := 0
+	for _, e := range edits {
+		if e.Start < last || e.End < e.Start || e.End > len(src) {
+			return nil, fmt.Errorf("edit [%d,%d) out of order or out of range", e.Start, e.End)
+		}
+		out.Write(src[last:e.Start])
+		out.WriteString(e.NewText)
+		last = e.End
+	}
+	out.Write(src[last:])
+	return out.Bytes(), nil
+}
+
+// UnstagedOverlap reports whether file (relative to the git work tree rooted
+// at or above dir) has unstaged modifications whose line ranges intersect
+// any edit. `paralint -fix` refuses to rewrite such files: applying a
+// mechanical edit on top of uncommitted hand edits destroys work no VCS can
+// recover. A file that is not in a git repository never overlaps.
+func UnstagedOverlap(dir, file string, edits []TextEdit) (bool, error) {
+	cmd := exec.Command("git", "diff", "-U0", "--", file)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		if strings.Contains(stderr.String(), "not a git repository") {
+			return false, nil
+		}
+		return false, fmt.Errorf("git diff %s: %v: %s", file, err, stderr.String())
+	}
+	ranges := parseHunkRanges(out)
+	for _, e := range edits {
+		for _, r := range ranges {
+			if e.StartLine <= r[1] && r[0] <= e.EndLine {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// parseHunkRanges extracts the working-tree line ranges from `git diff -U0`
+// hunk headers (@@ -a,b +c,d @@ — the +c,d side). A pure deletion (d == 0)
+// still guards the line it deleted at, since an edit touching that line
+// races the removal.
+func parseHunkRanges(diff []byte) [][2]int {
+	var ranges [][2]int
+	for _, line := range strings.Split(string(diff), "\n") {
+		if !strings.HasPrefix(line, "@@") {
+			continue
+		}
+		fields := strings.Fields(line)
+		for _, f := range fields {
+			if !strings.HasPrefix(f, "+") {
+				continue
+			}
+			f = strings.TrimPrefix(f, "+")
+			start, count := f, "1"
+			if i := strings.IndexByte(f, ','); i >= 0 {
+				start, count = f[:i], f[i+1:]
+			}
+			s, err1 := strconv.Atoi(start)
+			c, err2 := strconv.Atoi(count)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			if c == 0 {
+				ranges = append(ranges, [2]int{s, s + 1})
+			} else {
+				ranges = append(ranges, [2]int{s, s + c - 1})
+			}
+			break
+		}
+	}
+	return ranges
+}
+
+// ApplyFixes applies the edits of every fixable diagnostic to disk. With
+// dryRun, files are left untouched and the unified diff of what would change
+// is returned instead. Files with overlapping unstaged git modifications are
+// skipped with a note. dir anchors the git overlap check.
+func ApplyFixes(dir string, diags []Diagnostic, dryRun bool) (diff string, applied, skipped []string, err error) {
+	byFile, conflicts := FixPlan(diags)
+	skipped = append(skipped, conflicts...)
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var buf strings.Builder
+	for _, file := range files {
+		edits := byFile[file]
+		src, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return "", nil, nil, rerr
+		}
+		fixed, aerr := ApplyEdits(src, edits)
+		if aerr != nil {
+			return "", nil, nil, fmt.Errorf("%s: %v", file, aerr)
+		}
+		if bytes.Equal(fixed, src) {
+			continue
+		}
+		// Diff headers read better repo-relative.
+		display := file
+		if rel, rerr := filepath.Rel(dir, file); rerr == nil && !strings.HasPrefix(rel, "..") {
+			display = rel
+		}
+		if !dryRun {
+			overlap, oerr := UnstagedOverlap(dir, file, edits)
+			if oerr != nil {
+				return "", nil, nil, oerr
+			}
+			if overlap {
+				skipped = append(skipped, fmt.Sprintf("%s: unstaged changes overlap the fix; stage or stash them first", file))
+				continue
+			}
+			info, serr := os.Stat(file)
+			if serr != nil {
+				return "", nil, nil, serr
+			}
+			if werr := os.WriteFile(file, fixed, info.Mode()); werr != nil {
+				return "", nil, nil, werr
+			}
+			applied = append(applied, file)
+			continue
+		}
+		buf.WriteString(UnifiedDiff(display, src, fixed))
+	}
+	return buf.String(), applied, skipped, nil
+}
+
+// UnifiedDiff renders a minimal unified diff between old and new contents of
+// path, via a line-level LCS. Good enough for fix previews; not a general
+// patch tool.
+func UnifiedDiff(path string, oldSrc, newSrc []byte) string {
+	a := strings.SplitAfter(string(oldSrc), "\n")
+	b := strings.SplitAfter(string(newSrc), "\n")
+	if n := len(a); n > 0 && a[n-1] == "" {
+		a = a[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == "" {
+		b = b[:n-1]
+	}
+	// LCS table (files here are small; quadratic is fine).
+	lcs := make([][]int, len(a)+1)
+	for i := range lcs {
+		lcs[i] = make([]int, len(b)+1)
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		for j := len(b) - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	type op struct {
+		kind byte // ' ', '-', '+'
+		text string
+	}
+	var ops []op
+	for i, j := 0, 0; i < len(a) || j < len(b); {
+		switch {
+		case i < len(a) && j < len(b) && a[i] == b[j]:
+			ops = append(ops, op{' ', a[i]})
+			i++
+			j++
+		// At a divergence emit deletions before insertions, the
+		// conventional unified-diff order.
+		case i < len(a) && (j == len(b) || lcs[i+1][j] >= lcs[i][j+1]):
+			ops = append(ops, op{'-', a[i]})
+			i++
+		default:
+			ops = append(ops, op{'+', b[j]})
+			j++
+		}
+	}
+
+	const ctx = 3
+	var buf strings.Builder
+	fmt.Fprintf(&buf, "--- a/%s\n+++ b/%s\n", path, path)
+	// Emit hunks: group runs of changes with ctx lines of context.
+	i := 0
+	aLine, bLine := 1, 1
+	for i < len(ops) {
+		if ops[i].kind == ' ' {
+			aLine++
+			bLine++
+			i++
+			continue
+		}
+		// Found a change; back up for leading context.
+		start := i
+		lead := 0
+		for start > 0 && lead < ctx && ops[start-1].kind == ' ' {
+			start--
+			lead++
+		}
+		// Extend through the change run, allowing gaps of up to 2*ctx equal lines.
+		end := i
+		gap := 0
+		for j := i; j < len(ops); j++ {
+			if ops[j].kind == ' ' {
+				gap++
+				if gap > 2*ctx {
+					break
+				}
+			} else {
+				gap = 0
+				end = j + 1
+			}
+		}
+		trail := 0
+		for end < len(ops) && trail < ctx && ops[end].kind == ' ' {
+			end++
+			trail++
+		}
+		aStart, bStart := aLine-lead, bLine-lead
+		aCount, bCount := 0, 0
+		for _, o := range ops[start:end] {
+			if o.kind != '+' {
+				aCount++
+			}
+			if o.kind != '-' {
+				bCount++
+			}
+		}
+		fmt.Fprintf(&buf, "@@ -%d,%d +%d,%d @@\n", aStart, aCount, bStart, bCount)
+		for _, o := range ops[start:end] {
+			buf.WriteByte(o.kind)
+			buf.WriteString(o.text)
+			if !strings.HasSuffix(o.text, "\n") {
+				buf.WriteString("\n\\ No newline at end of file\n")
+			}
+		}
+		for _, o := range ops[i:end] {
+			if o.kind != '+' {
+				aLine++
+			}
+			if o.kind != '-' {
+				bLine++
+			}
+		}
+		i = end
+	}
+	return buf.String()
+}

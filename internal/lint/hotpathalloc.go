@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc enforces allocation discipline in functions annotated
+// //paralint:hotpath — the per-step simulator paths (cluster.Sim step,
+// async completion dispatch), PRO's rank-ordering, and the min-of-K
+// estimators, which run once per simulated evaluation and dominate sweep
+// time. Three shapes are banned there:
+//
+//   - any call into fmt: formatting allocates and reflects even on the
+//     non-error path;
+//   - boxing a float into an interface parameter: each call allocates;
+//   - allocating inside a loop (make, new, map/slice literals): per-iteration
+//     garbage on the per-step path. Hoist the buffer or reuse a scratch
+//     field instead.
+//
+// The companion tier-2 test pins AllocsPerRun budgets for the annotated
+// functions, so regressions the syntax can't see (interface conversions via
+// generics, append growth) still fail the build.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//paralint:hotpath functions avoid fmt, float boxing, and per-iteration allocation",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.IsHotpath(fd) {
+				continue
+			}
+			checkHotPath(pass, fd)
+		}
+	}
+}
+
+func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeAnyFunc(pass.Info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				pass.Reportf(n.Pos(),
+					"fmt.%s in hot path %s allocates and reflects; move formatting off the per-step path",
+					fn.Name(), fd.Name.Name)
+			}
+			checkFloatBoxing(pass, fd, n)
+		case *ast.ForStmt:
+			checkLoopAllocs(pass, fd, n.Body)
+		case *ast.RangeStmt:
+			checkLoopAllocs(pass, fd, n.Body)
+		}
+		return true
+	})
+}
+
+// checkFloatBoxing reports float arguments passed to interface parameters —
+// each such call boxes the float on the heap.
+func checkFloatBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // type conversion or built-in
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if slice, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = slice.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.Info.TypeOf(arg)
+		if basic, ok := at.Underlying().(*types.Basic); ok && basic.Info()&types.IsFloat != 0 {
+			pass.Reportf(arg.Pos(),
+				"float boxed into interface argument in hot path %s; each call allocates",
+				fd.Name.Name)
+		}
+	}
+}
+
+// checkLoopAllocs reports allocation expressions inside a loop body: make,
+// new, and map/slice composite literals. Struct literals and append are
+// allowed — the former is usually stack-bound, the latter amortises.
+func checkLoopAllocs(pass *Pass, fd *ast.FuncDecl, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "make" || id.Name == "new") {
+					pass.Reportf(n.Pos(),
+						"%s inside a loop in hot path %s allocates per iteration; hoist it or reuse a scratch buffer",
+						id.Name, fd.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.Info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(),
+					"map literal inside a loop in hot path %s allocates per iteration; hoist it or reuse a scratch buffer",
+					fd.Name.Name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(),
+					"slice literal inside a loop in hot path %s allocates per iteration; hoist it or reuse a scratch buffer",
+					fd.Name.Name)
+			}
+		}
+		return true
+	})
+}

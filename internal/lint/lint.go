@@ -5,7 +5,7 @@
 // the simulator and estimators are bit-deterministic under a fixed seed, and
 // trustworthy only if the concurrent harmony server is race- and leak-free.
 //
-// Four rules are enforced:
+// Eight rules are enforced. Four are syntax-local:
 //
 //   - determinism: no wall-clock time and no process-global rand inside
 //     simulation packages; no wall-clock-seeded RNG sources anywhere.
@@ -15,6 +15,19 @@
 //     exact ties must be deliberate.
 //   - errdiscipline: no silently discarded errors at the harmony wire
 //     boundary.
+//
+// Four reason through dataflow and across package boundaries via the fact
+// system (see FactBase):
+//
+//   - seedflow: every RNG-seed argument in simulation packages must trace
+//     back to a seed parameter, field, or another seeded stream — never to
+//     the wall clock, crypto/rand, or the process id.
+//   - goroutinelifecycle: every go statement in the server/simulator core
+//     must have a provable join or cancel path.
+//   - eventhygiene: event.Recorder emissions use registered event kinds,
+//     carry no wall-clock-derived payload, and never happen under a mutex.
+//   - hotpathalloc: functions marked //paralint:hotpath avoid fmt, float
+//     interface boxing, and per-iteration allocations.
 //
 // A finding can be suppressed with a comment on the same line or the line
 // immediately above:
@@ -36,22 +49,50 @@ import (
 	"strings"
 )
 
+// TextEdit is one replacement of a byte span with new text.
+type TextEdit struct {
+	Filename  string `json:"filename"`
+	Start     int    `json:"start"` // byte offset, inclusive
+	End       int    `json:"end"`   // byte offset, exclusive
+	StartLine int    `json:"start_line"`
+	EndLine   int    `json:"end_line"`
+	NewText   string `json:"new_text"`
+}
+
+// SuggestedFix is a mechanical repair for a finding, applied by
+// `paralint -fix` and previewed by `paralint -diff`.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
 // Diagnostic is one analyzer finding.
 type Diagnostic struct {
-	Pos     token.Position
-	Rule    string
-	Message string
+	Pos     token.Position `json:"pos"`
+	Rule    string         `json:"rule"`
+	Message string         `json:"message"`
+	// Fix, when non-nil, is a mechanical edit that resolves the finding.
+	Fix *SuggestedFix `json:"fix,omitempty"`
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
+// sameFinding reports whether two diagnostics describe the same defect
+// (position, rule, and message; fixes are not compared).
+func sameFinding(a, b Diagnostic) bool {
+	return a.Pos == b.Pos && a.Rule == b.Rule && a.Message == b.Message
+}
+
 // Analyzer is one named rule.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Pass)
+	// FactTypes lists the fact types the analyzer exports (pointers to
+	// zero-valued structs), for documentation and registry purposes.
+	FactTypes []Fact
+	Run       func(*Pass)
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -61,16 +102,49 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// TestVariant is true when the pass analyzes a package variant that
+	// includes _test.go files (in-package or external test package).
+	TestVariant bool
 
-	allow map[string]map[int]map[string]bool // filename -> line -> allowed rules
+	ctx   *pkgContext
+	facts *FactBase
 	out   *[]Diagnostic
+
+	// seedSinks caches the SeedSink facts computed for the current package
+	// mid-run, before they are published to the fact store (seedflow only).
+	seedSinks map[*types.Func]*SeedSink
+}
+
+// pkgContext is the per-package state shared by every analyzer pass:
+// suppression directives, hotpath annotations, and the source map.
+type pkgContext struct {
+	pkg     *Package
+	allow   map[string]map[int]map[string]bool // filename -> line -> allowed rules
+	hotpath map[string]map[int]bool            // filename -> line carrying //paralint:hotpath
+}
+
+func newPkgContext(pkg *Package) *pkgContext {
+	return &pkgContext{
+		pkg:     pkg,
+		allow:   allowIndex(pkg),
+		hotpath: directiveLineIndex(pkg, hotpathPrefix),
+	}
 }
 
 // Reportf records a finding at pos unless a //paralint:allow comment
 // suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportWithFix records a finding carrying a suggested mechanical fix.
+func (p *Pass) ReportWithFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.report(pos, fix, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if rules, ok := p.allow[position.Filename][position.Line]; ok {
+	if rules, ok := p.ctx.allow[position.Filename][position.Line]; ok {
 		if rules[p.Analyzer.Name] || rules["all"] {
 			return
 		}
@@ -79,33 +153,111 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:     position,
 		Rule:    p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
 	})
+}
+
+// SrcText returns the source text of the node span, for fix construction.
+func (p *Pass) SrcText(start, end token.Pos) (string, bool) {
+	sp, ep := p.Fset.Position(start), p.Fset.Position(end)
+	src, ok := p.ctx.pkg.Src[sp.Filename]
+	if !ok || sp.Filename != ep.Filename || sp.Offset > ep.Offset || ep.Offset > len(src) {
+		return "", false
+	}
+	return string(src[sp.Offset:ep.Offset]), true
+}
+
+// Edit builds a TextEdit replacing the span [start, end) with newText.
+func (p *Pass) Edit(start, end token.Pos, newText string) TextEdit {
+	sp, ep := p.Fset.Position(start), p.Fset.Position(end)
+	return TextEdit{
+		Filename:  sp.Filename,
+		Start:     sp.Offset,
+		End:       ep.Offset,
+		StartLine: sp.Line,
+		EndLine:   ep.Line,
+		NewText:   newText,
+	}
+}
+
+// IsHotpath reports whether fd carries the //paralint:hotpath annotation,
+// either inside its doc comment or as a standalone comment on the line
+// immediately above the declaration.
+func (p *Pass) IsHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if isDirective(c.Text, hotpathPrefix) {
+				return true
+			}
+		}
+	}
+	pos := p.Fset.Position(fd.Pos())
+	byLine := p.ctx.hotpath[pos.Filename]
+	return byLine[pos.Line] || byLine[pos.Line-1]
 }
 
 // Analyzers returns every paralint rule in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, LockDiscipline, FloatCompare, ErrDiscipline}
+	return []*Analyzer{
+		Determinism, LockDiscipline, FloatCompare, ErrDiscipline,
+		SeedFlow, GoroutineLifecycle, EventHygiene, HotPathAlloc,
+	}
 }
 
-// Run applies the analyzers to each package and returns the surviving
-// findings sorted by position.
+// Run applies the analyzers to each package in slice order with a fresh
+// fact store and returns the surviving findings sorted by position.
+// Packages must be ordered dependencies-first for cross-package facts to
+// propagate; the parallel Analyze driver guarantees that for whole-module
+// runs, and golden tests order their testdata packages by hand.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunWithFacts(NewFactBase(), pkgs, analyzers)
+}
+
+// RunWithFacts is Run against an existing fact store, so facts exported by
+// an earlier call are visible to a later one.
+func RunWithFacts(fb *FactBase, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		allow := allowIndex(pkg)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				allow:    allow,
-				out:      &diags,
-			}
-			a.Run(pass)
+		diags = append(diags, runPackage(fb, pkg, analyzers, false, nil)...)
+	}
+	return sortDiags(diags)
+}
+
+// runPackage applies every analyzer to one type-checked package. When
+// onlyFiles is non-nil, findings outside that filename set are discarded
+// (used to keep test-variant passes from double-reporting non-test files).
+func runPackage(fb *FactBase, pkg *Package, analyzers []*Analyzer, testVariant bool, onlyFiles map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	ctx := newPkgContext(pkg)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:    a,
+			Fset:        pkg.Fset,
+			Files:       pkg.Files,
+			Pkg:         pkg.Types,
+			Info:        pkg.Info,
+			TestVariant: testVariant,
+			ctx:         ctx,
+			facts:       fb,
+			out:         &diags,
+		}
+		a.Run(pass)
+	}
+	if onlyFiles == nil {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if onlyFiles[d.Pos.Filename] {
+			kept = append(kept, d)
 		}
 	}
+	return kept
+}
+
+// sortDiags orders findings by position and collapses exact duplicates
+// (nested constructs can report the same defect twice).
+func sortDiags(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -119,11 +271,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Rule < diags[j].Rule
 	})
-	// Nested constructs can report the same defect twice (e.g. a wall-clock
-	// seed inside rand.New(rand.NewSource(...))); collapse exact duplicates.
 	out := diags[:0]
 	for i, d := range diags {
-		if i > 0 && d == diags[i-1] {
+		if i > 0 && sameFinding(d, diags[i-1]) {
 			continue
 		}
 		out = append(out, d)
@@ -131,7 +281,55 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
-const allowPrefix = "paralint:allow"
+// calleeAnyFunc resolves the function or method a call dispatches to —
+// including methods and interface methods, unlike calleeFunc — or nil for
+// builtins, conversions, and calls through func values.
+func calleeAnyFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+const (
+	allowPrefix   = "paralint:allow"
+	hotpathPrefix = "paralint:hotpath"
+)
+
+func isDirective(comment, prefix string) bool {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	return text == prefix || strings.HasPrefix(text, prefix+" ")
+}
+
+// directiveLineIndex maps file -> line for every comment carrying the given
+// directive prefix.
+func directiveLineIndex(pkg *Package, prefix string) map[string]map[int]bool {
+	idx := make(map[string]map[int]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !isDirective(c.Text, prefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]bool)
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = true
+			}
+		}
+	}
+	return idx
+}
 
 // allowIndex maps file -> line -> rules suppressed on that line. A trailing
 // comment suppresses its own line; a standalone comment line suppresses the

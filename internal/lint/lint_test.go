@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
+	"go/token"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -16,12 +18,12 @@ type diagKey struct {
 	line int
 }
 
-// runGolden loads the testdata package in dir as importPath, runs one
-// analyzer over it, and checks the findings against the // want
-// expectations embedded in the source.
-func runGolden(t *testing.T, a *Analyzer, dir, importPath string) {
+// loadTestdata loads the testdata package in dir under importPath, with
+// optional pre-checked dependencies, failing the test on any load or type
+// error.
+func loadTestdata(t *testing.T, dir, importPath string, deps map[string]*Package) *Package {
 	t.Helper()
-	pkg, err := LoadDir(filepath.Join("testdata", dir), importPath)
+	pkg, err := LoadDirWithDeps(filepath.Join("testdata", dir), importPath, deps)
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
@@ -31,9 +33,15 @@ func runGolden(t *testing.T, a *Analyzer, dir, importPath string) {
 	if t.Failed() {
 		t.FailNow()
 	}
+	return pkg
+}
 
+// checkWants compares findings against the // want expectations embedded in
+// the given sources.
+func checkWants(t *testing.T, srcs map[string][]byte, diags []Diagnostic) {
+	t.Helper()
 	wants := make(map[diagKey]*regexp.Regexp)
-	for name, src := range pkg.Src {
+	for name, src := range srcs {
 		for i, line := range strings.Split(string(src), "\n") {
 			m := wantRe.FindStringSubmatch(line)
 			if m == nil {
@@ -48,7 +56,7 @@ func runGolden(t *testing.T, a *Analyzer, dir, importPath string) {
 	}
 
 	matched := make(map[diagKey]bool)
-	for _, d := range Run([]*Package{pkg}, []*Analyzer{a}) {
+	for _, d := range diags {
 		k := diagKey{d.Pos.Filename, d.Pos.Line}
 		re, ok := wants[k]
 		if !ok {
@@ -65,6 +73,15 @@ func runGolden(t *testing.T, a *Analyzer, dir, importPath string) {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
 		}
 	}
+}
+
+// runGolden loads the testdata package in dir as importPath, runs one
+// analyzer over it, and checks the findings against the // want
+// expectations embedded in the source.
+func runGolden(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg := loadTestdata(t, dir, importPath, nil)
+	checkWants(t, pkg.Src, Run([]*Package{pkg}, []*Analyzer{a}))
 }
 
 func TestDeterminismSimPackage(t *testing.T) {
@@ -93,10 +110,7 @@ func TestFloatCompare(t *testing.T) {
 // TestFloatCompareScope checks the rule stays silent outside the
 // rank-ordering/stats packages, no matter what the code does.
 func TestFloatCompareScope(t *testing.T) {
-	pkg, err := LoadDir(filepath.Join("testdata", "floatcompare"), "paratune/internal/harmony")
-	if err != nil {
-		t.Fatal(err)
-	}
+	pkg := loadTestdata(t, "floatcompare", "paratune/internal/harmony", nil)
 	if diags := Run([]*Package{pkg}, []*Analyzer{FloatCompare}); len(diags) != 0 {
 		t.Errorf("floatcompare fired outside its package scope: %v", diags)
 	}
@@ -108,37 +122,330 @@ func TestErrDiscipline(t *testing.T) {
 
 // TestErrDisciplineScope checks the rule is confined to the wire boundary.
 func TestErrDisciplineScope(t *testing.T) {
-	pkg, err := LoadDir(filepath.Join("testdata", "errdiscipline"), "paratune/internal/experiment")
-	if err != nil {
-		t.Fatal(err)
-	}
+	pkg := loadTestdata(t, "errdiscipline", "paratune/internal/experiment", nil)
 	if diags := Run([]*Package{pkg}, []*Analyzer{ErrDiscipline}); len(diags) != 0 {
 		t.Errorf("errdiscipline fired outside the wire boundary: %v", diags)
 	}
 }
 
-// TestRepoIsClean is the enforcement test: the whole repository must be free
-// of paralint findings. It is what makes `go test ./...` (tier-1) fail the
-// same way `make lint` and CI fail when a regression lands.
+func TestSeedFlow(t *testing.T) {
+	runGolden(t, SeedFlow, "seedflow", "paratune/internal/noise")
+}
+
+// TestSeedFlowFactPropagation is the cross-package dataflow test: package A
+// (impersonating internal/dist) exports a SeedSink fact on its NewRNG, and
+// package B (impersonating internal/cluster) is reported for feeding that
+// imported sink a wall-clock seed. The defect is only visible through the
+// fact — neither package is wrong in isolation under a syntax-local rule.
+func TestSeedFlowFactPropagation(t *testing.T) {
+	dep := loadTestdata(t, "seedflow_dep", "paratune/internal/dist", nil)
+	use := loadTestdata(t, "seedflow_use", "paratune/internal/cluster",
+		map[string]*Package{"paratune/internal/dist": dep})
+	srcs := make(map[string][]byte)
+	for name, b := range dep.Src {
+		srcs[name] = b
+	}
+	for name, b := range use.Src {
+		srcs[name] = b
+	}
+	diags := Run([]*Package{dep, use}, []*Analyzer{SeedFlow})
+	checkWants(t, srcs, diags)
+	if len(diags) == 0 {
+		t.Fatalf("fact propagation produced no findings; SeedSink fact did not cross the package boundary")
+	}
+}
+
+func TestGoroutineLifecycle(t *testing.T) {
+	runGolden(t, GoroutineLifecycle, "goroutinelifecycle", "paratune/internal/harmony")
+}
+
+// TestGoroutineLifecycleScope checks the rule is silent outside the
+// server/simulator core.
+func TestGoroutineLifecycleScope(t *testing.T) {
+	pkg := loadTestdata(t, "goroutinelifecycle", "paratune/internal/stats", nil)
+	if diags := Run([]*Package{pkg}, []*Analyzer{GoroutineLifecycle}); len(diags) != 0 {
+		t.Errorf("goroutinelifecycle fired outside its package scope: %v", diags)
+	}
+}
+
+func TestEventHygiene(t *testing.T) {
+	runGolden(t, EventHygiene, "eventhygiene", "paratune/internal/experiment")
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	runGolden(t, HotPathAlloc, "hotpathalloc", "paratune/internal/cluster")
+}
+
+// TestFloatCompareFix pins the ApproxEqual rewrite: inside the stats
+// package the suggested fix replaces the comparison with an unqualified
+// ApproxEqual call carrying DefaultTol.
+func TestFloatCompareFix(t *testing.T) {
+	pkg := loadTestdata(t, "floatcompare", "paratune/internal/stats", nil)
+	diags := Run([]*Package{pkg}, []*Analyzer{FloatCompare})
+	fixed := 0
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		fixed++
+		if len(d.Fix.Edits) != 1 {
+			t.Fatalf("fix %q has %d edits, want 1", d.Fix.Message, len(d.Fix.Edits))
+		}
+		e := d.Fix.Edits[0]
+		out, err := ApplyEdits(pkg.Src[e.Filename], []TextEdit{e})
+		if err != nil {
+			t.Fatalf("applying fix: %v", err)
+		}
+		if !strings.Contains(string(out), "ApproxEqual(") || !strings.Contains(string(out), "DefaultTol") {
+			t.Errorf("fix output missing ApproxEqual rewrite near %s", d.Pos)
+		}
+	}
+	if fixed == 0 {
+		t.Fatalf("no floatcompare finding carried a suggested fix")
+	}
+}
+
+// TestLockDisciplineRenameFix pins the ...Locked rename: an unexported
+// method's finding carries edits at the declaration and at every use.
+func TestLockDisciplineRenameFix(t *testing.T) {
+	pkg := loadTestdata(t, "lockdiscipline", "paratune/internal/harmony", nil)
+	diags := Run([]*Package{pkg}, []*Analyzer{LockDiscipline})
+	var fix *SuggestedFix
+	for _, d := range diags {
+		if d.Fix != nil {
+			if fix != nil {
+				t.Fatalf("multiple rename fixes; fixture expects exactly one unexported method")
+			}
+			fix = d.Fix
+		}
+	}
+	if fix == nil {
+		t.Fatalf("no lockdiscipline finding carried a rename fix")
+	}
+	if len(fix.Edits) < 2 {
+		t.Fatalf("rename fix has %d edits, want declaration + at least one use", len(fix.Edits))
+	}
+	byFile, conflicts := FixPlan([]Diagnostic{{Fix: fix}})
+	if len(conflicts) != 0 {
+		t.Fatalf("unexpected fix conflicts: %v", conflicts)
+	}
+	for file, edits := range byFile {
+		out, err := ApplyEdits(pkg.Src[file], edits)
+		if err != nil {
+			t.Fatalf("applying rename: %v", err)
+		}
+		got := string(out)
+		if strings.Contains(got, "c.peek()") || strings.Contains(got, ") peek(") {
+			t.Errorf("rename left an un-renamed occurrence of peek in %s", file)
+		}
+		if !strings.Contains(got, "peekLocked") {
+			t.Errorf("rename did not introduce peekLocked in %s", file)
+		}
+	}
+}
+
+func TestApplyEdits(t *testing.T) {
+	src := []byte("abc def ghi")
+	out, err := ApplyEdits(src, []TextEdit{
+		{Start: 0, End: 3, NewText: "XYZ"},
+		{Start: 4, End: 7, NewText: ""},
+		{Start: 8, End: 8, NewText: "Q"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(out), "XYZ  Qghi"; got != want {
+		t.Errorf("ApplyEdits = %q, want %q", got, want)
+	}
+	if _, err := ApplyEdits(src, []TextEdit{{Start: 5, End: 2}}); err == nil {
+		t.Error("inverted edit span accepted")
+	}
+	if _, err := ApplyEdits(src, []TextEdit{{Start: 0, End: 99}}); err == nil {
+		t.Error("out-of-range edit accepted")
+	}
+}
+
+// TestFixPlanOverlap pins conflict handling: of two fixes editing the same
+// span, the earlier diagnostic wins all-or-nothing and the loser is
+// reported.
+func TestFixPlanOverlap(t *testing.T) {
+	mk := func(start, end int, text string) Diagnostic {
+		return Diagnostic{
+			Pos: token.Position{Filename: "f.go", Line: 1},
+			Fix: &SuggestedFix{
+				Message: fmt.Sprintf("edit %d-%d", start, end),
+				Edits:   []TextEdit{{Filename: "f.go", Start: start, End: end, NewText: text}},
+			},
+		}
+	}
+	byFile, conflicts := FixPlan([]Diagnostic{mk(0, 5, "a"), mk(3, 8, "b"), mk(10, 12, "c")})
+	if len(conflicts) != 1 {
+		t.Fatalf("got %d conflicts, want 1: %v", len(conflicts), conflicts)
+	}
+	if got := len(byFile["f.go"]); got != 2 {
+		t.Fatalf("got %d surviving edits, want 2", got)
+	}
+	// Identical edits from two findings collapse rather than conflict.
+	byFile, conflicts = FixPlan([]Diagnostic{mk(0, 5, "a"), mk(0, 5, "a")})
+	if len(conflicts) != 0 || len(byFile["f.go"]) != 1 {
+		t.Errorf("duplicate edits: %d conflicts, %d edits; want 0 and 1", len(conflicts), len(byFile["f.go"]))
+	}
+}
+
+func TestUnifiedDiff(t *testing.T) {
+	oldSrc := []byte("a\nb\nc\nd\ne\n")
+	newSrc := []byte("a\nb\nC\nd\ne\n")
+	diff := UnifiedDiff("x.go", oldSrc, newSrc)
+	for _, want := range []string{"--- a/x.go", "+++ b/x.go", "-c\n", "+C\n", "@@ -1,5 +1,5 @@"} {
+		if !strings.Contains(diff, want) {
+			t.Errorf("diff missing %q:\n%s", want, diff)
+		}
+	}
+	if UnifiedDiff("x.go", oldSrc, oldSrc) != "--- a/x.go\n+++ b/x.go\n" {
+		t.Error("identical inputs should produce a header-only diff")
+	}
+}
+
+func TestParseHunkRanges(t *testing.T) {
+	diff := []byte("diff --git a/f.go b/f.go\n" +
+		"@@ -10,2 +12,3 @@ func foo() {\n" +
+		"@@ -20 +25 @@\n" +
+		"@@ -30,4 +0,0 @@\n")
+	got := parseHunkRanges(diff)
+	want := [][2]int{{12, 14}, {25, 25}, {0, 1}}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("parseHunkRanges = %v, want %v", got, want)
+	}
+}
+
+// TestSARIFStructure validates the emitted log against the SARIF 2.1.0
+// structural requirements GitHub code scanning enforces: version, schema,
+// tool driver with rules, and results with ruleId, message, and physical
+// locations.
+func TestSARIFStructure(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:     token.Position{Filename: "internal/cluster/cluster.go", Line: 10, Column: 3},
+			Rule:    "seedflow",
+			Message: "RNG seed derives from the wall clock",
+		},
+		{
+			Pos:     token.Position{Filename: "internal/harmony/tcp.go", Line: 99, Column: 2},
+			Rule:    "goroutinelifecycle",
+			Message: "goroutine has no join or cancel path",
+		},
+	}
+	out, err := SARIF(Analyzers(), diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if v, _ := log["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", v)
+	}
+	if s, _ := log["$schema"].(string); !strings.Contains(s, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %q, want the 2.1.0 schema URI", s)
+	}
+	runs, _ := log["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "paralint" {
+		t.Errorf("driver name = %v, want paralint", driver["name"])
+	}
+	rules, _ := driver["rules"].([]any)
+	if len(rules) != len(Analyzers()) {
+		t.Errorf("driver lists %d rules, want %d", len(rules), len(Analyzers()))
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range rules {
+		rm := r.(map[string]any)
+		id, _ := rm["id"].(string)
+		if id == "" {
+			t.Error("rule with empty id")
+		}
+		if _, ok := rm["shortDescription"].(map[string]any)["text"].(string); !ok {
+			t.Errorf("rule %s missing shortDescription.text", id)
+		}
+		ruleIDs[id] = true
+	}
+	results, _ := run["results"].([]any)
+	if len(results) != len(diags) {
+		t.Fatalf("got %d results, want %d", len(results), len(diags))
+	}
+	for i, r := range results {
+		rm := r.(map[string]any)
+		id, _ := rm["ruleId"].(string)
+		if !ruleIDs[id] {
+			t.Errorf("result %d ruleId %q not in driver rules", i, id)
+		}
+		if lvl, _ := rm["level"].(string); lvl != "error" {
+			t.Errorf("result %d level = %q, want error", i, lvl)
+		}
+		if _, ok := rm["message"].(map[string]any)["text"].(string); !ok {
+			t.Errorf("result %d missing message.text", i)
+		}
+		locs, _ := rm["locations"].([]any)
+		if len(locs) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(locs))
+		}
+		phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		uri, _ := phys["artifactLocation"].(map[string]any)["uri"].(string)
+		if uri == "" || strings.Contains(uri, "\\") {
+			t.Errorf("result %d artifact uri %q invalid", i, uri)
+		}
+		if line, _ := phys["region"].(map[string]any)["startLine"].(float64); line < 1 {
+			t.Errorf("result %d startLine %v < 1", i, line)
+		}
+	}
+}
+
+// TestRepoIsClean is the enforcement test: the whole repository — test
+// files included — must be free of paralint findings under all eight
+// analyzers. It is what makes `go test ./...` (tier-1) fail the same way
+// `make lint` and CI fail when a regression lands.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
 	}
-	pkgs, err := Load(filepath.Join("..", ".."), "./...")
+	diags, typeErrs, err := Analyze(filepath.Join("..", ".."), []string{"./..."}, Analyzers())
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
-	for _, pkg := range pkgs {
-		for _, terr := range pkg.TypeErrors {
-			t.Fatalf("type error in %s: %v", pkg.ImportPath, terr)
-		}
+	for _, terr := range typeErrs {
+		t.Fatalf("type error: %v", terr)
 	}
-	diags := Run(pkgs, Analyzers())
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
 	if len(diags) > 0 {
 		t.Logf("fix the findings or annotate deliberate exceptions with //paralint:allow <rule> <reason>")
+	}
+}
+
+// TestAnalyzeMatchesSequentialRun pins that the parallel fact-propagating
+// driver and a by-hand sequential run agree — same findings, same order —
+// so golden tests exercised through Run stay faithful to what CI enforces
+// through Analyze.
+func TestAnalyzeMatchesSequentialRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module twice")
+	}
+	first, _, err := Analyze(filepath.Join("..", ".."), []string{"./..."}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := Analyze(filepath.Join("..", ".."), []string{"./..."}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Errorf("Analyze is not deterministic across runs:\nfirst:  %v\nsecond: %v", first, second)
 	}
 }
 
@@ -153,6 +460,7 @@ func TestAllowParsing(t *testing.T) {
 		{" determinism, floatcompare reason text", []string{"determinism", "floatcompare"}},
 		{" all because everything here is deliberate", []string{"all"}},
 		{" floatcompare exact tie collapsing", []string{"floatcompare"}},
+		{" seedflow laundered clock", []string{"seedflow"}},
 		{" not-a-rule determinism", nil},
 		{"", nil},
 	}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package ready for analysis.
@@ -32,20 +33,30 @@ type Package struct {
 
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
-	ImportPath string
-	Dir        string
-	GoFiles    []string
-	Export     string
-	DepOnly    bool
-	Error      *struct{ Err string }
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Export       string
+	DepOnly      bool
+	Standard     bool
+	ForTest      string
+	Module       *struct{ Path string }
+	Error        *struct{ Err string }
 }
 
-// goList runs `go list -e -export -deps -json` in dir over the given
-// patterns and returns the package stream.
+// goList runs `go list -e -export -deps -test -json` in dir over the given
+// patterns and returns the package stream. The -test flag materialises the
+// test dependency closure, so export data exists for test-only imports.
 func goList(dir string, patterns []string) ([]listPkg, error) {
 	args := append([]string{
-		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Error",
+		"list", "-e", "-export", "-deps", "-test",
+		"-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles," +
+			"Imports,TestImports,XTestImports,Export,DepOnly,Standard,ForTest,Module,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -69,54 +80,57 @@ func goList(dir string, patterns []string) ([]listPkg, error) {
 	return pkgs, nil
 }
 
-// Load parses and type-checks the packages matching patterns, resolved
-// relative to dir (the module root or any directory inside it). Dependencies
-// are imported from compiler export data, so loading is exact: the same
-// types the compiler sees are the types the analyzers see.
-func Load(dir string, patterns ...string) ([]*Package, error) {
-	listed, err := goList(dir, patterns)
-	if err != nil {
-		return nil, err
+// plainEntry reports whether p is a real package rather than a synthesised
+// test variant ("pkg [pkg.test]" recompilations and "pkg.test" mains).
+func plainEntry(p *listPkg) bool {
+	return p.ForTest == "" &&
+		!strings.HasSuffix(p.ImportPath, ".test") &&
+		!strings.Contains(p.ImportPath, " [")
+}
+
+// moduleImporter resolves imports during source type-checking: in-module
+// packages come from the source-checked package table (so every dependent
+// shares the same *types.Package and fact lookup works by object identity),
+// everything else from compiler export data. Safe for concurrent use.
+type moduleImporter struct {
+	srcMu sync.RWMutex
+	src   map[string]*types.Package
+
+	gcMu sync.Mutex
+	gc   types.Importer
+}
+
+func newModuleImporter(fset *token.FileSet, exports map[string]string) *moduleImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
 	}
-	exports := make(map[string]string)
-	var targets []listPkg
-	var broken []string
-	for _, p := range listed {
-		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
-		}
-		if p.DepOnly {
-			continue
-		}
-		if p.Error != nil {
-			broken = append(broken, fmt.Sprintf("%s: %s", p.ImportPath, p.Error.Err))
-			continue
-		}
-		targets = append(targets, p)
+	return &moduleImporter{
+		src: make(map[string]*types.Package),
+		gc:  importer.ForCompiler(fset, "gc", lookup),
 	}
-	if len(broken) > 0 {
-		return nil, fmt.Errorf("packages failed to load:\n  %s", strings.Join(broken, "\n  "))
+}
+
+// provide registers a source-checked package for later imports.
+func (m *moduleImporter) provide(path string, pkg *types.Package) {
+	m.srcMu.Lock()
+	m.src[path] = pkg
+	m.srcMu.Unlock()
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	m.srcMu.RLock()
+	pkg := m.src[path]
+	m.srcMu.RUnlock()
+	if pkg != nil {
+		return pkg, nil
 	}
-	fset := token.NewFileSet()
-	imp := exportImporter(fset, exports)
-	var out []*Package
-	for _, t := range targets {
-		files, src, err := parseFiles(fset, t.Dir, t.GoFiles)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
-		}
-		pkg := &Package{
-			ImportPath: t.ImportPath,
-			Dir:        t.Dir,
-			Fset:       fset,
-			Files:      files,
-			Src:        src,
-		}
-		pkg.Types, pkg.Info, pkg.TypeErrors = typeCheck(fset, t.ImportPath, files, imp)
-		out = append(out, pkg)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
-	return out, nil
+	m.gcMu.Lock()
+	defer m.gcMu.Unlock()
+	return m.gc.Import(path)
 }
 
 // LoadDir parses and type-checks the single package in dir (non-test .go
@@ -126,6 +140,15 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // invisible to `go list ./...` but still need real type information, and
 // asImportPath lets a testdata package impersonate a simulation package.
 func LoadDir(dir, asImportPath string) (*Package, error) {
+	return LoadDirWithDeps(dir, asImportPath, nil)
+}
+
+// LoadDirWithDeps is LoadDir with additional pre-checked dependencies: an
+// import of a path present in deps resolves to that package instead of
+// export data. The fact-propagation tests use it to chain testdata packages
+// the go tool cannot see (package A checked first, then package B importing
+// A's impersonated path).
+func LoadDirWithDeps(dir, asImportPath string, deps map[string]*Package) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -154,7 +177,9 @@ func LoadDir(dir, asImportPath string) (*Package, error) {
 			if err != nil {
 				return nil, err
 			}
-			importSet[path] = true
+			if deps == nil || deps[path] == nil {
+				importSet[path] = true
+			}
 		}
 	}
 	exports := make(map[string]string)
@@ -169,7 +194,7 @@ func LoadDir(dir, asImportPath string) (*Package, error) {
 			return nil, err
 		}
 		for _, p := range listed {
-			if p.Export != "" {
+			if p.Export != "" && plainEntry(&p) {
 				exports[p.ImportPath] = p.Export
 			}
 		}
@@ -181,13 +206,16 @@ func LoadDir(dir, asImportPath string) (*Package, error) {
 		Files:      files,
 		Src:        src,
 	}
-	imp := exportImporter(fset, exports)
+	imp := newModuleImporter(fset, exports)
+	for path, dep := range deps {
+		imp.provide(path, dep.Types)
+	}
 	pkg.Types, pkg.Info, pkg.TypeErrors = typeCheck(fset, asImportPath, files, imp)
 	return pkg, nil
 }
 
 // parseFiles parses the named files in dir with comments, retaining source
-// bytes for the allow-comment index.
+// bytes for the comment-directive index.
 func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, map[string][]byte, error) {
 	var files []*ast.File
 	src := make(map[string][]byte)
@@ -205,19 +233,6 @@ func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, m
 		src[path] = data
 	}
 	return files, src, nil
-}
-
-// exportImporter imports dependencies from the compiler export data files
-// that `go list -export` reported.
-func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
-	lookup := func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(file)
-	}
-	return importer.ForCompiler(fset, "gc", lookup)
 }
 
 // typeCheck runs go/types over one package, collecting rather than aborting

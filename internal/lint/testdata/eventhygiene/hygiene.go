@@ -1,0 +1,84 @@
+// Package hygiene exercises the eventhygiene analyzer against the real
+// event package: registered kinds only, no wall-clock payload, no emission
+// while holding a mutex.
+package hygiene
+
+import (
+	"sync"
+	"time"
+
+	"paratune/internal/event"
+)
+
+// rogue implements event.Event but is not declared in the event package.
+type rogue struct{ N int }
+
+// EventKind implements event.Event.
+func (rogue) EventKind() string { return "rogue" }
+
+type engine struct {
+	rec event.Recorder
+
+	mu sync.Mutex
+	n  int
+}
+
+// goodEmit records a registered kind with virtual-time payload, unlocked.
+func (e *engine) goodEmit() {
+	e.rec.Record(event.Iteration{Iter: 1, VTime: 2.5})
+}
+
+// unregistered emits a kind the trace decoder has never heard of.
+func (e *engine) unregistered() {
+	e.rec.Record(rogue{N: 1}) // want "not registered"
+}
+
+// wallClock smuggles real time into a payload field.
+func (e *engine) wallClock(start time.Time) {
+	e.rec.Record(event.StepTime{Step: 1, T: time.Since(start).Seconds()}) // want "wall clock"
+}
+
+// underLock emits while holding the mutex via defer-unlock.
+func (e *engine) underLock() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.n++
+	e.rec.Record(event.Iteration{Iter: e.n}) // want "while holding"
+}
+
+// afterUnlock snapshots under the lock and emits after releasing: clean.
+func (e *engine) afterUnlock() {
+	e.mu.Lock()
+	e.n++
+	n := e.n
+	e.mu.Unlock()
+	e.rec.Record(event.Iteration{Iter: n})
+}
+
+// emit is a helper; the EmitsEvent fact follows calls through it.
+func (e *engine) emit(ev event.Event) {
+	e.rec.Record(ev)
+}
+
+// helperUnderLock hides the emission behind the helper.
+func (e *engine) helperUnderLock() {
+	e.mu.Lock()
+	e.emit(event.Iteration{Iter: 1}) // want "emits events"
+	e.mu.Unlock()
+}
+
+// flushLocked declares, by its name, that the caller holds a lock.
+func (e *engine) flushLocked() {
+	e.rec.Record(event.Iteration{Iter: e.n}) // want "while holding"
+}
+
+// branchUnlock releases on one path only; the other path still holds.
+func (e *engine) branchUnlock(early bool) {
+	e.mu.Lock()
+	if early {
+		e.mu.Unlock()
+		e.rec.Record(event.Iteration{Iter: 1})
+	}
+	e.rec.Record(event.Iteration{Iter: 2}) // want "while holding"
+	e.mu.Unlock()
+}

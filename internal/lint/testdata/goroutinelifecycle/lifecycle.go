@@ -1,0 +1,70 @@
+// Package lifecycle exercises the goroutinelifecycle analyzer: every go
+// statement must launch a body with a provable join or cancel path.
+package lifecycle
+
+import "sync"
+
+type server struct {
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// run blocks on the quit channel: launching it is safe.
+func (s *server) run() {
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// wrapper delegates to run, which owns the lifecycle machinery; the
+// fixpoint credits the wrapper too.
+func (s *server) wrapper() { s.run() }
+
+func (s *server) startGood() {
+	go s.run()
+	go s.wrapper()
+	go func() {
+		<-s.quit
+	}()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+	results := make(chan int)
+	go func() {
+		results <- work()
+	}()
+	<-results
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done) // completion handshake: the launcher receives on done
+	}()
+	<-done
+}
+
+// spin never consults a channel or WaitGroup: unjoinable.
+func spin() {
+	for {
+		work()
+	}
+}
+
+func (s *server) startBad() {
+	go spin()   // want "no join or cancel path"
+	go func() { // want "no join or cancel path"
+		work()
+	}()
+}
+
+func (s *server) startAllowed() {
+	go spin() //paralint:allow goroutinelifecycle fixture exception
+}
+
+func work() int { return 0 }

@@ -1,0 +1,67 @@
+// Package hotpath exercises the hotpathalloc analyzer: annotated functions
+// must avoid fmt, float interface boxing, and per-iteration allocation.
+package hotpath
+
+import "fmt"
+
+//paralint:hotpath
+func hotSum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//paralint:hotpath
+func hotFmt(step int) string {
+	return fmt.Sprintf("step %d", step) // want "fmt.Sprintf"
+}
+
+//paralint:hotpath
+func hotLoopAlloc(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]float64, 4) // want "allocates per iteration"
+		total += len(buf) + i
+	}
+	return total
+}
+
+//paralint:hotpath
+func hotLoopLiteral(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		pair := []int{i, i + 1} // want "allocates per iteration"
+		total += pair[0]
+	}
+	return total
+}
+
+func sink(v interface{}) {}
+
+//paralint:hotpath
+func hotBoxing(x float64) {
+	sink(x) // want "boxed into interface"
+}
+
+// hotHoisted allocates once up front and reuses the buffer: clean.
+//
+//paralint:hotpath
+func hotHoisted(n int) int {
+	buf := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, float64(i))
+	}
+	return len(buf)
+}
+
+// coldFmt carries no annotation; the rule does not apply.
+func coldFmt(step int) string {
+	return fmt.Sprintf("step %d", step)
+}
+
+//paralint:hotpath
+func hotAllowed(step int) string {
+	return fmt.Sprintf("step %d", step) //paralint:allow hotpathalloc fixture exception
+}

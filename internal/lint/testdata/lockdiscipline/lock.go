@@ -63,3 +63,15 @@ func (e *embedded) Good() int {
 type plain struct{ v int }
 
 func (p *plain) Get() int { return p.v }
+
+// peek is unexported, so its finding carries a suggested ...Locked rename
+// covering the declaration and every use.
+func (c *counter) peek() int {
+	return c.n // want "peek accesses c.n .guarded by mu. without holding the lock"
+}
+
+func (c *counter) Snapshot() (int, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peek(), c.name
+}

@@ -1,0 +1,66 @@
+// Package seedflow exercises the seedflow analyzer: every RNG seed in a
+// simulation package must trace back to an injected seed, never to the wall
+// clock, crypto entropy, or the process id.
+package seedflow
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Config mirrors the repo's options pattern: the seed is injected state.
+type Config struct {
+	Seed int64
+}
+
+// seeded threads the injected seed straight through: clean.
+func seeded(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+
+// literalSeed uses a constant: clean.
+func literalSeed() rand.Source {
+	return rand.NewSource(42)
+}
+
+// derived mixes the injected seed arithmetically: still deterministic.
+func derived(cfg Config, stream int64) *rand.Rand {
+	seed := cfg.Seed*1e6 + stream
+	return rand.New(rand.NewSource(seed))
+}
+
+// wallClock seeds directly from the clock.
+func wallClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "wall clock"
+}
+
+// laundered is the two-step flow the syntax-local determinism rule cannot
+// see: the clock read and the seeding happen on different lines.
+func laundered() *rand.Rand {
+	seed := time.Now().UnixNano() // want "wall clock"
+	seed ^= 0x5deece66d
+	return rand.New(rand.NewSource(seed))
+}
+
+// newRNG forwards its parameter to the constructor; the analyzer marks it a
+// SeedSink, so its call sites are checked like rand.NewSource itself.
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// chained launders the clock through the local SeedSink helper.
+func chained() *rand.Rand {
+	s := time.Now().Unix() // want "wall clock"
+	return newRNG(s)
+}
+
+// pid seeds from the process id.
+func pid() rand.Source {
+	return rand.NewSource(int64(os.Getpid())) // want "process id"
+}
+
+// allowed documents a deliberate exception.
+func allowed() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) //paralint:allow seedflow determinism demo fixture
+}

@@ -1,0 +1,12 @@
+// Package dep stands in for paratune/internal/dist in the fact-propagation
+// test: NewRNG's seed parameter flows into rand.NewSource, so analyzing this
+// package exports a SeedSink fact on NewRNG that the consuming package
+// (testdata/seedflow_use) imports.
+package dep
+
+import "math/rand"
+
+// NewRNG mirrors dist.NewRNG: the canonical seed sink.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,28 @@
+// Package use consumes the SeedSink fact exported by testdata/seedflow_dep
+// (impersonating paratune/internal/dist): a wall-clock value flowing into
+// dep's NewRNG must be flagged here, in a different package from where the
+// sink was discovered.
+package use
+
+import (
+	"time"
+
+	dist "paratune/internal/dist"
+)
+
+// Options mirrors the repo's injected-seed pattern.
+type Options struct {
+	Seed int64
+}
+
+// good threads the injected seed into the imported sink: clean.
+func good(o Options) {
+	_ = dist.NewRNG(o.Seed)
+}
+
+// bad launders the clock through a local into the imported sink — only the
+// cross-package fact makes this visible.
+func bad() {
+	seed := time.Now().UnixNano() // want "wall clock"
+	_ = dist.NewRNG(seed)
+}

@@ -11,6 +11,12 @@ import (
 	"sort"
 )
 
+// DefaultTol is the tolerance paralint's suggested fixes insert when
+// rewriting a float equality into ApproxEqual: tight enough that genuinely
+// different estimates stay different, loose enough to absorb last-ulp
+// noise from reassociated summation.
+const DefaultTol = 1e-9
+
 // ApproxEqual reports whether a and b agree to within tol, absolutely for
 // small magnitudes and relatively for large ones. It is the tolerance helper
 // paralint's floatcompare rule steers rank-ordering and tie decisions
