@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-fix lint-sarif test race bench bench-smoke trace-smoke fuzz results examples clean
+.PHONY: all build lint lint-fix lint-sarif test race bench bench-smoke trace-smoke db-smoke fuzz results examples clean
 
 all: build test
 
@@ -51,12 +51,33 @@ trace-smoke:
 	$(GO) run ./cmd/traceanalyze -in trace.jsonl
 	rm -f trace.jsonl trace2.jsonl
 
+# Crash-recovery smoke for the measurement database: run with -db, corrupt
+# the WAL tail (the artefact of a kill mid-append), reopen — the store must
+# truncate the tail and keep the aggregate state byte-identical; compaction
+# must preserve that state; and a rerun on the same store must warm-start
+# (zero new measurements).
+db-smoke:
+	rm -rf dbsmoke
+	$(GO) run ./cmd/paratune -surface sphere -rho 0.3 -samples 3 -budget 120 -seed 7 -db dbsmoke/store
+	$(GO) run ./cmd/measuredb export -format csv dbsmoke/store > dbsmoke/before.csv
+	printf '\027\377\000\272\255' >> dbsmoke/store/wal.db
+	$(GO) run ./cmd/measuredb export -format csv dbsmoke/store > dbsmoke/after.csv 2> dbsmoke/recovery.log
+	grep -q "recovered WAL" dbsmoke/recovery.log
+	cmp dbsmoke/before.csv dbsmoke/after.csv
+	$(GO) run ./cmd/measuredb compact dbsmoke/store
+	$(GO) run ./cmd/measuredb export -format csv dbsmoke/store > dbsmoke/compacted.csv
+	cmp dbsmoke/before.csv dbsmoke/compacted.csv
+	$(GO) run ./cmd/paratune -surface sphere -rho 0.3 -samples 3 -budget 120 -seed 7 -db dbsmoke/store | grep -q ", 0 measured"
+	rm -rf dbsmoke
+
 # Brief fuzzing passes over the parsing/projection boundaries.
 fuzz:
 	$(GO) test -fuzz FuzzProject -fuzztime 15s ./internal/space/
 	$(GO) test -fuzz FuzzParameterNeighbors -fuzztime 15s ./internal/space/
 	$(GO) test -fuzz FuzzDispatch -fuzztime 15s ./internal/harmony/
 	$(GO) test -fuzz FuzzLoadDB -fuzztime 15s ./internal/objective/
+	$(GO) test -fuzz FuzzWALDecode -fuzztime 15s ./internal/measuredb/
+	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime 15s ./internal/measuredb/
 
 # Full-scale regeneration of every paper figure, ablation and extension
 # (~3 minutes), plus the consolidated markdown report.

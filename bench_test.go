@@ -19,6 +19,7 @@ import (
 	"paratune/internal/core"
 	"paratune/internal/dist"
 	"paratune/internal/experiment"
+	"paratune/internal/measuredb"
 	"paratune/internal/noise"
 	"paratune/internal/objective"
 	"paratune/internal/sample"
@@ -257,6 +258,56 @@ func (e freeEvaluator) Eval(points []space.Point) ([]float64, error) {
 		out[i] = e.f.Eval(p)
 	}
 	return out, nil
+}
+
+// BenchmarkStoreLookup measures the measurement database's hot-path
+// exact-match lookup (AppendObs): a stack-keyed shard probe that must stay
+// allocation-free, since it sits on every candidate evaluation of a
+// DB-attached run.
+func BenchmarkStoreLookup(b *testing.B) {
+	s := measuredb.NewMemory(measuredb.Options{})
+	sp := space.MustNew(space.IntParam("x", 0, 100), space.IntParam("y", 0, 100))
+	_ = sp.Enumerate(func(p space.Point) {
+		for k := 0; k < 3; k++ {
+			s.Observe(p, 1+float64(k))
+		}
+	})
+	p := sp.Center()
+	dst := make([]float64, 0, 3)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst, _ = s.AppendObs(dst[:0], p, 3)
+	}
+	_ = dst
+}
+
+// BenchmarkStoreAppend measures one raw observation insert into a memory
+// store (shard map append, no WAL I/O).
+func BenchmarkStoreAppend(b *testing.B) {
+	s := measuredb.NewMemory(measuredb.Options{})
+	p := space.Point{42, 17}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(p, 1.5)
+	}
+}
+
+// BenchmarkStoreAppendWAL measures the same insert with persistence on: the
+// frame encode plus buffered write-ahead append.
+func BenchmarkStoreAppendWAL(b *testing.B) {
+	s, err := measuredb.Open(b.TempDir(), measuredb.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	p := space.Point{42, 17}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(p, 1.5)
+	}
 }
 
 // BenchmarkHarmonyFetchReport measures one fetch+report round trip on the

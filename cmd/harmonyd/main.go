@@ -8,11 +8,17 @@
 //	harmonyd [-addr :7779] [-samples 3] [-estimator min]
 //	         [-checkpoint tuning.ckpt] [-checkpoint-interval 30s]
 //	         [-measure-timeout 30s] [-idle-timeout 0] [-trace events.jsonl]
+//	         [-db dir]
 //
 // With -checkpoint set, harmonyd restores every session found in the file at
 // startup (a missing file is fine), rewrites it every -checkpoint-interval,
 // and writes it a final time on SIGINT — so a killed and restarted harmonyd
 // resumes tuning mid-simplex instead of starting over.
+//
+// With -db set, every accepted measurement is persisted to the measurement
+// database in that directory, and candidates the store has already resolved
+// are answered without being issued to clients — a restarted harmonyd (even
+// without -checkpoint) warm-starts tuning from everything measured before.
 //
 // With -trace set, every session's lifecycle and optimiser iterations are
 // appended to the file as JSONL events (the cmd/traceanalyze format).
@@ -28,6 +34,7 @@ import (
 
 	"paratune/internal/event"
 	"paratune/internal/harmony"
+	"paratune/internal/measuredb"
 	"paratune/internal/sample"
 )
 
@@ -41,6 +48,7 @@ func main() {
 		measureTO  = flag.Duration("measure-timeout", 0, "per-batch measurement progress deadline (0 = default 30s, <0 = disabled)")
 		idleExpiry = flag.Duration("idle-timeout", 0, "drop sessions idle this long (0 = never)")
 		trace      = flag.String("trace", "", "append session lifecycle and iteration events to this JSONL file (\"-\" for stdout)")
+		dbDir      = flag.String("db", "", "persist measurements to (and warm-start from) the measurement database in this directory")
 	)
 	flag.Parse()
 
@@ -68,6 +76,24 @@ func main() {
 	}
 	if rec != nil {
 		opts.Recorder = rec
+	}
+	var db *measuredb.Store
+	if *dbDir != "" {
+		var dbOpts measuredb.Options
+		if rec != nil {
+			dbOpts.Recorder = rec
+		}
+		db, err = measuredb.Open(*dbDir, dbOpts)
+		if err != nil {
+			fatal(err)
+		}
+		configs, obs := db.Stats()
+		fmt.Printf("harmonyd: measurement db %s (%d configs, %d observations)\n", *dbDir, configs, obs)
+		if r := db.Recovery(); r != nil {
+			fmt.Fprintf(os.Stderr, "harmonyd: recovered WAL: truncated at byte %d, dropped %d bytes\n",
+				r.TruncatedAt, r.DroppedBytes)
+		}
+		opts.DB = db
 	}
 	srv := harmony.NewServer(opts)
 
@@ -112,6 +138,11 @@ func main() {
 		fmt.Println("harmonyd: shutting down")
 		l.Close()
 		srv.Close()
+		if db != nil {
+			if err := db.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "harmonyd: db:", err)
+			}
+		}
 	}()
 
 	if err := harmony.Serve(l, srv); err != nil {

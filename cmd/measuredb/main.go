@@ -1,0 +1,257 @@
+// Command measuredb inspects and maintains measurement databases written by
+// paratune -db / harmonyd -db (see internal/measuredb).
+//
+// Usage:
+//
+//	measuredb info <dir>                     summary: seed, space, sizes, best config
+//	measuredb export [-format jsonl] <dir>   per-configuration aggregates to stdout
+//	measuredb export -raw <dir>              raw observations to stdout (JSONL)
+//	measuredb compact <dir>                  fold the WAL into a snapshot
+//	measuredb merge -out <dir> <src>...      merge source stores into one
+//
+// Opening a store replays its write-ahead log; a corrupted tail is truncated
+// at the first bad record and reported on stderr, so info/compact double as
+// the recovery tools.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"paratune/internal/measuredb"
+	"paratune/internal/space"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "info":
+		err = runInfo(os.Args[2:])
+	case "export":
+		err = runExport(os.Args[2:])
+	case "compact":
+		err = runCompact(os.Args[2:])
+	case "merge":
+		err = runMerge(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "measuredb:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: measuredb <command> [flags] <dir>...
+
+commands:
+  info     <dir>                  print store summary
+  export   [-format csv|jsonl] [-raw] <dir>
+                                  write aggregates (or raw observations) to stdout
+  compact  <dir>                  fold the write-ahead log into a snapshot
+  merge    -out <dir> <src>...    merge source stores into a new one`)
+	os.Exit(2)
+}
+
+// open opens dir and reports any WAL recovery on stderr.
+func open(dir string) (*measuredb.Store, error) {
+	s, err := measuredb.Open(dir, measuredb.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if r := s.Recovery(); r != nil {
+		fmt.Fprintf(os.Stderr, "measuredb: %s: recovered WAL — truncated at byte %d, dropped %d bytes (%d good frames)\n",
+			dir, r.TruncatedAt, r.DroppedBytes, r.FramesApplied)
+	}
+	return s, nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info: want one store directory, got %d args", fs.NArg())
+	}
+	s, err := open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	configs, obs := s.Stats()
+	fmt.Printf("dir:           %s\n", s.Dir())
+	fmt.Printf("seed:          %d\n", s.Seed())
+	if sig := s.SpaceSig(); sig != "" {
+		fmt.Printf("space:         %s\n", sig)
+	} else {
+		fmt.Printf("space:         (unbound)\n")
+	}
+	fmt.Printf("configs:       %d\n", configs)
+	fmt.Printf("observations:  %d\n", obs)
+	for _, name := range []string{"wal.db", "snapshot.db"} {
+		if fi, err := os.Stat(filepath.Join(s.Dir(), name)); err == nil {
+			fmt.Printf("%-14s %d bytes\n", name+":", fi.Size())
+		}
+	}
+	var best *measuredb.Agg
+	s.ForEach(func(a measuredb.Agg) {
+		if best == nil || a.Min < best.Min {
+			c := a
+			best = &c
+		}
+	})
+	if best != nil {
+		fmt.Printf("best config:   %v  (min %g over %d observations)\n", best.Point, best.Min, best.Count)
+	}
+	return nil
+}
+
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	format := fs.String("format", "csv", "output format: csv or jsonl")
+	raw := fs.Bool("raw", false, "export raw observations (JSONL) instead of aggregates")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("export: want one store directory, got %d args", fs.NArg())
+	}
+	s, err := open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	enc := json.NewEncoder(os.Stdout)
+	if *raw {
+		var encErr error
+		s.ForEachRaw(func(p space.Point, obs []float64) {
+			if encErr != nil {
+				return
+			}
+			encErr = enc.Encode(struct {
+				Point []float64 `json:"point"`
+				Obs   []float64 `json:"obs"`
+			}{Point: p, Obs: obs})
+		})
+		return encErr
+	}
+	switch *format {
+	case "jsonl":
+		var encErr error
+		s.ForEach(func(a measuredb.Agg) {
+			if encErr != nil {
+				return
+			}
+			encErr = enc.Encode(struct {
+				Point  []float64 `json:"point"`
+				Count  int       `json:"count"`
+				Min    float64   `json:"min"`
+				Mean   float64   `json:"mean"`
+				Median float64   `json:"median"`
+				P90    float64   `json:"p90"`
+			}{Point: a.Point, Count: a.Count, Min: a.Min, Mean: a.Mean, Median: a.Median, P90: a.P90})
+		})
+		return encErr
+	case "csv":
+		dim := -1
+		s.ForEach(func(a measuredb.Agg) {
+			if dim < 0 {
+				dim = len(a.Point)
+				for i := 0; i < dim; i++ {
+					fmt.Printf("x%d,", i)
+				}
+				fmt.Println("count,min,mean,median,p90")
+			}
+			for _, c := range a.Point {
+				fmt.Printf("%g,", c)
+			}
+			fmt.Printf("%d,%g,%g,%g,%g\n", a.Count, a.Min, a.Mean, a.Median, a.P90)
+		})
+		return nil
+	default:
+		return fmt.Errorf("export: unknown format %q (want csv or jsonl)", *format)
+	}
+}
+
+func runCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("compact: want one store directory, got %d args", fs.NArg())
+	}
+	s, err := open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := s.Compact(); err != nil {
+		s.Close()
+		return err
+	}
+	configs, obs := s.Stats()
+	fmt.Printf("compacted %s: %d configs, %d observations\n", s.Dir(), configs, obs)
+	return s.Close()
+}
+
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("out", "", "destination store directory (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("merge: -out is required")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("merge: want at least one source store")
+	}
+	srcs := make([]*measuredb.Store, 0, fs.NArg())
+	defer func() {
+		for _, s := range srcs {
+			s.Close()
+		}
+	}()
+	var seed int64
+	var sig string
+	for i, dir := range fs.Args() {
+		s, err := open(dir)
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, s)
+		if i == 0 {
+			seed = s.Seed()
+		}
+		switch ssig := s.SpaceSig(); {
+		case ssig == "":
+		case sig == "":
+			sig = ssig
+		case sig != ssig:
+			return fmt.Errorf("merge: %s is bound to space %q, but earlier sources use %q", dir, ssig, sig)
+		}
+	}
+	dst, err := measuredb.Open(*out, measuredb.Options{Seed: seed, Space: sig})
+	if err != nil {
+		return err
+	}
+	for _, s := range srcs {
+		s.ForEachRaw(func(p space.Point, obs []float64) {
+			for _, v := range obs {
+				dst.Observe(p, v)
+			}
+		})
+	}
+	if err := dst.Err(); err != nil {
+		dst.Close()
+		return err
+	}
+	if err := dst.Compact(); err != nil {
+		dst.Close()
+		return err
+	}
+	configs, obs := dst.Stats()
+	fmt.Printf("merged %d store(s) into %s: %d configs, %d observations\n", len(srcs), *out, configs, obs)
+	return dst.Close()
+}

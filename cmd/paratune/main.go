@@ -8,11 +8,18 @@
 //	paratune [-surface gs2|sphere|rugged|rosenbrock] [-algorithm pro|...]
 //	         [-estimator min|mean|median|single|adaptive] [-samples K]
 //	         [-rho R] [-budget N] [-procs P] [-seed S] [-trace out.jsonl]
+//	         [-db dir] [-replay db.csv]
 //
 // The -trace stream is one JSON envelope per event (run lifecycle, optimiser
 // iterations, per-step T_k, faults); "-" writes it to stdout, and
 // cmd/traceanalyze consumes it directly. With a fixed -seed the stream is
 // byte-identical across runs.
+//
+// With -db set, every raw measurement is persisted to the measurement
+// database in that directory and configurations already measured there are
+// served from it, so re-running with the same -db warm-starts from the
+// previous run (inspect the store with cmd/measuredb). -replay instead loads
+// a gs2gen-format CSV as the cost surface itself.
 package main
 
 import (
@@ -30,7 +37,8 @@ import (
 func main() {
 	var (
 		surface   = flag.String("surface", "gs2", "cost surface: gs2, sphere, rugged, rosenbrock, stencil")
-		dbPath    = flag.String("db", "", "load a measurement database CSV (gs2gen format) instead of a built-in surface")
+		replay    = flag.String("replay", "", "load a measurement CSV (gs2gen format) as the cost surface instead of a built-in one")
+		dbDir     = flag.String("db", "", "persist measurements to (and warm-start from) the measurement database in this directory")
 		algorithm = flag.String("algorithm", "pro", "pro, sro, nelder-mead, random, annealing, genetic, compass")
 		estimator = flag.String("estimator", "min", "min, mean, median, single, adaptive")
 		samples   = flag.Int("samples", 1, "measurements per configuration (K)")
@@ -62,12 +70,12 @@ func main() {
 	opts := paratune.Options{
 		Algorithm: *algorithm, Estimator: *estimator, Samples: *samples,
 		Rho: *rho, Alpha: *alpha, Budget: *budget, Processors: *procs,
-		Seed: *seed, ParallelSampling: *parallel,
+		Seed: *seed, ParallelSampling: *parallel, DBPath: *dbDir,
 	}
 	if rec != nil {
 		opts.Recorder = rec
 	}
-	res, sp, err := run(*surface, *dbPath, opts)
+	res, sp, err := run(*surface, *replay, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paratune:", err)
 		os.Exit(1)
@@ -103,14 +111,17 @@ func main() {
 	fmt.Fprintf(out, "estimate:       %.4f   noise-free value: %.4f\n", res.BestValue, res.TrueValue)
 	fmt.Fprintf(out, "Total_Time(%d): %.3f   NTT: %.3f\n", res.Steps, res.TotalTime, res.NTT)
 	fmt.Fprintf(out, "iterations:     %d   converged at step: %d\n", res.Iterations, res.ConvergedAtStep)
+	if *dbDir != "" {
+		fmt.Fprintf(out, "measurement db: %d served, %d measured  (%s)\n", res.DBHits, res.DBMisses, *dbDir)
+	}
 }
 
 // run builds the selected surface and executes the tuning simulation. GS2
 // uses the surrogate database directly; the analytic surfaces use the
-// public Tune entry point; -db replays a measurement database from disk.
-func run(surface, dbPath string, opts paratune.Options) (*paratune.Result, *space.Space, error) {
-	if dbPath != "" {
-		f, err := os.Open(dbPath)
+// public Tune entry point; -replay loads a measurement CSV from disk.
+func run(surface, replayPath string, opts paratune.Options) (*paratune.Result, *space.Space, error) {
+	if replayPath != "" {
+		f, err := os.Open(replayPath)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -50,9 +50,12 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	data, err := readColumn(r, *col)
+	data, db, err := readColumn(r, *col)
 	if err != nil {
 		fatal(err)
+	}
+	if line, ok := hitRateLine(db); ok {
+		fmt.Println(line)
 	}
 	if len(data) < 10 {
 		fatal(fmt.Errorf("need at least 10 samples, got %d", len(data)))
@@ -63,14 +66,32 @@ func main() {
 	}
 }
 
+// dbCounts tallies measurement-database traffic seen in a JSONL trace.
+type dbCounts struct {
+	hits, misses int
+}
+
+// hitRateLine renders the measurement-database summary; ok is false when the
+// trace carried no db_hit/db_miss events (non-DB runs stay unchanged).
+func hitRateLine(c dbCounts) (string, bool) {
+	total := c.hits + c.misses
+	if total == 0 {
+		return "", false
+	}
+	return fmt.Sprintf("measurement db: %d hits / %d lookups (%.1f%% hit rate)",
+		c.hits, total, 100*float64(c.hits)/float64(total)), true
+}
+
 // readColumn parses one float column from line- or comma-separated input,
 // skipping unparsable lines (headers). Input whose first non-empty line
 // starts with '{' is treated as a JSONL event trace instead: each line is an
-// event.Envelope, and the T_k of every "step_time" event becomes a sample.
-func readColumn(r io.Reader, col int) ([]float64, error) {
+// event.Envelope, the T_k of every "step_time" event becomes a sample, and
+// db_hit/db_miss events are tallied for the hit-rate summary.
+func readColumn(r io.Reader, col int) ([]float64, dbCounts, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var out []float64
+	var db dbCounts
 	jsonl := false
 	first := true
 	for sc.Scan() {
@@ -83,8 +104,15 @@ func readColumn(r io.Reader, col int) ([]float64, error) {
 			jsonl = strings.HasPrefix(line, "{")
 		}
 		if jsonl {
-			if t, ok := stepTime(line); ok {
-				out = append(out, t)
+			switch kind(line) {
+			case event.KindDBHit:
+				db.hits++
+			case event.KindDBMiss:
+				db.misses++
+			default:
+				if t, ok := stepTime(line); ok {
+					out = append(out, t)
+				}
 			}
 			continue
 		}
@@ -98,7 +126,16 @@ func readColumn(r io.Reader, col int) ([]float64, error) {
 		}
 		out = append(out, v)
 	}
-	return out, sc.Err()
+	return out, db, sc.Err()
+}
+
+// kind peeks at a JSONL envelope's event kind; "" for malformed lines.
+func kind(line string) string {
+	var env event.Envelope
+	if err := json.Unmarshal([]byte(line), &env); err != nil {
+		return ""
+	}
+	return env.Kind
 }
 
 // stepTime decodes one JSONL envelope and returns the barrier time of a

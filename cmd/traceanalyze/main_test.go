@@ -10,12 +10,15 @@ import (
 
 func TestReadColumnCSV(t *testing.T) {
 	in := "step,t\n1,2.5\n2,3.5\n"
-	data, err := readColumn(strings.NewReader(in), 1)
+	data, db, err := readColumn(strings.NewReader(in), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(data) != 2 || data[0] != 2.5 || data[1] != 3.5 {
 		t.Errorf("data = %v", data)
+	}
+	if db.hits != 0 || db.misses != 0 {
+		t.Errorf("CSV input produced db counts %+v", db)
 	}
 }
 
@@ -31,12 +34,43 @@ func TestReadColumnJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	// -col is ignored for JSONL; only step_time events contribute samples.
-	data, err := readColumn(&buf, 99)
+	data, _, err := readColumn(&buf, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(data) != 2 || data[0] != 2.5 || data[1] != 3.5 {
 		t.Errorf("data = %v", data)
+	}
+}
+
+func TestReadColumnJSONLCountsDBTraffic(t *testing.T) {
+	var buf bytes.Buffer
+	j := event.NewJSONL(&buf)
+	j.Record(event.RunStart{Mode: "sync", Algorithm: "pro"})
+	j.Record(event.DBMiss{Config: "(1,2)", Count: 0})
+	j.Record(event.StepTime{Step: 1, T: 2.5})
+	j.Record(event.DBHit{Config: "(1,2)", Value: 2.5, Count: 3})
+	j.Record(event.DBHit{Config: "(3,4)", Value: 1.5, Count: 3})
+	j.Record(event.DBSnapshot{Configs: 2, Observations: 6})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	data, db, err := readColumn(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 1 {
+		t.Errorf("data = %v", data)
+	}
+	if db.hits != 2 || db.misses != 1 {
+		t.Errorf("db counts = %+v, want 2 hits 1 miss", db)
+	}
+	line, ok := hitRateLine(db)
+	if !ok || !strings.Contains(line, "2 hits / 3 lookups") || !strings.Contains(line, "66.7%") {
+		t.Errorf("hit-rate line = %q", line)
+	}
+	if _, ok := hitRateLine(dbCounts{}); ok {
+		t.Error("empty counts should render no line")
 	}
 }
 
@@ -46,7 +80,7 @@ func TestReadColumnJSONLSkipsMalformed(t *testing.T) {
 {"seq":2,"kind":"iteration","event":{"iter":1}}
 {"seq":3,"kind":"step_time","event":{"step":2,"t":2.5}}
 `
-	data, err := readColumn(strings.NewReader(in), 0)
+	data, _, err := readColumn(strings.NewReader(in), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

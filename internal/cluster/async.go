@@ -227,6 +227,8 @@ type AsyncEvaluator struct {
 		K() int
 		Estimate([]float64) float64
 	}
+	// Sink, when non-nil, receives every raw valid candidate measurement.
+	Sink ObservationSink
 
 	// worstKnown mirrors Evaluator's degradation stand-in: the largest
 	// estimate produced so far, used to score candidates whose every
@@ -292,6 +294,9 @@ func (e *AsyncEvaluator) Eval(points []space.Point) ([]float64, error) {
 		}
 		if i, mine := ids[c.ID]; mine && fault.ValidValue(c.Value) && len(obs[i]) < k {
 			obs[i] = append(obs[i], c.Value)
+			if e.Sink != nil {
+				e.Sink.Observe(c.Point, c.Value)
+			}
 		}
 	}
 	out := make([]float64, len(points))

@@ -322,6 +322,15 @@ func (s *Sim) RunFixed(f objective.Function, x space.Point, n int) ([][]float64,
 	return traces, nil
 }
 
+// ObservationSink receives every raw, valid measurement of a real candidate
+// as it is observed — before any estimator reduces it. Fill executions and
+// fault-corrupted reports are not measurements and are never forwarded. The
+// measurement database (internal/measuredb) implements this to persist the
+// observations that back cross-session warm starts.
+type ObservationSink interface {
+	Observe(p space.Point, v float64)
+}
+
 // Evaluator turns the step-based simulator into the batch evaluation service
 // the optimisation algorithms need: evaluate a set of candidate points, each
 // sampled K times per the estimator, and return one estimate per point.
@@ -329,6 +338,8 @@ type Evaluator struct {
 	Sim *Sim
 	F   objective.Function
 	Est sample.Estimator
+	// Sink, when non-nil, receives every raw valid candidate measurement.
+	Sink ObservationSink
 	// ParallelSampling uses idle processors to take several samples of the
 	// same candidate within one time step (the §5.2 observation that 64
 	// processors running 6 candidates give K ≈ 10 for free). When false —
@@ -466,11 +477,17 @@ func (e *Evaluator) evalWave(wave []space.Point) ([][]float64, error) {
 			// Every replica is a measurement of its candidate.
 			for i, y := range ys {
 				obs[i%n] = append(obs[i%n], y)
+				if e.Sink != nil {
+					e.Sink.Observe(wave[i%n], y)
+				}
 			}
 		} else {
 			// Fill observations (indices >= n) gate the barrier only.
 			for i := 0; i < n; i++ {
 				obs[i] = append(obs[i], ys[i])
+				if e.Sink != nil {
+					e.Sink.Observe(wave[i], ys[i])
+				}
 			}
 		}
 	}
@@ -549,6 +566,9 @@ func (e *Evaluator) evalWaveFaulty(wave []space.Point) ([][]float64, error) {
 		for k, y := range ys {
 			if idx[k] >= 0 && fault.ValidValue(y) {
 				obs[idx[k]] = append(obs[idx[k]], y)
+				if e.Sink != nil {
+					e.Sink.Observe(wave[idx[k]], y)
+				}
 			}
 		}
 	}

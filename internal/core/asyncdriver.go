@@ -6,6 +6,7 @@ import (
 
 	"paratune/internal/cluster"
 	"paratune/internal/event"
+	"paratune/internal/measuredb"
 	"paratune/internal/objective"
 	"paratune/internal/sample"
 )
@@ -30,6 +31,10 @@ type AsyncConfig struct {
 	// Recorder receives the run's event stream. When set it is also plumbed
 	// into the simulator and any attached fault injector; nil records nothing.
 	Recorder event.Recorder
+	// DB, when non-nil, is the measurement database: raw completions are
+	// recorded into it and already-resolved candidates are served from it
+	// without consuming virtual time (see OnlineConfig.DB).
+	DB *measuredb.Store
 }
 
 // AsyncResult summarises an asynchronous tuning run.
@@ -45,6 +50,10 @@ type AsyncResult struct {
 	// Converged reports whether the optimiser certified a local minimum
 	// within the budget.
 	Converged bool
+	// DBHits and DBMisses count candidate evaluations served from /
+	// forwarded past the measurement database (both 0 when no DB attached).
+	DBHits   int
+	DBMisses int
 }
 
 // RunOnlineAsync executes one asynchronous on-line tuning session.
@@ -71,6 +80,16 @@ func RunOnlineAsync(alg Algorithm, cfg AsyncConfig) (*AsyncResult, error) {
 		cfg.Sim.Faults().SetRecorder(cfg.Recorder)
 	}
 	ev := &cluster.AsyncEvaluator{Sim: cfg.Sim, F: cfg.F, Est: est}
+	var engineEv Evaluator = ev
+	var memo *measuredb.Memo
+	if cfg.DB != nil {
+		if err := cfg.DB.BindSpace(cfg.F.Space().String()); err != nil {
+			return nil, err
+		}
+		ev.Sink = cfg.DB
+		memo = measuredb.NewMemo(ev, cfg.DB, est, cfg.Recorder, cfg.Sim.Makespan)
+		engineEv = memo
+	}
 
 	rec.Record(event.RunStart{
 		Mode: "async", Algorithm: alg.String(),
@@ -78,7 +97,7 @@ func RunOnlineAsync(alg Algorithm, cfg AsyncConfig) (*AsyncResult, error) {
 	})
 	eng := &Engine{
 		Alg:   alg,
-		Ev:    ev,
+		Ev:    engineEv,
 		Rec:   cfg.Recorder,
 		VTime: cfg.Sim.Makespan,
 		Continue: func(iterations int) bool {
@@ -112,6 +131,9 @@ func RunOnlineAsync(alg Algorithm, cfg AsyncConfig) (*AsyncResult, error) {
 		TuningTime:      tuning,
 		ProductionSteps: production,
 		Converged:       stats.Converged,
+	}
+	if memo != nil {
+		res.DBHits, res.DBMisses = memo.Hits(), memo.Misses()
 	}
 	rec.Record(event.RunEnd{
 		Mode: "async", Best: best, BestValue: bestVal, TrueValue: trueVal,

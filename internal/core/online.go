@@ -6,6 +6,7 @@ import (
 
 	"paratune/internal/cluster"
 	"paratune/internal/event"
+	"paratune/internal/measuredb"
 	"paratune/internal/objective"
 	"paratune/internal/sample"
 	"paratune/internal/space"
@@ -31,6 +32,11 @@ type OnlineConfig struct {
 	// into the simulator (per-step T_k, batch events) and any attached fault
 	// injector; nil records nothing.
 	Recorder event.Recorder
+	// DB, when non-nil, is the measurement database: every raw candidate
+	// measurement is recorded into it, and candidates whose estimate is
+	// already resolved (>= Est.K() stored observations) are served from it
+	// without spending simulator steps — the cross-session warm start.
+	DB *measuredb.Store
 }
 
 // Result summarises an on-line tuning run.
@@ -49,6 +55,10 @@ type Result struct {
 	// ConvergedAtStep is the time step at which the optimiser certified
 	// convergence, or -1 if it never did within the budget.
 	ConvergedAtStep int
+	// DBHits and DBMisses count candidate evaluations served from /
+	// forwarded past the measurement database (both 0 when no DB attached).
+	DBHits   int
+	DBMisses int
 }
 
 // RunOnline executes one on-line tuning session: it drives alg against the
@@ -80,17 +90,38 @@ func RunOnline(alg Algorithm, cfg OnlineConfig) (*Result, error) {
 	// anything, the idle ones run the centre configuration.
 	ev.Fill = cfg.F.Space().Center()
 
+	// With a measurement database attached, raw observations flow into it and
+	// resolved candidates are served from it instead of the cluster. Resolved
+	// hits consume no simulator steps, so the step budget alone cannot bound
+	// the loop on a fully warm store — an iteration backstop does.
+	var engineEv Evaluator = ev
+	var memo *measuredb.Memo
+	if cfg.DB != nil {
+		if err := cfg.DB.BindSpace(cfg.F.Space().String()); err != nil {
+			return nil, err
+		}
+		ev.Sink = cfg.DB
+		memo = measuredb.NewMemo(ev, cfg.DB, est, cfg.Recorder, cfg.Sim.TotalTime)
+		engineEv = memo
+	}
+
 	rec.Record(event.RunStart{
 		Mode: "sync", Algorithm: alg.String(),
 		Processors: cfg.Sim.P(), Budget: cfg.Budget,
 	})
+	maxIter := 10 * cfg.Budget
 	eng := &Engine{
 		Alg:       alg,
-		Ev:        ev,
+		Ev:        engineEv,
 		Rec:       cfg.Recorder,
 		VTime:     cfg.Sim.TotalTime,
 		StepIndex: cfg.Sim.Steps,
-		Continue:  func(int) bool { return cfg.Sim.Steps() < cfg.Budget },
+		Continue: func(iterations int) bool {
+			if memo != nil && iterations >= maxIter {
+				return false
+			}
+			return cfg.Sim.Steps() < cfg.Budget
+		},
 		BeforeStep: func() {
 			if b, _ := alg.Best(); b != nil {
 				ev.Fill = b
@@ -135,6 +166,9 @@ func RunOnline(alg Algorithm, cfg OnlineConfig) (*Result, error) {
 		NTT:             (1 - cfg.Sim.Model().Rho()) * total,
 		StepTimes:       stepTimes,
 		ConvergedAtStep: stats.ConvergedStep,
+	}
+	if memo != nil {
+		res.DBHits, res.DBMisses = memo.Hits(), memo.Misses()
 	}
 	rec.Record(event.RunEnd{
 		Mode: "sync", Best: best, BestValue: bestVal, TrueValue: res.TrueValue,

@@ -21,14 +21,17 @@ type Event interface {
 
 // Event kind tags, one per typed event.
 const (
-	KindRunStart  = "run_start"
-	KindRunEnd    = "run_end"
-	KindIteration = "iteration"
-	KindBatch     = "batch"
-	KindStepTime  = "step_time"
-	KindConverged = "converged"
-	KindFault     = "fault"
-	KindSession   = "session"
+	KindRunStart   = "run_start"
+	KindRunEnd     = "run_end"
+	KindIteration  = "iteration"
+	KindBatch      = "batch"
+	KindStepTime   = "step_time"
+	KindConverged  = "converged"
+	KindFault      = "fault"
+	KindSession    = "session"
+	KindDBHit      = "db_hit"
+	KindDBMiss     = "db_miss"
+	KindDBSnapshot = "db_snapshot"
 )
 
 // RunStart opens one tuning run.
@@ -144,6 +147,9 @@ type FaultInjected struct {
 	// Value is the injected garbage report, formatted with FormatValue so
 	// NaN/±Inf survive JSON encoding (corrupt only).
 	Value string `json:"value,omitempty"`
+	// Detail carries free-form context for pipeline faults that are observed
+	// rather than injected (e.g. the truncation offset of a corrupt WAL tail).
+	Detail string `json:"detail,omitempty"`
 }
 
 // EventKind implements Event.
@@ -162,6 +168,53 @@ type Session struct {
 
 // EventKind implements Event.
 func (Session) EventKind() string { return KindSession }
+
+// DBHit reports one evaluation served from the measurement database instead
+// of the cluster: the configuration's min-of-K was already resolved, so no
+// simulator steps (or client measurements) were spent on it.
+type DBHit struct {
+	// Session names the harmony session, if any.
+	Session string `json:"session,omitempty"`
+	// Config is the configuration's canonical key (Point.Key()).
+	Config string `json:"config"`
+	// Value is the estimate served from the store.
+	Value float64 `json:"value"`
+	// Count is the number of stored observations backing the estimate.
+	Count int `json:"count"`
+	// VTime is the virtual time at the lookup, when the caller has a clock.
+	VTime float64 `json:"vtime,omitempty"`
+}
+
+// EventKind implements Event.
+func (DBHit) EventKind() string { return KindDBHit }
+
+// DBMiss reports a configuration the measurement database could not resolve:
+// it must be measured on the cluster (and its raw observations recorded).
+type DBMiss struct {
+	// Session names the harmony session, if any.
+	Session string `json:"session,omitempty"`
+	// Config is the configuration's canonical key (Point.Key()).
+	Config string `json:"config"`
+	// Count is the number of observations stored so far (fewer than K).
+	Count int `json:"count"`
+	// VTime is the virtual time at the lookup, when the caller has a clock.
+	VTime float64 `json:"vtime,omitempty"`
+}
+
+// EventKind implements Event.
+func (DBMiss) EventKind() string { return KindDBMiss }
+
+// DBSnapshot reports one measurement-database snapshot/compaction: the
+// aggregate state was written to the snapshot file and the WAL truncated.
+type DBSnapshot struct {
+	// Configs is the number of distinct configurations persisted.
+	Configs int `json:"configs"`
+	// Observations is the total raw measurement count persisted.
+	Observations int `json:"observations"`
+}
+
+// EventKind implements Event.
+func (DBSnapshot) EventKind() string { return KindDBSnapshot }
 
 // FormatValue renders a float for an event payload. Unlike raw JSON numbers
 // it survives NaN and ±Inf, which injected corrupt reports deliberately use.

@@ -41,6 +41,10 @@ const (
 	Drop
 	// Corrupt replaces the reported value with Outcome.Value (garbage).
 	Corrupt
+	// WALCorrupt is an observed (not injected) fault: a measurement-database
+	// write-ahead log ended in a torn or corrupted record — typically a crash
+	// mid-append — and recovery truncated the log at the last good record.
+	WALCorrupt
 )
 
 // String names the fault kind.
@@ -56,6 +60,8 @@ func (k Kind) String() string {
 		return "drop"
 	case Corrupt:
 		return "corrupt"
+	case WALCorrupt:
+		return "wal_corrupt"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -28,6 +28,7 @@ import (
 	"paratune/internal/core"
 	"paratune/internal/event"
 	"paratune/internal/fault"
+	"paratune/internal/measuredb"
 	"paratune/internal/sample"
 	"paratune/internal/space"
 )
@@ -74,6 +75,13 @@ type ServerOptions struct {
 	// stopped, expired); nil records nothing. Payloads carry session names
 	// and counters only — never wall-clock time.
 	Recorder event.Recorder
+	// DB, when non-nil, is the measurement database: every accepted candidate
+	// report is recorded into it, and batch candidates whose estimate is
+	// already resolved (>= Estimator.K() stored observations) are answered
+	// from it without ever being issued to a client — the cross-restart warm
+	// start. The store binds to one parameter-space signature, so every
+	// session sharing the server must share the space.
+	DB *measuredb.Store
 }
 
 func (o *ServerOptions) normalise() {
@@ -129,7 +137,8 @@ type session struct {
 	est      sample.Estimator
 	alg      core.Algorithm
 	opts     ServerOptions
-	rec      event.Recorder // never nil (OrNop); safe for concurrent use
+	db       *measuredb.Store // nil when no measurement database attached
+	rec      event.Recorder   // never nil (OrNop); safe for concurrent use
 	restored bool           // skip Init: the algorithm state came from a checkpoint
 	done     chan struct{}  // closed by Stop
 	finished chan struct{}  // closed when the run goroutine exits
@@ -165,6 +174,7 @@ func (srv *Server) newSession(name string, sp *space.Space, alg core.Algorithm, 
 		est:      srv.opts.Estimator,
 		alg:      alg,
 		opts:     srv.opts,
+		db:       srv.opts.DB,
 		rec:      event.OrNop(srv.opts.Recorder),
 		batch:    make(map[uint64]*candidate),
 		nextTag:  1,
@@ -215,6 +225,11 @@ func (srv *Server) register(name string, params []space.Parameter) (*session, bo
 	sp, err := space.New(params...)
 	if err != nil {
 		return nil, false, err
+	}
+	if srv.opts.DB != nil {
+		if err := srv.opts.DB.BindSpace(sp.String()); err != nil {
+			return nil, false, err
+		}
 	}
 	alg, err := srv.opts.NewAlgorithm(sp)
 	if err != nil {
@@ -317,7 +332,50 @@ type sessionEvaluator struct {
 	s *session
 }
 
+// Eval first consults the measurement database: candidates the store has
+// already measured to K observations are answered immediately (db_hit) and
+// never reach a client; only the misses become fetchable candidates. With a
+// fully warm store a batch costs zero client round-trips.
 func (e *sessionEvaluator) Eval(points []space.Point) ([]float64, error) {
+	s := e.s
+	if s.db == nil {
+		return e.evalRemote(points)
+	}
+	k := s.est.K()
+	out := make([]float64, len(points))
+	var missIdx []int
+	var buf []float64
+	for i, p := range points {
+		var have bool
+		buf, have = s.db.AppendObs(buf[:0], p, k)
+		if have && len(buf) >= k {
+			out[i] = s.est.Estimate(buf)
+			s.rec.Record(event.DBHit{Session: s.name, Config: p.Key(), Value: out[i], Count: k})
+			continue
+		}
+		s.rec.Record(event.DBMiss{Session: s.name, Config: p.Key(), Count: len(buf)})
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	miss := make([]space.Point, len(missIdx))
+	for j, i := range missIdx {
+		miss[j] = points[i]
+	}
+	vals, err := e.evalRemote(miss)
+	if err != nil {
+		return nil, err
+	}
+	for j, v := range vals {
+		out[missIdx[j]] = v
+	}
+	return out, nil
+}
+
+// evalRemote issues points as fetchable candidates and blocks until clients
+// measure them (or the batch deadline degrades it).
+func (e *sessionEvaluator) evalRemote(points []space.Point) ([]float64, error) {
 	s := e.s
 	ch := make(chan []float64, 1)
 	s.mu.Lock()
@@ -518,6 +576,7 @@ func (srv *Server) ReportTagged(name string, tag uint64, value float64, rid stri
 		s.rememberRIDLocked(rid)
 	}
 	c.obs = append(c.obs, value)
+	pt := c.point // read-only after creation; safe to store outside the lock
 	s.batchObs++
 	if !s.haveWorst || value > s.worstObs {
 		s.worstObs, s.haveWorst = value, true
@@ -532,6 +591,7 @@ func (srv *Server) ReportTagged(name string, tag uint64, value float64, rid stri
 	}
 	if !complete || s.resultCh == nil {
 		s.mu.Unlock()
+		s.db.Observe(pt, value)
 		return nil
 	}
 	vals := make([]float64, len(s.order))
@@ -542,6 +602,7 @@ func (srv *Server) ReportTagged(name string, tag uint64, value float64, rid stri
 	ch := s.resultCh
 	s.resultCh = nil
 	s.mu.Unlock()
+	s.db.Observe(pt, value)
 	ch <- vals
 	return nil
 }
@@ -697,6 +758,11 @@ func (srv *Server) RestoreSession(data []byte) error {
 	sp, err := space.New(params...)
 	if err != nil {
 		return err
+	}
+	if srv.opts.DB != nil {
+		if err := srv.opts.DB.BindSpace(sp.String()); err != nil {
+			return err
+		}
 	}
 	alg, err := srv.opts.NewAlgorithm(sp)
 	if err != nil {

@@ -1,0 +1,115 @@
+package harmony
+
+import (
+	"testing"
+	"time"
+
+	"paratune/internal/event"
+	"paratune/internal/measuredb"
+	"paratune/internal/objective"
+	"paratune/internal/space"
+)
+
+// driveCounting runs one noiseless client until the session converges,
+// returning how many reports the server accepted. Deterministic measurements
+// make the optimiser trajectory reproducible across servers, which is what
+// the warm-start contract relies on.
+func driveCounting(t *testing.T, srv *Server, name string, f objective.Function) int {
+	t.Helper()
+	reports := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		fr, err := srv.Fetch(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Converged {
+			return reports
+		}
+		if fr.Tag == 0 {
+			// Between batches; yield so the run goroutine can advance.
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		if err := srv.Report(name, fr.Tag, f.Eval(fr.Point)); err == nil {
+			reports++
+		}
+	}
+	t.Fatal("session did not converge before the deadline")
+	return 0
+}
+
+// The cross-restart warm-start contract: a second server sharing the first
+// server's measurement store answers every candidate from it, so the session
+// converges to the bit-identical best without a single client report.
+func TestWarmStartAcrossServers(t *testing.T) {
+	db := measuredb.NewMemory(measuredb.Options{})
+	sp, err := space.New(gs2Params()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := objective.NewSphere(sp, space.Point{32, 16, 8}, 1)
+
+	srv1 := NewServer(ServerOptions{Estimator: mustMinOfK(t, 2), DB: db})
+	if err := srv1.Register("app", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	cold := driveCounting(t, srv1, "app", f)
+	srv1.Close()
+	if cold == 0 {
+		t.Fatal("cold session accepted no reports")
+	}
+	if configs, obs := db.Stats(); configs == 0 || obs == 0 {
+		t.Fatalf("store after cold session: %d configs, %d observations", configs, obs)
+	}
+
+	rec := &event.Memory{}
+	srv2 := NewServer(ServerOptions{Estimator: mustMinOfK(t, 2), DB: db, Recorder: rec})
+	defer srv2.Close()
+	if err := srv2.Register("app", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	warm := driveCounting(t, srv2, "app", f)
+	if warm != 0 {
+		t.Fatalf("warm session accepted %d reports, want golden 0 (every candidate pre-resolved)", warm)
+	}
+	if rec.Count(event.KindDBHit) == 0 {
+		t.Fatal("warm session recorded no db_hit")
+	}
+	if n := rec.Count(event.KindDBMiss); n != 0 {
+		t.Fatalf("warm session recorded %d db_miss, want 0", n)
+	}
+
+	b1, v1, _, err := srv1.Best("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, v2, conv, err := srv2.Best("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conv {
+		t.Fatal("warm session not converged")
+	}
+	if !b1.Equal(b2) {
+		t.Fatalf("best diverged across servers: %v vs %v", b1, b2)
+	}
+	if v1 != v2 {
+		t.Fatalf("best value diverged: %g vs %g", v1, v2)
+	}
+}
+
+// A store bound to one space rejects a session over a different one: the
+// database is per-application, and silently mixing spaces would corrupt the
+// k-NN replay geometry.
+func TestServerRejectsMismatchedDBSpace(t *testing.T) {
+	db := measuredb.NewMemory(measuredb.Options{})
+	srv := NewServer(ServerOptions{DB: db})
+	defer srv.Close()
+	if err := srv.Register("a", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("b", []space.Parameter{space.IntParam("x", 0, 9)}); err == nil {
+		t.Fatal("second session over a different space should be rejected")
+	}
+}

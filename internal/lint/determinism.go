@@ -13,6 +13,9 @@ import (
 // internal/event is included because its stream must be byte-identical
 // across same-seed runs: events carry virtual time only, and a wall-clock
 // read anywhere in the recorder path would silently break the golden traces.
+// internal/measuredb is included for the same reason: same-seed runs must
+// produce byte-identical WAL and snapshot files, so nothing time- or
+// map-order-dependent may reach the encoder.
 var simPackages = []string{
 	"paratune/internal/baseline",
 	"paratune/internal/cluster",
@@ -20,6 +23,7 @@ var simPackages = []string{
 	"paratune/internal/dist",
 	"paratune/internal/event",
 	"paratune/internal/experiment",
+	"paratune/internal/measuredb",
 	"paratune/internal/noise",
 	"paratune/internal/objective",
 	"paratune/internal/stats",

@@ -17,6 +17,7 @@ var seedFlowPackages = []string{
 	"paratune/internal/cluster",
 	"paratune/internal/dist",
 	"paratune/internal/fault",
+	"paratune/internal/measuredb",
 	"paratune/internal/noise",
 	"paratune/internal/objective",
 	"paratune/internal/sample",

@@ -1,0 +1,251 @@
+// Binary codec for the measurement database's two on-disk artefacts. Both
+// encodings are fully deterministic — no maps are iterated, no wall-clock
+// state is written, floats are stored as their exact IEEE-754 bit patterns —
+// so two same-seed tuning runs produce byte-identical files, a property the
+// db-smoke target and the round-trip tests pin.
+//
+// WAL (append-only journal, one frame per raw measurement):
+//
+//	header | frame | frame | ...
+//	header = magic "PMDBWAL1" | uvarint version | uint64 seed (BE)
+//	       | uvarint len(space) | space signature bytes
+//	frame  = uvarint len(payload) | crc32(payload) (4 bytes BE) | payload
+//	payload = uvarint dim | dim × float64 bits (BE) | float64 value bits (BE)
+//
+// Snapshot (aggregate state, one entry per configuration, sorted by key):
+//
+//	header | uvarint #configs | entry... | crc32 of everything before (BE)
+//	header = magic "PMDBSNP1" | ... (same fields as the WAL header)
+//	entry  = uvarint dim | dim × float64 bits (BE)
+//	       | uvarint #obs | #obs × float64 bits (BE)
+//
+// A torn or bit-flipped WAL tail is detected by the frame CRC (or a short
+// read) and recovery truncates the file at the last good frame; a snapshot
+// failing its trailing CRC is rejected outright — the snapshot is written
+// atomically (tmp + rename), so a damaged one means external interference,
+// not a crash mid-write.
+package measuredb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"paratune/internal/space"
+)
+
+const (
+	walMagic     = "PMDBWAL1"
+	snapMagic    = "PMDBSNP1"
+	codecVersion = 1
+
+	// maxDim and maxObs bound decoded counts so hostile input cannot force
+	// huge allocations before a CRC or length check catches it.
+	maxDim = 1 << 10
+	maxObs = 1 << 24
+
+	// maxFrame bounds one WAL frame payload: uvarint dim + maxDim coords +
+	// the value, with slack.
+	maxFrame = 16 + 8*(maxDim+1)
+)
+
+// errCorrupt marks any decoding failure. WAL recovery treats every corrupt
+// (or truncated) frame identically: truncate at the frame's start offset.
+var errCorrupt = errors.New("measuredb: corrupt record")
+
+// canonUvarint decodes a minimally encoded uvarint. encoding/binary accepts
+// padded encodings our encoder never produces; rejecting them keeps the
+// codec canonical — every accepted byte sequence re-encodes to itself, the
+// property the fuzz round-trip targets pin.
+func canonUvarint(b []byte) (uint64, int) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 || (n > 1 && b[n-1] == 0) {
+		return 0, 0
+	}
+	return v, n
+}
+
+// appendHeader appends a file header to dst.
+func appendHeader(dst []byte, magic string, seed int64, spaceSig string) []byte {
+	dst = append(dst, magic...)
+	dst = binary.AppendUvarint(dst, codecVersion)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(seed))
+	dst = binary.AppendUvarint(dst, uint64(len(spaceSig)))
+	dst = append(dst, spaceSig...)
+	return dst
+}
+
+// decodeHeader reads a file header, returning the seed, space signature, and
+// the number of bytes consumed.
+func decodeHeader(b []byte, magic string) (seed int64, spaceSig string, n int, err error) {
+	if len(b) < len(magic) || string(b[:len(magic)]) != magic {
+		return 0, "", 0, fmt.Errorf("measuredb: bad magic (want %q)", magic)
+	}
+	n = len(magic)
+	version, k := canonUvarint(b[n:])
+	if k <= 0 || version != codecVersion {
+		return 0, "", 0, fmt.Errorf("measuredb: unsupported version %d", version)
+	}
+	n += k
+	if len(b) < n+8 {
+		return 0, "", 0, errCorrupt
+	}
+	seed = int64(binary.BigEndian.Uint64(b[n:]))
+	n += 8
+	sigLen, k := canonUvarint(b[n:])
+	if k <= 0 || sigLen > 1<<16 {
+		return 0, "", 0, errCorrupt
+	}
+	n += k
+	if uint64(len(b)-n) < sigLen {
+		return 0, "", 0, errCorrupt
+	}
+	spaceSig = string(b[n : n+int(sigLen)])
+	n += int(sigLen)
+	return seed, spaceSig, n, nil
+}
+
+// appendWALFrame appends one framed (point, value) record to dst.
+func appendWALFrame(dst []byte, p space.Point, v float64) []byte {
+	var payload [maxFrame]byte
+	pl := payload[:0]
+	pl = binary.AppendUvarint(pl, uint64(len(p)))
+	for _, c := range p {
+		pl = binary.BigEndian.AppendUint64(pl, math.Float64bits(c))
+	}
+	pl = binary.BigEndian.AppendUint64(pl, math.Float64bits(v))
+	dst = binary.AppendUvarint(dst, uint64(len(pl)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(pl))
+	return append(dst, pl...)
+}
+
+// decodeWALFrame decodes the frame at the start of b, returning the record
+// and the bytes consumed. Any framing, CRC, or payload problem — including a
+// frame that runs past the end of b (a torn tail write) — returns errCorrupt.
+func decodeWALFrame(b []byte) (p space.Point, v float64, n int, err error) {
+	plen, k := canonUvarint(b)
+	if k <= 0 || plen == 0 || plen > maxFrame {
+		return nil, 0, 0, errCorrupt
+	}
+	n = k
+	if len(b) < n+4 {
+		return nil, 0, 0, errCorrupt
+	}
+	sum := binary.BigEndian.Uint32(b[n:])
+	n += 4
+	if uint64(len(b)-n) < plen {
+		return nil, 0, 0, errCorrupt
+	}
+	payload := b[n : n+int(plen)]
+	n += int(plen)
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, 0, errCorrupt
+	}
+	p, v, used, err := decodeMeasurement(payload)
+	if err != nil || used != len(payload) {
+		return nil, 0, 0, errCorrupt
+	}
+	return p, v, n, nil
+}
+
+// decodeMeasurement decodes `uvarint dim | coords | value` from b.
+func decodeMeasurement(b []byte) (p space.Point, v float64, n int, err error) {
+	dim, k := canonUvarint(b)
+	if k <= 0 || dim > maxDim {
+		return nil, 0, 0, errCorrupt
+	}
+	n = k
+	if uint64(len(b)-n) < 8*(dim+1) {
+		return nil, 0, 0, errCorrupt
+	}
+	p = make(space.Point, dim)
+	for i := range p {
+		p[i] = math.Float64frombits(binary.BigEndian.Uint64(b[n:]))
+		n += 8
+	}
+	v = math.Float64frombits(binary.BigEndian.Uint64(b[n:]))
+	n += 8
+	return p, v, n, nil
+}
+
+// entry is one configuration's aggregate state in codec form: the point and
+// its raw observations in arrival order.
+type entry struct {
+	point space.Point
+	obs   []float64
+}
+
+// encodeSnapshot serialises entries (which must already be in canonical key
+// order) with the trailing whole-file CRC.
+func encodeSnapshot(seed int64, spaceSig string, entries []entry) []byte {
+	out := appendHeader(nil, snapMagic, seed, spaceSig)
+	out = binary.AppendUvarint(out, uint64(len(entries)))
+	for _, e := range entries {
+		out = binary.AppendUvarint(out, uint64(len(e.point)))
+		for _, c := range e.point {
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(c))
+		}
+		out = binary.AppendUvarint(out, uint64(len(e.obs)))
+		for _, o := range e.obs {
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(o))
+		}
+	}
+	return binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// decodeSnapshot parses a snapshot file, verifying the trailing CRC before
+// trusting any of the content.
+func decodeSnapshot(b []byte) (seed int64, spaceSig string, entries []entry, err error) {
+	if len(b) < 4 {
+		return 0, "", nil, errCorrupt
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return 0, "", nil, fmt.Errorf("measuredb: snapshot CRC mismatch")
+	}
+	seed, spaceSig, n, err := decodeHeader(body, snapMagic)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	count, k := canonUvarint(body[n:])
+	if k <= 0 || count > maxObs {
+		return 0, "", nil, errCorrupt
+	}
+	n += k
+	entries = make([]entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		dim, k := canonUvarint(body[n:])
+		if k <= 0 || dim > maxDim {
+			return 0, "", nil, errCorrupt
+		}
+		n += k
+		if uint64(len(body)-n) < 8*dim {
+			return 0, "", nil, errCorrupt
+		}
+		p := make(space.Point, dim)
+		for j := range p {
+			p[j] = math.Float64frombits(binary.BigEndian.Uint64(body[n:]))
+			n += 8
+		}
+		nobs, k := canonUvarint(body[n:])
+		if k <= 0 || nobs > maxObs {
+			return 0, "", nil, errCorrupt
+		}
+		n += k
+		if uint64(len(body)-n) < 8*nobs {
+			return 0, "", nil, errCorrupt
+		}
+		obs := make([]float64, nobs)
+		for j := range obs {
+			obs[j] = math.Float64frombits(binary.BigEndian.Uint64(body[n:]))
+			n += 8
+		}
+		entries = append(entries, entry{point: p, obs: obs})
+	}
+	if n != len(body) {
+		return 0, "", nil, errCorrupt
+	}
+	return seed, spaceSig, entries, nil
+}

@@ -1,0 +1,103 @@
+package measuredb
+
+import (
+	"paratune/internal/event"
+	"paratune/internal/sample"
+	"paratune/internal/space"
+)
+
+// BatchEvaluator is the engine's evaluator shape (core.Evaluator, matched
+// structurally so this package stays below core in the import graph).
+type BatchEvaluator interface {
+	Eval(points []space.Point) ([]float64, error)
+}
+
+// Memo wraps a batch evaluator with the store's exact-match memoisation: a
+// candidate whose configuration already has at least K stored raw
+// observations is served from the store — est.Estimate over the *first* K
+// observations, exactly what a live measurement loop would have computed —
+// and spends no simulator steps or client measurements. Unresolved
+// candidates are forwarded to the inner evaluator in one batch (whose
+// measurements reach the store through the cluster's observation sink),
+// preserving batch semantics for the optimiser.
+//
+// Every lookup is mirrored to the event stream as db_hit or db_miss.
+//
+// Memo is driven by a single engine goroutine and is not safe for concurrent
+// use; the store underneath it is.
+type Memo struct {
+	inner BatchEvaluator
+	store *Store
+	est   sample.Estimator
+	rec   event.Recorder
+	vtime func() float64
+
+	hits   int
+	misses int
+
+	// Scratch reused across Eval calls.
+	obsBuf  []float64
+	missPts []space.Point
+	missIdx []int
+}
+
+// NewMemo builds the memoising evaluator. est must be the same estimator the
+// live measurement path uses, so served values are bit-identical to what
+// re-measuring would have produced under the stored observations. vtime
+// supplies the current virtual time for event payloads; nil records 0.
+func NewMemo(inner BatchEvaluator, store *Store, est sample.Estimator, rec event.Recorder, vtime func() float64) *Memo {
+	return &Memo{
+		inner: inner,
+		store: store,
+		est:   est,
+		rec:   event.OrNop(rec),
+		vtime: vtime,
+	}
+}
+
+// Eval implements the engine evaluator: resolve what the store can, measure
+// the rest.
+func (m *Memo) Eval(points []space.Point) ([]float64, error) {
+	out := make([]float64, len(points))
+	m.missPts = m.missPts[:0]
+	m.missIdx = m.missIdx[:0]
+	k := m.est.K()
+	var vt float64
+	if m.vtime != nil {
+		vt = m.vtime()
+	}
+	for i, p := range points {
+		var have bool
+		m.obsBuf, have = m.store.AppendObs(m.obsBuf[:0], p, k)
+		if have && len(m.obsBuf) >= k {
+			out[i] = m.est.Estimate(m.obsBuf)
+			m.hits++
+			m.rec.Record(event.DBHit{
+				Config: p.Key(), Value: out[i], Count: k, VTime: vt,
+			})
+			continue
+		}
+		m.misses++
+		m.rec.Record(event.DBMiss{
+			Config: p.Key(), Count: len(m.obsBuf), VTime: vt,
+		})
+		m.missIdx = append(m.missIdx, i)
+		m.missPts = append(m.missPts, p)
+	}
+	if len(m.missPts) > 0 {
+		ys, err := m.inner.Eval(m.missPts)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range m.missIdx {
+			out[i] = ys[j]
+		}
+	}
+	return out, nil
+}
+
+// Hits returns how many candidate evaluations were served from the store.
+func (m *Memo) Hits() int { return m.hits }
+
+// Misses returns how many candidate evaluations went to the inner evaluator.
+func (m *Memo) Misses() int { return m.misses }

@@ -1,0 +1,347 @@
+// Package measuredb is a persistent, concurrent measurement database: every
+// (configuration, raw measurement) pair observed during tuning is recorded in
+// a sharded in-memory store backed by an append-only write-ahead log plus a
+// compacted snapshot. The paper's §6 evaluation replays a *measured
+// performance database* with weighted-nearest interpolation; this package
+// makes that database a first-class, durable artefact shared across tuning
+// sessions instead of an ephemeral in-memory grid.
+//
+// The store answers three questions:
+//
+//   - exact match: "has this configuration already been measured at least K
+//     times?" — the memoisation path ([Store.AppendObs], [Memo]) that lets a
+//     warm-started run skip re-measuring resolved configurations;
+//   - aggregation: per-configuration min / mean / median / p90 over all raw
+//     observations ([Store.Aggregate]), computed with internal/stats;
+//   - interpolation: a weighted-k-nearest-neighbour replay objective
+//     ([Replay]) mirroring the paper's §6 query.
+//
+// Persistence is deterministic: files carry the run seed in their header and
+// every encoding is iteration-order-free, so two same-seed runs produce
+// byte-identical WALs and snapshots (a property db-smoke pins). A torn WAL
+// tail — the expected artefact of a crash mid-append — is truncated at the
+// last good record on open and surfaced as a wal_corrupt fault event.
+package measuredb
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"sort"
+	"sync"
+
+	"paratune/internal/event"
+	"paratune/internal/fault"
+	"paratune/internal/space"
+	"paratune/internal/stats"
+)
+
+// numShards spreads configurations over independently locked maps so
+// concurrent harmony sessions don't serialise on one mutex for reads.
+const numShards = 16
+
+// maxStackDim is the largest dimensionality whose binary key fits the
+// stack-allocated scratch buffer on the exact-match lookup path.
+const maxStackDim = 16
+
+// FNV-1a constants for shard selection.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// record is one configuration's raw measurement history, in arrival order.
+type record struct {
+	point space.Point
+	obs   []float64
+}
+
+// shard is one lock-striped slice of the store. recs is keyed by the
+// configuration's canonical binary key (see appendKey).
+type shard struct {
+	mu   sync.Mutex
+	recs map[string]*record
+}
+
+// RecoveryInfo describes a WAL recovery performed at Open: the log ended in
+// a torn or corrupted record and was truncated at the last good frame.
+type RecoveryInfo struct {
+	// TruncatedAt is the byte offset the WAL was cut back to.
+	TruncatedAt int64
+	// DroppedBytes is how many trailing bytes were discarded.
+	DroppedBytes int64
+	// FramesApplied is how many good frames were replayed before the cut.
+	FramesApplied int
+}
+
+// Store is the measurement database. Raw observations live in the sharded
+// in-memory maps; when opened on a directory, every Observe is also framed
+// into the WAL so a crashed process loses at most the torn tail record.
+//
+// Reads (AppendObs, Aggregate, ForEach) take only the shard locks; writes
+// and persistence state serialise on mu, keeping WAL frame order identical
+// to in-memory arrival order.
+type Store struct {
+	// Immutable after Open/NewMemory.
+	seed      int64
+	dir       string // "" for a memory-only store
+	walPath   string
+	snapPath  string
+	headerLen int64
+	recovery  *RecoveryInfo // non-nil iff Open truncated a corrupt WAL tail
+
+	shards [numShards]shard
+
+	mu       sync.Mutex
+	spaceSig string
+	wal      *os.File // nil for a memory-only store
+	walBuf   []byte   // scratch frame-encode buffer
+	keyBuf   []byte   // scratch key buffer for the write path
+	err      error    // sticky persistence error
+	rec      event.Recorder
+}
+
+// appendKey appends p's canonical binary key to dst: each coordinate's
+// IEEE-754 bit pattern, big-endian. The key is injective on float64 vectors
+// (unlike formatted strings) and byte-comparable, so sorting keys sorts
+// configurations deterministically.
+func appendKey(dst []byte, p space.Point) []byte {
+	for _, c := range p {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(c))
+	}
+	return dst
+}
+
+// shardFor hashes a canonical key to its shard with FNV-1a.
+func shardFor(key []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	return h % numShards
+}
+
+// Observe records one raw measurement for configuration p, appending it to
+// the in-memory record and, for a directory-backed store, to the WAL.
+// Invalid values (NaN, ±Inf, negative) are ignored — they are Corrupt-fault
+// garbage, not measurements. Safe for concurrent use; a nil *Store ignores
+// the observation, so call sites need no guards. WAL write failures are
+// sticky: the store keeps serving reads and recording in memory, and Err
+// reports the first failure.
+func (s *Store) Observe(p space.Point, v float64) {
+	if s == nil || len(p) == 0 || !fault.ValidValue(v) {
+		return
+	}
+	s.mu.Lock()
+	s.observeLocked(p, v)
+	s.mu.Unlock()
+}
+
+// observeLocked appends to the in-memory record and the WAL; caller holds
+// s.mu, which is what serialises WAL frame order.
+func (s *Store) observeLocked(p space.Point, v float64) {
+	s.keyBuf = appendKey(s.keyBuf[:0], p)
+	sh := &s.shards[shardFor(s.keyBuf)]
+	sh.mu.Lock()
+	r := sh.recs[string(s.keyBuf)]
+	if r == nil {
+		r = &record{point: p.Clone()}
+		if sh.recs == nil {
+			sh.recs = make(map[string]*record)
+		}
+		sh.recs[string(s.keyBuf)] = r
+	}
+	r.obs = append(r.obs, v)
+	sh.mu.Unlock()
+	if s.wal == nil || s.err != nil {
+		return
+	}
+	s.walBuf = appendWALFrame(s.walBuf[:0], p, v)
+	if _, err := s.wal.Write(s.walBuf); err != nil {
+		s.err = err
+	}
+}
+
+// insert adds a loaded record during Open, before the store is shared.
+func (s *Store) insert(p space.Point, obs []float64) {
+	key := appendKey(nil, p)
+	sh := &s.shards[shardFor(key)]
+	if sh.recs == nil {
+		sh.recs = make(map[string]*record)
+	}
+	r := sh.recs[string(key)]
+	if r == nil {
+		r = &record{point: p}
+		sh.recs[string(key)] = r
+	}
+	r.obs = append(r.obs, obs...)
+}
+
+// AppendObs is the exact-match lookup: it appends up to max stored raw
+// observations for p (in arrival order) to dst and reports whether the
+// configuration exists at all. max <= 0 means all. The caller owns dst, so a
+// reused buffer with capacity makes the lookup allocation-free — the memo
+// path calls this once per candidate per iteration, and the alloccheck test
+// pins a zero-alloc budget.
+//
+//paralint:hotpath
+func (s *Store) AppendObs(dst []float64, p space.Point, max int) ([]float64, bool) {
+	var kb [8 * maxStackDim]byte
+	key := kb[:0]
+	if len(p) > maxStackDim {
+		key = make([]byte, 0, 8*len(p))
+	}
+	key = appendKey(key, p)
+	sh := &s.shards[shardFor(key)]
+	sh.mu.Lock()
+	r := sh.recs[string(key)]
+	found := r != nil
+	if found {
+		n := len(r.obs)
+		if max > 0 && n > max {
+			n = max
+		}
+		dst = append(dst, r.obs[:n]...)
+	}
+	sh.mu.Unlock()
+	return dst, found
+}
+
+// Agg is one configuration's aggregate over all raw observations. Min is the
+// headline statistic (the paper's min-of-K estimate as K→count); the order
+// statistics expose the noise profile behind it.
+type Agg struct {
+	Point  space.Point
+	Count  int
+	Min    float64
+	Mean   float64
+	Median float64
+	P90    float64
+}
+
+// aggOf computes the aggregate for one record's observations (non-empty).
+func aggOf(p space.Point, obs []float64) Agg {
+	return Agg{
+		Point:  p,
+		Count:  len(obs),
+		Min:    stats.Min(obs),
+		Mean:   stats.Mean(obs),
+		Median: stats.Median(obs),
+		P90:    stats.Percentile(obs, 0.9),
+	}
+}
+
+// Aggregate returns p's aggregate, if the configuration has been observed.
+// The returned Point is a copy.
+func (s *Store) Aggregate(p space.Point) (Agg, bool) {
+	key := appendKey(nil, p)
+	sh := &s.shards[shardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r := sh.recs[string(key)]
+	if r == nil {
+		return Agg{}, false
+	}
+	return aggOf(r.point.Clone(), r.obs), true
+}
+
+// gather snapshots every record as codec entries in canonical key order.
+// Points and observation slices are copies. Shard locks are taken one at a
+// time, so the result is a consistent view only when the caller holds s.mu
+// (as Compact does) or no writes are in flight.
+func (s *Store) gather() []entry {
+	var keys []string
+	var es []entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, r := range sh.recs {
+			keys = append(keys, k)
+			es = append(es, entry{
+				point: r.point.Clone(),
+				obs:   append([]float64(nil), r.obs...),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Sort(keyedEntries{keys: keys, es: es})
+	return es
+}
+
+// keyedEntries sorts entries by their canonical key bytes.
+type keyedEntries struct {
+	keys []string
+	es   []entry
+}
+
+func (k keyedEntries) Len() int           { return len(k.keys) }
+func (k keyedEntries) Less(i, j int) bool { return k.keys[i] < k.keys[j] }
+func (k keyedEntries) Swap(i, j int) {
+	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
+	k.es[i], k.es[j] = k.es[j], k.es[i]
+}
+
+// ForEach visits every configuration in canonical key order with its
+// aggregate. The visit order is deterministic, so exports built on it are
+// byte-stable.
+func (s *Store) ForEach(fn func(Agg)) {
+	for _, e := range s.gather() {
+		fn(aggOf(e.point, e.obs))
+	}
+}
+
+// ForEachRaw visits every configuration in canonical key order with its raw
+// observations in arrival order. The slices are copies the callback may keep.
+func (s *Store) ForEachRaw(fn func(p space.Point, obs []float64)) {
+	for _, e := range s.gather() {
+		fn(e.point, e.obs)
+	}
+}
+
+// Stats returns the number of distinct configurations and total raw
+// observations currently in memory.
+func (s *Store) Stats() (configs, observations int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		configs += len(sh.recs)
+		for _, r := range sh.recs {
+			observations += len(r.obs)
+		}
+		sh.mu.Unlock()
+	}
+	return configs, observations
+}
+
+// Seed returns the seed stamped into the store's file headers.
+func (s *Store) Seed() int64 { return s.seed }
+
+// Dir returns the backing directory, or "" for a memory-only store.
+func (s *Store) Dir() string { return s.dir }
+
+// Recovery returns the WAL recovery performed at Open, or nil if the log was
+// clean.
+func (s *Store) Recovery() *RecoveryInfo { return s.recovery }
+
+// SpaceSig returns the search-space signature the store is bound to ("" if
+// unbound).
+func (s *Store) SpaceSig() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spaceSig
+}
+
+// Err returns the sticky persistence error, if a WAL write has failed.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// SetRecorder attaches an event recorder for db_snapshot events emitted by
+// Compact. nil detaches.
+func (s *Store) SetRecorder(r event.Recorder) {
+	s.mu.Lock()
+	s.rec = r
+	s.mu.Unlock()
+}

@@ -1,0 +1,339 @@
+package measuredb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"paratune/internal/event"
+	"paratune/internal/space"
+)
+
+// populate writes a small deterministic history into st.
+func populate(st *Store) {
+	for i := 0; i < 5; i++ {
+		p := space.Point{float64(i), float64(i % 2)}
+		for j := 0; j < 3; j++ {
+			st.Observe(p, float64(10*i+j))
+		}
+	}
+}
+
+// aggState renders the full aggregate state for equality comparison.
+func aggState(t *testing.T, st *Store) []Agg {
+	t.Helper()
+	var out []Agg
+	st.ForEach(func(a Agg) { out = append(out, a) })
+	return out
+}
+
+func sameState(a, b []Agg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Point.Equal(b[i].Point) || a[i].Count != b[i].Count ||
+			a[i].Min != b[i].Min || a[i].Mean != b[i].Mean {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Seed: 42, Space: "sig"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(st)
+	want := aggState(t, st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := aggState(t, st2); !sameState(want, got) {
+		t.Fatalf("reopened state differs:\n got %+v\nwant %+v", got, want)
+	}
+	if st2.Seed() != 42 {
+		t.Fatalf("Seed = %d, want persisted 42", st2.Seed())
+	}
+	if st2.SpaceSig() != "sig" {
+		t.Fatalf("SpaceSig = %q, want persisted sig", st2.SpaceSig())
+	}
+	if st2.Recovery() != nil {
+		t.Fatal("clean WAL reported a recovery")
+	}
+}
+
+// A "kill": the process dies without Close. Every completed Observe must
+// survive, because frames are written synchronously on the Observe path.
+func TestWALKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(st)
+	want := aggState(t, st)
+	// No Close: drop the handle as a crash would.
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := aggState(t, st2); !sameState(want, got) {
+		t.Fatalf("state lost across kill-restart:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWALCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(st)
+	want := aggState(t, st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn append: garbage after the last good frame.
+	walPath := filepath.Join(dir, walFileName)
+	goodLen := fileSize(t, walPath)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x17, 0xff, 0x00, 0xba, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &event.Memory{}
+	st2, err := Open(dir, Options{Recorder: rec})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer st2.Close()
+	ri := st2.Recovery()
+	if ri == nil {
+		t.Fatal("no RecoveryInfo after corrupt tail")
+	}
+	if ri.TruncatedAt != goodLen || ri.DroppedBytes != 5 || ri.FramesApplied != 15 {
+		t.Fatalf("RecoveryInfo = %+v, want truncate at %d, 5 dropped, 15 frames", ri, goodLen)
+	}
+	if got := aggState(t, st2); !sameState(want, got) {
+		t.Fatal("good prefix not fully recovered")
+	}
+	if fileSize(t, walPath) != goodLen {
+		t.Fatal("corrupt tail not truncated on disk")
+	}
+	if got := rec.Count(event.KindFault); got != 1 {
+		t.Fatalf("fault events = %d, want 1 wal_corrupt", got)
+	}
+	fe, ok := rec.Events()[0].(event.FaultInjected)
+	if !ok || fe.Fault != "wal_corrupt" || fe.Proc != -1 || fe.Detail == "" {
+		t.Fatalf("recovery event = %+v, want wal_corrupt with detail", rec.Events()[0])
+	}
+
+	// A corrupted mid-file byte loses the tail from that point, not the prefix.
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	ri = st3.Recovery()
+	if ri == nil || ri.FramesApplied >= 15 || ri.TruncatedAt >= goodLen {
+		t.Fatalf("mid-file corruption recovery = %+v", ri)
+	}
+	_, obs := st3.Stats()
+	if obs != ri.FramesApplied {
+		t.Fatalf("replayed %d observations, recovery says %d frames", obs, ri.FramesApplied)
+	}
+}
+
+func TestCompactAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	rec := &event.Memory{}
+	st, err := Open(dir, Options{Seed: 3, Space: "sig", Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(st)
+	want := aggState(t, st)
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Count(event.KindDBSnapshot); got != 1 {
+		t.Fatalf("db_snapshot events = %d, want 1", got)
+	}
+	// WAL is back to header-only; snapshot holds everything.
+	if sz := fileSize(t, filepath.Join(dir, walFileName)); sz != st.headerLen {
+		t.Fatalf("WAL size after compact = %d, want header %d", sz, st.headerLen)
+	}
+
+	// New observations after compaction land in the WAL again.
+	extra := space.Point{99, 99}
+	st.Observe(extra, 1)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got := aggState(t, st2)
+	if len(got) != len(want)+1 {
+		t.Fatalf("configs after compact+append = %d, want %d", len(got), len(want)+1)
+	}
+	if a, ok := st2.Aggregate(extra); !ok || a.Min != 1 {
+		t.Fatal("post-compaction observation lost")
+	}
+}
+
+// Compaction must not change what a warm-started run computes: observation
+// order within each configuration survives the snapshot.
+func TestCompactPreservesObservationOrder(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := space.Point{4}
+	for _, v := range []float64{9, 2, 7} {
+		st.Observe(p, v)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	obs, ok := st2.AppendObs(nil, p, 0)
+	if !ok || len(obs) != 3 || obs[0] != 9 || obs[1] != 2 || obs[2] != 7 {
+		t.Fatalf("observation order after compact = %v, want [9 2 7]", obs)
+	}
+}
+
+func TestCorruptSnapshotIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(st)
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, snapFileName)
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a corrupt snapshot")
+	}
+}
+
+func TestOpenRejectsMismatchedSpace(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Space: "sigA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Observe(space.Point{1}, 1)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Space: "sigB"}); err == nil {
+		t.Fatal("Open accepted a store bound to a different space")
+	}
+}
+
+// Same seed, same observation sequence → byte-identical WAL and snapshot
+// files, the determinism contract db-smoke relies on.
+func TestSameSeedFilesByteIdentical(t *testing.T) {
+	files := func() (wal, snap []byte) {
+		dir := t.TempDir()
+		st, err := Open(dir, Options{Seed: 11, Space: "sig"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		populate(st)
+		if err := st.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		populate(st) // post-compaction WAL content too
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wal, err = os.ReadFile(filepath.Join(dir, walFileName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err = os.ReadFile(filepath.Join(dir, snapFileName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wal, snap
+	}
+	w1, s1 := files()
+	w2, s2 := files()
+	if !bytes.Equal(w1, w2) {
+		t.Fatal("same-seed WALs differ")
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("same-seed snapshots differ")
+	}
+}
+
+func TestMemoryStoreCannotCompact(t *testing.T) {
+	if err := NewMemory(Options{}).Compact(); err == nil {
+		t.Fatal("memory-only store compacted")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -30,6 +30,7 @@ import (
 	"paratune/internal/core"
 	"paratune/internal/event"
 	"paratune/internal/harmony"
+	"paratune/internal/measuredb"
 	"paratune/internal/noise"
 	"paratune/internal/objective"
 	"paratune/internal/sample"
@@ -109,6 +110,12 @@ type Options struct {
 	// Recorder, when set, receives the run's structured event stream (Tune,
 	// TuneGS2, and TuneAsync only; Minimize has no simulated cluster).
 	Recorder Recorder
+	// DBPath, when set, opens (creating if needed) a persistent measurement
+	// database in that directory: every raw measurement is recorded, and
+	// configurations already measured to K observations are served from the
+	// store instead of the cluster — so a second run on the same directory
+	// warm-starts from the first (Tune, TuneGS2, and TuneAsync only).
+	DBPath string
 }
 
 func (o *Options) normalise(underNoise bool) {
@@ -264,6 +271,30 @@ func TuneGS2(opts Options) (*Result, error) {
 	return tuneFunction(db, opts)
 }
 
+// openDB opens the Options-level measurement database bound to the run's
+// search space, or returns nil when none is configured. Binding at open time
+// stamps the space signature into a fresh store's WAL header, so a later
+// open of the same directory with a different space fails loudly.
+func openDB(opts Options, s *Space) (*measuredb.Store, error) {
+	if opts.DBPath == "" {
+		return nil, nil
+	}
+	return measuredb.Open(opts.DBPath, measuredb.Options{
+		Seed: opts.Seed, Space: s.String(), Recorder: opts.Recorder,
+	})
+}
+
+// closeDB folds a store's Close error into the run's, preferring the run's.
+func closeDB(db *measuredb.Store, err error) error {
+	if db == nil {
+		return err
+	}
+	if cerr := db.Close(); err == nil {
+		return cerr
+	}
+	return err
+}
+
 func tuneFunction(f objective.Function, opts Options) (*Result, error) {
 	var model noise.Model = noise.None{}
 	if opts.Rho > 0 {
@@ -285,11 +316,19 @@ func tuneFunction(f objective.Function, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.RunOnline(alg, core.OnlineConfig{
+	db, err := openDB(opts, f.Space())
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunOnline(alg, core.OnlineConfig{
 		Sim: sim, F: f, Est: est,
 		Budget: opts.Budget, ParallelSampling: opts.ParallelSampling,
-		Recorder: opts.Recorder,
+		Recorder: opts.Recorder, DB: db,
 	})
+	if err = closeDB(db, err); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // AsyncResult summarises an asynchronous tuning run (see core.AsyncResult).
@@ -324,14 +363,35 @@ func TuneAsync(s *Space, fn func([]float64) float64, timeBudget float64, opts Op
 	if err != nil {
 		return nil, err
 	}
-	return core.RunOnlineAsync(alg, core.AsyncConfig{
+	db, err := openDB(opts, s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunOnlineAsync(alg, core.AsyncConfig{
 		Sim: sim, F: &funcObjective{s: s, fn: fn}, Est: est, TimeBudget: timeBudget,
-		Recorder: opts.Recorder,
+		Recorder: opts.Recorder, DB: db,
 	})
+	if err = closeDB(db, err); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // GS2Space returns the paper's three-parameter GS2 tuning space.
 func GS2Space() *Space { return objective.GS2Space() }
+
+// MeasurementDB is a persistent, concurrent measurement database: raw
+// measurements append to a WAL, per-configuration min-of-K estimates are
+// served back on exact re-lookups, and a store shared across runs (or
+// attached to ServerOptions.DB) warm-starts tuning from prior sessions.
+type MeasurementDB = measuredb.Store
+
+// OpenMeasurementDB opens (creating if needed) the measurement database in
+// dir. The seed is persisted on first creation; an existing store keeps its
+// own. Close it when done to flush the write-ahead log.
+func OpenMeasurementDB(dir string, seed int64) (*MeasurementDB, error) {
+	return measuredb.Open(dir, measuredb.Options{Seed: seed})
+}
 
 // Server is an Active-Harmony-style tuning server.
 type Server = harmony.Server
