@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-fix lint-sarif test race bench bench-smoke trace-smoke db-smoke fuzz results examples clean
+.PHONY: all build lint lint-fix lint-sarif test race bench bench-smoke trace-smoke db-smoke chaos-smoke fuzz results examples clean
 
 all: build test
 
@@ -70,11 +70,19 @@ db-smoke:
 	$(GO) run ./cmd/paratune -surface sphere -rho 0.3 -samples 3 -budget 120 -seed 7 -db dbsmoke/store | grep -q ", 0 measured"
 	rm -rf dbsmoke
 
+# Chaos soak: tune through seeded network faults (delay/drop/dup/truncate/
+# reset) and scheduled mid-tuning server kills, race-enabled. Asserts
+# deadline-bounded termination, byte-identical same-seed fault plans, and
+# converged quality within a bound of the fault-free baseline.
+chaos-smoke:
+	$(GO) run -race ./cmd/chaosharness -seeds 20 -kills 2
+
 # Brief fuzzing passes over the parsing/projection boundaries.
 fuzz:
 	$(GO) test -fuzz FuzzProject -fuzztime 15s ./internal/space/
 	$(GO) test -fuzz FuzzParameterNeighbors -fuzztime 15s ./internal/space/
 	$(GO) test -fuzz FuzzDispatch -fuzztime 15s ./internal/harmony/
+	$(GO) test -fuzz FuzzTCPFrameDecode -fuzztime 15s ./internal/harmony/
 	$(GO) test -fuzz FuzzLoadDB -fuzztime 15s ./internal/objective/
 	$(GO) test -fuzz FuzzWALDecode -fuzztime 15s ./internal/measuredb/
 	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime 15s ./internal/measuredb/
@@ -95,6 +103,7 @@ examples:
 	$(GO) run ./examples/checkpoint
 	$(GO) run ./examples/realtuning
 	$(GO) run ./examples/faulttolerance
+	$(GO) run ./examples/chaos
 
 clean:
 	rm -f test_output.txt bench_output.txt paralint.sarif

@@ -8,12 +8,21 @@
 //	harmonyd [-addr :7779] [-samples 3] [-estimator min]
 //	         [-checkpoint tuning.ckpt] [-checkpoint-interval 30s]
 //	         [-measure-timeout 30s] [-idle-timeout 0] [-trace events.jsonl]
-//	         [-db dir]
+//	         [-db dir] [-supervise] [-max-restarts 10]
 //
 // With -checkpoint set, harmonyd restores every session found in the file at
 // startup (a missing file is fine), rewrites it every -checkpoint-interval,
-// and writes it a final time on SIGINT — so a killed and restarted harmonyd
-// resumes tuning mid-simplex instead of starting over.
+// and writes it a final time on SIGINT/SIGTERM — so a killed and restarted
+// harmonyd resumes tuning mid-simplex instead of starting over.
+//
+// With -supervise, harmonyd runs as a self-healing pair: the parent re-execs
+// itself as a worker child (with -supervise stripped) and restarts it
+// whenever it dies abnormally, with capped exponential backoff, up to
+// -max-restarts times. Combined with -checkpoint and -db, a crashed worker
+// comes back mid-tuning: sessions restore from the auto-checkpoint, past
+// measurements replay from the measurement-database WAL, and clients
+// re-attach with the sequence-numbered resume handshake instead of
+// re-registering.
 //
 // With -db set, every accepted measurement is persisted to the measurement
 // database in that directory, and candidates the store has already resolved
@@ -29,7 +38,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/exec"
 	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"paratune/internal/event"
@@ -40,17 +52,23 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":7779", "listen address")
-		samples    = flag.Int("samples", 3, "measurements per candidate (K)")
-		estimator  = flag.String("estimator", "min", "min, mean, median, single")
-		ckptPath   = flag.String("checkpoint", "", "checkpoint file: restore on start, rewrite periodically and on SIGINT")
-		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "how often to rewrite the checkpoint file")
-		measureTO  = flag.Duration("measure-timeout", 0, "per-batch measurement progress deadline (0 = default 30s, <0 = disabled)")
-		idleExpiry = flag.Duration("idle-timeout", 0, "drop sessions idle this long (0 = never)")
-		trace      = flag.String("trace", "", "append session lifecycle and iteration events to this JSONL file (\"-\" for stdout)")
-		dbDir      = flag.String("db", "", "persist measurements to (and warm-start from) the measurement database in this directory")
+		addr        = flag.String("addr", ":7779", "listen address")
+		samples     = flag.Int("samples", 3, "measurements per candidate (K)")
+		estimator   = flag.String("estimator", "min", "min, mean, median, single")
+		ckptPath    = flag.String("checkpoint", "", "checkpoint file: restore on start, rewrite periodically and on SIGINT/SIGTERM")
+		ckptEvery   = flag.Duration("checkpoint-interval", 30*time.Second, "how often to rewrite the checkpoint file")
+		measureTO   = flag.Duration("measure-timeout", 0, "per-batch measurement progress deadline (0 = default 30s, <0 = disabled)")
+		idleExpiry  = flag.Duration("idle-timeout", 0, "drop sessions idle this long (0 = never)")
+		trace       = flag.String("trace", "", "append session lifecycle and iteration events to this JSONL file (\"-\" for stdout)")
+		dbDir       = flag.String("db", "", "persist measurements to (and warm-start from) the measurement database in this directory")
+		supervise   = flag.Bool("supervise", false, "run a supervisor that re-execs this binary as a worker and restarts it on abnormal exit")
+		maxRestarts = flag.Int("max-restarts", 10, "with -supervise: give up after this many abnormal worker exits")
 	)
 	flag.Parse()
+
+	if *supervise {
+		os.Exit(superviseLoop(*maxRestarts))
+	}
 
 	est, err := buildEstimator(*estimator, *samples)
 	if err != nil {
@@ -114,20 +132,31 @@ func main() {
 	}
 	fmt.Printf("harmonyd listening on %s (estimator %v)\n", l.Addr(), est)
 
+	stopCkpt := make(chan struct{})
 	if *ckptPath != "" && *ckptEvery > 0 {
+		// A Ticker (not time.Tick) so shutdown releases the timer instead of
+		// leaking it for the life of the process.
 		go func() {
-			for range time.Tick(*ckptEvery) {
-				if err := writeCheckpoint(srv, *ckptPath); err != nil {
-					fmt.Fprintln(os.Stderr, "harmonyd: checkpoint:", err)
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-t.C:
+					if err := writeCheckpoint(srv, *ckptPath); err != nil {
+						fmt.Fprintln(os.Stderr, "harmonyd: checkpoint:", err)
+					}
 				}
 			}
 		}()
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
+		close(stopCkpt)
 		if *ckptPath != "" {
 			if err := writeCheckpoint(srv, *ckptPath); err != nil {
 				fmt.Fprintln(os.Stderr, "harmonyd: final checkpoint:", err)
@@ -148,6 +177,90 @@ func main() {
 	if err := harmony.Serve(l, srv); err != nil {
 		fatal(err)
 	}
+}
+
+// superviseLoop re-execs this binary as a worker (with -supervise stripped)
+// and restarts it on abnormal exit with capped exponential backoff. A worker
+// that exits cleanly (normal shutdown via SIGINT/SIGTERM) ends supervision;
+// a worker that keeps dying gives up after maxRestarts attempts. The
+// supervisor forwards its own termination signals to the worker so the
+// final-checkpoint path still runs on graceful shutdown.
+func superviseLoop(maxRestarts int) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "harmonyd: supervise:", err)
+		return 1
+	}
+	args := workerArgs(os.Args[1:])
+	backoff := time.Second
+	const maxBackoff = 30 * time.Second
+	for restarts := 0; ; restarts++ {
+		cmd := exec.Command(self, args...)
+		cmd.Stdout, cmd.Stderr, cmd.Stdin = os.Stdout, os.Stderr, os.Stdin
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "harmonyd: supervise: start worker:", err)
+			return 1
+		}
+		fmt.Printf("harmonyd[supervisor]: worker pid %d up (restart %d)\n", cmd.Process.Pid, restarts)
+
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		var werr error
+		select {
+		case s := <-sig:
+			// Graceful stop: hand the signal to the worker so it writes its
+			// final checkpoint, then follow it down.
+			_ = cmd.Process.Signal(s)
+			werr = <-done
+			signal.Stop(sig)
+			if werr != nil {
+				return 1
+			}
+			return 0
+		case werr = <-done:
+			signal.Stop(sig)
+		}
+		if werr == nil {
+			return 0 // clean exit: supervision is done
+		}
+		if restarts+1 >= maxRestarts {
+			fmt.Fprintf(os.Stderr, "harmonyd[supervisor]: worker died %d times; giving up: %v\n", restarts+1, werr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "harmonyd[supervisor]: worker died (%v); restarting in %v\n", werr, backoff)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// workerArgs strips the supervision flags from the argument list handed to
+// the re-execed worker.
+func workerArgs(args []string) []string {
+	out := make([]string, 0, len(args))
+	skip := false
+	for _, a := range args {
+		if skip {
+			skip = false
+			continue
+		}
+		switch {
+		case a == "-supervise" || a == "--supervise" ||
+			a == "-supervise=true" || a == "--supervise=true":
+			continue
+		case a == "-max-restarts" || a == "--max-restarts":
+			skip = true // its value follows as a separate argument
+			continue
+		case strings.HasPrefix(a, "-max-restarts=") || strings.HasPrefix(a, "--max-restarts="):
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
 }
 
 // writeCheckpoint snapshots every session and replaces path atomically, so a

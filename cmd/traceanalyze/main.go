@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -50,14 +51,21 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	data, db, err := readColumn(r, *col)
+	data, db, chaos, err := readColumn(r, *col)
 	if err != nil {
 		fatal(err)
 	}
 	if line, ok := hitRateLine(db); ok {
 		fmt.Println(line)
 	}
+	hadChaos := chaos.report(os.Stdout)
 	if len(data) < 10 {
+		if hadChaos {
+			// A chaos/recovery trace need not carry step samples; the summary
+			// above is the analysis.
+			fmt.Printf("(%d step samples — too few for variability diagnostics)\n", len(data))
+			return
+		}
 		fatal(fmt.Errorf("need at least 10 samples, got %d", len(data)))
 	}
 
@@ -82,16 +90,146 @@ func hitRateLine(c dbCounts) (string, bool) {
 		c.hits, total, 100*float64(c.hits)/float64(total)), true
 }
 
+// chaosCounts aggregates chaos-layer and recovery events from a JSONL trace:
+// planned vs applied wire faults, scheduled vs executed server kills, and
+// per-session resume bookkeeping.
+type chaosCounts struct {
+	planned      map[string]int // action → planned frame faults
+	applied      map[string]int // action → executed frame faults
+	killsPlanned int
+	killsApplied int
+	restored     int                              // sessions restored from checkpoint
+	resumes      map[string]map[string]resumeLast // session → client → last counters
+}
+
+// resumeLast is the latest cumulative resume counters seen for one client.
+type resumeLast struct {
+	resumes    int
+	dropped    uint64
+	duplicates uint64
+}
+
+func (c *chaosCounts) observe(env *event.Envelope) bool {
+	switch env.Kind {
+	case event.KindChaosPlan, event.KindChaosApplied:
+		var cp event.ChaosPlan // ChaosApplied is a field subset; both decode
+		if err := json.Unmarshal(env.Event, &cp); err != nil {
+			return true
+		}
+		if env.Kind == event.KindChaosPlan {
+			if c.planned == nil {
+				c.planned = make(map[string]int)
+			}
+			c.planned[cp.Action]++
+		} else {
+			if c.applied == nil {
+				c.applied = make(map[string]int)
+			}
+			c.applied[cp.Action]++
+		}
+	case event.KindChaosKill:
+		var ck event.ChaosKill
+		if err := json.Unmarshal(env.Event, &ck); err != nil {
+			return true
+		}
+		if ck.Applied {
+			c.killsApplied++
+		} else {
+			c.killsPlanned++
+		}
+	case event.KindSessionResumed:
+		var sr event.SessionResumed
+		if err := json.Unmarshal(env.Event, &sr); err != nil {
+			return true
+		}
+		if c.resumes == nil {
+			c.resumes = make(map[string]map[string]resumeLast)
+		}
+		if c.resumes[sr.Session] == nil {
+			c.resumes[sr.Session] = make(map[string]resumeLast)
+		}
+		c.resumes[sr.Session][sr.Client] = resumeLast{
+			resumes: sr.Resumes, dropped: sr.Dropped, duplicates: sr.Duplicates,
+		}
+	case event.KindSession:
+		var se event.Session
+		if err := json.Unmarshal(env.Event, &se); err != nil {
+			return true
+		}
+		if se.Phase == "restored" {
+			c.restored++
+		}
+		return false // session events also belong to the regular stream
+	default:
+		return false
+	}
+	return true
+}
+
+// report prints the chaos/recovery summary; false when the trace carried no
+// chaos or resume events (non-chaos traces stay unchanged).
+func (c *chaosCounts) report(w io.Writer) bool {
+	had := false
+	if len(c.planned) > 0 || len(c.applied) > 0 || c.killsPlanned > 0 || c.killsApplied > 0 {
+		had = true
+		fmt.Fprintf(w, "chaos: %s planned, %s applied, kills %d planned / %d executed\n",
+			actionList(c.planned), actionList(c.applied), c.killsPlanned, c.killsApplied)
+	}
+	if len(c.resumes) > 0 || c.restored > 0 {
+		had = true
+		sessions := make([]string, 0, len(c.resumes))
+		for s := range c.resumes {
+			sessions = append(sessions, s)
+		}
+		sort.Strings(sessions)
+		for _, s := range sessions {
+			var agg resumeLast
+			for _, last := range c.resumes[s] {
+				agg.resumes += last.resumes
+				agg.dropped += last.dropped
+				agg.duplicates += last.duplicates
+			}
+			fmt.Fprintf(w, "recovery: session %q: %d resume(s) across %d client(s), %d dropped frame(s), %d duplicate(s) discarded\n",
+				s, agg.resumes, len(c.resumes[s]), agg.dropped, agg.duplicates)
+		}
+		if c.restored > 0 {
+			fmt.Fprintf(w, "recovery: %d session restore(s) from checkpoint\n", c.restored)
+		}
+	}
+	return had
+}
+
+// actionList renders an action→count map as "3 delay + 2 drop", in a stable
+// order; "none" for empty maps.
+func actionList(m map[string]int) string {
+	if len(m) == 0 {
+		return "none"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%d %s", m[k], k))
+	}
+	return strings.Join(parts, " + ")
+}
+
 // readColumn parses one float column from line- or comma-separated input,
 // skipping unparsable lines (headers). Input whose first non-empty line
 // starts with '{' is treated as a JSONL event trace instead: each line is an
-// event.Envelope, the T_k of every "step_time" event becomes a sample, and
-// db_hit/db_miss events are tallied for the hit-rate summary.
-func readColumn(r io.Reader, col int) ([]float64, dbCounts, error) {
+// event.Envelope, the T_k of every "step_time" event becomes a sample,
+// db_hit/db_miss events are tallied for the hit-rate summary, and chaos and
+// recovery events (chaos_plan/chaos_applied/chaos_kill/session_resumed plus
+// checkpoint restores) feed the chaos summary.
+func readColumn(r io.Reader, col int) ([]float64, dbCounts, chaosCounts, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var out []float64
 	var db dbCounts
+	var chaos chaosCounts
 	jsonl := false
 	first := true
 	for sc.Scan() {
@@ -104,14 +242,22 @@ func readColumn(r io.Reader, col int) ([]float64, dbCounts, error) {
 			jsonl = strings.HasPrefix(line, "{")
 		}
 		if jsonl {
-			switch kind(line) {
+			var env event.Envelope
+			if err := json.Unmarshal([]byte(line), &env); err != nil {
+				continue
+			}
+			if chaos.observe(&env) {
+				continue
+			}
+			switch env.Kind {
 			case event.KindDBHit:
 				db.hits++
 			case event.KindDBMiss:
 				db.misses++
-			default:
-				if t, ok := stepTime(line); ok {
-					out = append(out, t)
+			case event.KindStepTime:
+				var st event.StepTime
+				if err := json.Unmarshal(env.Event, &st); err == nil {
+					out = append(out, st.T)
 				}
 			}
 			continue
@@ -126,30 +272,7 @@ func readColumn(r io.Reader, col int) ([]float64, dbCounts, error) {
 		}
 		out = append(out, v)
 	}
-	return out, db, sc.Err()
-}
-
-// kind peeks at a JSONL envelope's event kind; "" for malformed lines.
-func kind(line string) string {
-	var env event.Envelope
-	if err := json.Unmarshal([]byte(line), &env); err != nil {
-		return ""
-	}
-	return env.Kind
-}
-
-// stepTime decodes one JSONL envelope and returns the barrier time of a
-// step_time event; malformed lines and other event kinds are skipped.
-func stepTime(line string) (float64, bool) {
-	var env event.Envelope
-	if err := json.Unmarshal([]byte(line), &env); err != nil || env.Kind != event.KindStepTime {
-		return 0, false
-	}
-	var st event.StepTime
-	if err := json.Unmarshal(env.Event, &st); err != nil {
-		return 0, false
-	}
-	return st.T, true
+	return out, db, chaos, sc.Err()
 }
 
 // report writes the full diagnostic battery.

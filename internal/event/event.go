@@ -32,6 +32,11 @@ const (
 	KindDBHit      = "db_hit"
 	KindDBMiss     = "db_miss"
 	KindDBSnapshot = "db_snapshot"
+
+	KindChaosPlan      = "chaos_plan"
+	KindChaosApplied   = "chaos_applied"
+	KindChaosKill      = "chaos_kill"
+	KindSessionResumed = "session_resumed"
 )
 
 // RunStart opens one tuning run.
@@ -215,6 +220,88 @@ type DBSnapshot struct {
 
 // EventKind implements Event.
 func (DBSnapshot) EventKind() string { return KindDBSnapshot }
+
+// ChaosPlan is one planned wire-level fault in a chaos schedule. The whole
+// schedule is drawn from the chaos seed at proxy construction and emitted
+// before any traffic flows, so the chaos_plan stream of a run is a pure
+// function of (seed, config) — two same-seed runs emit byte-identical plan
+// traces. Frames are counted per link and direction; no field carries wall
+// clock (the planned delay is a drawn constant, not a timestamp).
+type ChaosPlan struct {
+	// Link is the proxy's connection ordinal the fault is scheduled on.
+	Link int `json:"link"`
+	// Dir is the frame direction: "c2s" (client to server) or "s2c".
+	Dir string `json:"dir"`
+	// Frame is the 0-based frame index within the link/direction the action
+	// fires on.
+	Frame int `json:"frame"`
+	// Action names the fault: "delay", "drop", "dup", "truncate", "reset".
+	Action string `json:"action"`
+	// DelayMS is the planned hold time in milliseconds (delay only).
+	DelayMS float64 `json:"delay_ms,omitempty"`
+	// Bytes is the forwarded prefix length before the link dies (truncate
+	// only).
+	Bytes int `json:"bytes,omitempty"`
+}
+
+// EventKind implements Event.
+func (ChaosPlan) EventKind() string { return KindChaosPlan }
+
+// ChaosApplied reports a scheduled fault the proxy actually executed. Unlike
+// the plan stream this depends on how much traffic really flowed, so it is
+// observability data, not part of the byte-identity contract.
+type ChaosApplied struct {
+	Link   int    `json:"link"`
+	Dir    string `json:"dir"`
+	Frame  int    `json:"frame"`
+	Action string `json:"action"`
+}
+
+// EventKind implements Event.
+func (ChaosApplied) EventKind() string { return KindChaosApplied }
+
+// ChaosKill is one planned (or, with Applied set, executed) mid-session
+// server kill: the backend is torn down abruptly after the proxy has
+// forwarded AfterFrames client frames in total, stays down for DownMS, and
+// is restarted from its checkpoint and measurement-database WAL.
+type ChaosKill struct {
+	// Seq is the kill ordinal within the schedule.
+	Seq int `json:"seq"`
+	// AfterFrames is the total forwarded client-frame count that triggers it.
+	AfterFrames int `json:"after_frames"`
+	// DownMS is the planned downtime before restart, in milliseconds.
+	DownMS float64 `json:"down_ms,omitempty"`
+	// Applied marks an executed kill (live stream) as opposed to a planned
+	// one (plan stream).
+	Applied bool `json:"applied,omitempty"`
+}
+
+// EventKind implements Event.
+func (ChaosKill) EventKind() string { return KindChaosKill }
+
+// SessionResumed reports a client re-attaching to a live session after a
+// connection loss (or a server restart) via the sequence-numbered resume
+// handshake.
+type SessionResumed struct {
+	// Session is the session name.
+	Session string `json:"session"`
+	// Client is the client's stable wire id.
+	Client string `json:"client"`
+	// Resumes counts this client's resume handshakes so far.
+	Resumes int `json:"resumes"`
+	// LastSeq is the highest frame sequence the server had processed for the
+	// client at resume time.
+	LastSeq uint64 `json:"last_seq"`
+	// Dropped is the number of frames the client sent that never reached
+	// dispatch (lost to resets or partitions), as observed at this resume.
+	Dropped uint64 `json:"dropped"`
+	// Duplicates is the cumulative count of duplicate or stale frames the
+	// server has discarded for this client.
+	Duplicates uint64 `json:"duplicates"`
+}
+
+// EventKind implements Event.
+func (SessionResumed) EventKind() string { return KindSessionResumed }
 
 // FormatValue renders a float for an event payload. Unlike raw JSON numbers
 // it survives NaN and ±Inf, which injected corrupt reports deliberately use.

@@ -1,9 +1,63 @@
 package harmony
 
 import (
+	"bytes"
 	"encoding/json"
+	"net"
 	"testing"
+	"time"
 )
+
+// FuzzTCPFrameDecode: arbitrary bytes on the wire — truncated frames,
+// oversized frames, garbage, binary noise — must never panic the connection
+// handler or leak its goroutine. The frame is fed through a real handleConn
+// over an in-process pipe; whatever happens, the handler must exit once the
+// connection closes (the connTracker join below hangs the test otherwise,
+// and -timeout converts that into a failure rather than a silent leak).
+func FuzzTCPFrameDecode(f *testing.F) {
+	f.Add([]byte(`{"op":"best","session":"s"}` + "\n"))
+	f.Add([]byte(`{"op":"fetch","session":"s"`)) // truncated: no brace, no newline
+	f.Add([]byte(`{"op":`))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00, 0x01})
+	f.Add([]byte(`{"op":"report","session":"s","tag":1,"value":`))
+	f.Add(bytes.Repeat([]byte("a"), 4096))
+	f.Add(append(bytes.Repeat([]byte(" "), 2048), '\n'))
+	f.Add([]byte(`{"op":"resume","session":"s","client":"c","seq":18446744073709551615}` + "\n"))
+	f.Add([]byte(`{"op":"best","session":"s","seq":1,"client":"c"}` + "\n" + `{"op":"best","session":"s","seq":1,"client":"c"}` + "\n"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		srv := NewServer(ServerOptions{})
+		defer srv.Close()
+		//paralint:allow errdiscipline fuzz setup; a failed register still exercises the decoder
+		_ = srv.Register("s", gs2Params())
+
+		client, server := net.Pipe()
+		var tracker connTracker
+		tracker.add(server)
+		tracker.wg.Add(1)
+		opts := ConnOptions{ReadTimeout: 2 * time.Second, WriteTimeout: 2 * time.Second}
+		go handleConn(server, srv, opts, &tracker)
+
+		// Write the fuzzed bytes, draining whatever the server answers so a
+		// blocked response write can never wedge the handler, then close.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			buf := make([]byte, 4096)
+			for {
+				if _, err := client.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		_ = client.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		//paralint:allow errdiscipline a write the handler already rejected is a valid fuzz outcome
+		_, _ = client.Write(raw)
+		_ = client.Close()
+		tracker.wg.Wait() // a leaked handler goroutine hangs here
+		<-done
+	})
+}
 
 // FuzzDispatch: arbitrary request JSON must never panic the server and must
 // always produce a well-formed response.

@@ -40,9 +40,21 @@ type AlgorithmFactory func(s *space.Space) (core.Algorithm, error)
 // ±Inf, or negative. Wire responses carry it as code "invalid_value".
 var ErrInvalidValue = errors.New("harmony: invalid measurement value (must be finite and non-negative)")
 
+// ErrUnknownSession marks a request naming a session the server does not
+// hold — never registered, expired, or lost to a restart whose checkpoint
+// predates the registration. Wire responses carry it as code
+// "unknown_session"; clients treat it as permanent and re-register instead
+// of redialling.
+var ErrUnknownSession = errors.New("harmony: unknown session")
+
 // maxRememberedReports bounds the per-session idempotency memory of
 // client-supplied report ids.
 const maxRememberedReports = 4096
+
+// maxTrackedClients bounds the per-session memory of client frame-sequence
+// tracking; past it the least recently attached client is forgotten (its
+// next resume starts a fresh baseline).
+const maxTrackedClients = 1024
 
 // ServerOptions configures session behaviour.
 type ServerOptions struct {
@@ -160,6 +172,18 @@ type session struct {
 	lastUsed  time.Time
 	seenRIDs  map[string]struct{} // idempotency memory for client report ids
 	ridOrder  []string
+	clients   map[string]*clientTrack // per-client wire frame-sequence tracking
+	clientLRU []string                // eviction order for the clients map
+}
+
+// clientTrack is one client's wire-level frame bookkeeping within a session:
+// the highest frame sequence dispatched, how many duplicate or stale frames
+// were discarded, and how many resume handshakes the client has performed.
+type clientTrack struct {
+	lastSeq uint64
+	dups    uint64
+	dropped uint64
+	resumes int
 }
 
 type snapResult struct {
@@ -181,6 +205,7 @@ func (srv *Server) newSession(name string, sp *space.Space, alg core.Algorithm, 
 		best:     sp.Center(),
 		lastUsed: srv.opts.Clock.Now(),
 		seenRIDs: make(map[string]struct{}),
+		clients:  make(map[string]*clientTrack),
 		restored: restored,
 		done:     make(chan struct{}),
 		finished: make(chan struct{}),
@@ -617,6 +642,125 @@ func (s *session) rememberRIDLocked(rid string) {
 	}
 }
 
+// clientLocked returns (creating on first sight, evicting the oldest entry
+// past the cap) the tracking entry for a client id; caller holds s.mu.
+func (s *session) clientLocked(id string) *clientTrack {
+	if ct, ok := s.clients[id]; ok {
+		return ct
+	}
+	ct := &clientTrack{}
+	s.clients[id] = ct
+	s.clientLRU = append(s.clientLRU, id)
+	if len(s.clientLRU) > maxTrackedClients {
+		delete(s.clients, s.clientLRU[0])
+		s.clientLRU = s.clientLRU[1:]
+	}
+	return ct
+}
+
+// trackFrame records one dispatched wire frame for (session, client): a
+// sequence above the client's high-water mark advances it, anything else is
+// counted as a duplicate/stale frame (a reconnect retry, or a chaos-duplicated
+// frame that slipped past the connection-level filter). Blank ids, zero
+// sequences, and unknown sessions are ignored — in-process callers and
+// pre-sequence clients carry neither.
+func (srv *Server) trackFrame(name, client string, seq uint64) {
+	if name == "" || client == "" || seq == 0 {
+		return
+	}
+	s, err := srv.session(name)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	ct := s.clientLocked(client)
+	if seq > ct.lastSeq {
+		ct.lastSeq = seq
+	} else {
+		ct.dups++
+	}
+	s.mu.Unlock()
+}
+
+// noteDuplicateFrame counts a wire frame the transport layer discarded as a
+// duplicate (same connection, sequence at or below the last one seen) without
+// dispatching it.
+func (srv *Server) noteDuplicateFrame(name, client string) {
+	if name == "" || client == "" {
+		return
+	}
+	s, err := srv.session(name)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.clientLocked(client).dups++
+	s.mu.Unlock()
+}
+
+// ResumeInfo is the server's answer to a resume handshake.
+type ResumeInfo struct {
+	// LastSeq is the highest frame sequence processed for the client. A
+	// client that tracks which frame carried each in-flight request can use
+	// it to tell lost requests from lost responses; report idempotency does
+	// not depend on it (rids already dedupe).
+	LastSeq uint64
+	// Dropped is the cumulative count of frames the client sent that never
+	// reached dispatch (lost to resets or partitions), summed over resumes.
+	Dropped uint64
+	// Duplicates is the cumulative duplicate/stale frame count discarded for
+	// this client.
+	Duplicates uint64
+	// Resumes counts the client's resume handshakes, this one included.
+	Resumes int
+}
+
+// Resume re-attaches a client to a live session after a connection loss: the
+// session must already exist (registered, restored from a checkpoint, or
+// still live across the reset) — resume never creates state, so it is safe
+// to retry. The server answers with the client's frame high-water mark and
+// loss/duplicate counters, and mirrors the handshake into the event stream
+// as a session_resumed event. A restarted server that lost the client's
+// tracking (it is in-memory only) restarts the baseline at sentSeq: Dropped
+// counts from the new baseline rather than inventing a loss figure.
+func (srv *Server) Resume(name, client string, sentSeq uint64) (ResumeInfo, error) {
+	if client == "" {
+		return ResumeInfo{}, errors.New("harmony: resume requires a client id")
+	}
+	s, err := srv.session(name)
+	if err != nil {
+		return ResumeInfo{}, err
+	}
+	s.mu.Lock()
+	s.lastUsed = s.opts.Clock.Now()
+	ct, known := s.clients[client]
+	if !known {
+		ct = s.clientLocked(client)
+		ct.lastSeq = sentSeq
+	}
+	ct.resumes++
+	// sentSeq is the resume frame's own sequence; the lost data frames are
+	// the gap strictly between the high-water mark and it.
+	if known && sentSeq > 0 && sentSeq-1 > ct.lastSeq {
+		ct.dropped += sentSeq - 1 - ct.lastSeq
+	}
+	if sentSeq > ct.lastSeq {
+		ct.lastSeq = sentSeq
+	}
+	info := ResumeInfo{
+		LastSeq:    ct.lastSeq,
+		Dropped:    ct.dropped,
+		Duplicates: ct.dups,
+		Resumes:    ct.resumes,
+	}
+	s.mu.Unlock()
+	s.rec.Record(event.SessionResumed{
+		Session: name, Client: client, Resumes: info.Resumes,
+		LastSeq: info.LastSeq, Dropped: info.Dropped, Duplicates: info.Duplicates,
+	})
+	return info, nil
+}
+
 // Best returns the best-known configuration and its estimate.
 func (srv *Server) Best(name string) (space.Point, float64, bool, error) {
 	s, err := srv.session(name)
@@ -875,7 +1019,7 @@ func (srv *Server) session(name string) (*session, error) {
 	defer srv.mu.Unlock()
 	s, ok := srv.sessions[name]
 	if !ok {
-		return nil, fmt.Errorf("harmony: unknown session %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownSession, name)
 	}
 	return s, nil
 }

@@ -65,7 +65,7 @@ func fromWireParams(ws []wireParam) ([]space.Parameter, error) {
 
 // request is one JSON-line client message.
 type request struct {
-	Op      string      `json:"op"` // register | fetch | report | best | stats
+	Op      string      `json:"op"` // register | fetch | report | best | stats | resume
 	Session string      `json:"session"`
 	Params  []wireParam `json:"params,omitempty"`
 	Tag     uint64      `json:"tag,omitempty"`
@@ -73,27 +73,46 @@ type request struct {
 	// RID is an optional client-unique report id; the server deduplicates
 	// reports by it so reconnect retries are idempotent.
 	RID string `json:"rid,omitempty"`
+	// Client is the sender's stable wire id, constant across reconnects.
+	Client string `json:"client,omitempty"`
+	// Seq is the client's frame sequence number: every frame put on the wire
+	// (retries included — a resend is a new frame) carries the next value.
+	// The server discards a frame whose sequence does not advance past the
+	// connection's high-water mark — that is a duplicate injected in transit,
+	// and answering it would desynchronise the response stream.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // response is one JSON-line server reply.
 type response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
-	// Code classifies structured errors ("invalid_value", ...).
+	// Code classifies structured errors ("invalid_value", "unknown_session").
 	Code      string        `json:"code,omitempty"`
 	Point     []float64     `json:"point,omitempty"`
 	Tag       uint64        `json:"tag,omitempty"`
 	Value     float64       `json:"value,omitempty"`
 	Converged bool          `json:"converged,omitempty"`
 	Stats     *SessionStats `json:"stats,omitempty"`
+	// Seq echoes the request's frame sequence so the client can discard
+	// duplicated or stale response frames after transit faults.
+	Seq uint64 `json:"seq,omitempty"`
+	// LastSeq, Dropped, Duplicates, and Resumes answer a resume handshake.
+	LastSeq    uint64 `json:"last_seq,omitempty"`
+	Dropped    uint64 `json:"dropped,omitempty"`
+	Duplicates uint64 `json:"duplicates,omitempty"`
+	Resumes    int    `json:"resumes,omitempty"`
 }
 
 // errResponse builds a failure response, attaching a machine-readable code
 // for the structured error classes.
 func errResponse(err error) response {
 	r := response{Error: err.Error()}
-	if errors.Is(err, ErrInvalidValue) {
+	switch {
+	case errors.Is(err, ErrInvalidValue):
 		r.Code = "invalid_value"
+	case errors.Is(err, ErrUnknownSession):
+		r.Code = "unknown_session"
 	}
 	return r
 }
@@ -205,6 +224,12 @@ func handleConn(conn net.Conn, srv *Server, opts ConnOptions, tracker *connTrack
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	enc := json.NewEncoder(conn)
+	// lastSeq is this connection's per-client frame high-water mark: a frame
+	// whose sequence does not advance past it was duplicated in transit (the
+	// client never sends the same sequence twice on one connection), so it is
+	// discarded without a response — answering both copies would leave a
+	// stray response desynchronising every later round trip.
+	var lastSeq map[string]uint64
 	for {
 		if opts.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(opts.ReadTimeout))
@@ -218,7 +243,18 @@ func handleConn(conn net.Conn, srv *Server, opts ConnOptions, tracker *connTrack
 			_ = enc.Encode(response{OK: false, Error: "bad request: " + err.Error()})
 			return
 		}
+		if req.Client != "" && req.Seq != 0 {
+			if last, ok := lastSeq[req.Client]; ok && req.Seq <= last {
+				srv.noteDuplicateFrame(req.Session, req.Client)
+				continue
+			}
+			if lastSeq == nil {
+				lastSeq = make(map[string]uint64)
+			}
+			lastSeq[req.Client] = req.Seq
+		}
 		resp := dispatch(srv, &req)
+		resp.Seq = req.Seq
 		if opts.WriteTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
 		}
@@ -229,6 +265,12 @@ func handleConn(conn net.Conn, srv *Server, opts ConnOptions, tracker *connTrack
 }
 
 func dispatch(srv *Server, req *request) response {
+	if req.Op != "resume" {
+		// Session-level frame accounting: duplicates that slip past the
+		// connection filter (reconnect resends land on a fresh connection)
+		// are counted here and surfaced by the resume handshake.
+		srv.trackFrame(req.Session, req.Client, req.Seq)
+	}
 	switch req.Op {
 	case "register":
 		params, err := fromWireParams(req.Params)
@@ -262,6 +304,13 @@ func dispatch(srv *Server, req *request) response {
 			return errResponse(err)
 		}
 		return response{OK: true, Stats: &st, Converged: st.Converged}
+	case "resume":
+		info, err := srv.Resume(req.Session, req.Client, req.Seq)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true, LastSeq: info.LastSeq, Dropped: info.Dropped,
+			Duplicates: info.Duplicates, Resumes: info.Resumes}
 	default:
 		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -269,13 +318,17 @@ func dispatch(srv *Server, req *request) response {
 
 // DialOptions configures connection retries and per-call deadlines.
 type DialOptions struct {
-	// Retries is the number of connection attempts per dial or reconnect;
-	// default 5.
+	// Retries is the number of connection attempts per dial or reconnect,
+	// and also the number of send attempts per round trip once a connection
+	// keeps breaking; default 5.
 	Retries int
-	// Backoff is the initial retry delay, doubled per attempt (with up to
-	// 50% random jitter to avoid thundering herds) and capped at 30x;
-	// default 100ms.
+	// Backoff is the initial retry delay, doubled per attempt with up to
+	// 50% random jitter to avoid thundering herds; default 100ms.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth of the retry delay, so a long
+	// outage costs bounded per-attempt waits instead of runaway sleeps;
+	// default 30x Backoff.
+	MaxBackoff time.Duration
 	// Timeout bounds each request/response round trip; default 30s.
 	Timeout time.Duration
 	// Seed seeds the client's backoff-jitter and report-id RNG, making
@@ -292,6 +345,12 @@ func (o *DialOptions) normalise() {
 	if o.Backoff <= 0 {
 		o.Backoff = 100 * time.Millisecond
 	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 30 * o.Backoff
+	}
+	if o.MaxBackoff < o.Backoff {
+		o.MaxBackoff = o.Backoff
+	}
 	if o.Timeout <= 0 {
 		o.Timeout = 30 * time.Second
 	}
@@ -299,20 +358,33 @@ func (o *DialOptions) normalise() {
 
 // Client is a TCP client for the harmony protocol. Safe for use by one
 // goroutine at a time per method call (calls are serialised internally).
-// On a connection-level failure (EOF, reset, expired deadline) it redials
-// with exponential backoff and retries the request; reports carry a unique
+//
+// Errors are classified before any retry: server-side application errors
+// (invalid_value, unknown_session, a space mismatch) are permanent and fail
+// fast — redialling cannot change the answer — while connection-level
+// failures (EOF, reset, expired deadline, garbage in the response stream)
+// are transient and retried on a fresh connection with capped, jittered
+// exponential backoff. Every frame carries the client id and a sequence
+// number, so the server can discard frames duplicated in transit, and after
+// a reconnect the client re-attaches to its last session with a resume
+// handshake instead of re-registering. Reports additionally carry a unique
 // id, so a retry that reaches the server twice is counted once.
 type Client struct {
 	addr string      // immutable after DialWith
 	opts DialOptions // immutable after DialWith
+	id   string      // stable wire identity; immutable after DialWith
 
-	mu     sync.Mutex
-	conn   net.Conn
-	rd     *bufio.Scanner
-	enc    *json.Encoder
-	rng    *rand.Rand
-	nonce  int64
-	nextID uint64
+	mu      sync.Mutex
+	conn    net.Conn
+	rd      *bufio.Scanner
+	enc     *json.Encoder
+	rng     *rand.Rand
+	nonce   int64
+	nextID  uint64
+	seq     uint64 // frame sequence; one per frame put on the wire
+	session string // last session used; target of the auto-resume handshake
+	resumes int    // resume handshakes completed
+	lastRes ResumeInfo
 }
 
 // Dial connects to a harmony server with default retry/backoff options.
@@ -321,7 +393,7 @@ func Dial(addr string) (*Client, error) {
 }
 
 // DialWith connects to a harmony server, retrying the initial connection
-// with exponential backoff per opts.
+// with capped exponential backoff per opts.
 func DialWith(addr string, opts DialOptions) (*Client, error) {
 	opts.normalise()
 	seed := opts.Seed
@@ -334,28 +406,32 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 		rng:  rand.New(rand.NewSource(seed)),
 	}
 	c.nonce = c.rng.Int63()
+	c.id = fmt.Sprintf("%x", uint64(c.nonce))
 	if err := c.reconnectLocked(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// reconnectLocked dials with backoff and jitter; caller holds c.mu (or is
-// the constructor).
-func (c *Client) reconnectLocked() error {
-	if c.conn != nil {
-		_ = c.conn.Close()
-		c.conn = nil
+// backoffLocked sleeps the current delay plus up to 50% jitter, then doubles
+// it up to the configured cap; caller holds c.mu.
+func (c *Client) backoffLocked(d *time.Duration) {
+	time.Sleep(*d + time.Duration(c.rng.Int63n(int64(*d)/2+1)))
+	*d *= 2
+	if *d > c.opts.MaxBackoff {
+		*d = c.opts.MaxBackoff
 	}
+}
+
+// reconnectLocked dials with capped backoff and jitter; caller holds c.mu
+// (or is the constructor).
+func (c *Client) reconnectLocked() error {
+	c.dropConnLocked()
 	backoff := c.opts.Backoff
 	var lastErr error
 	for attempt := 0; attempt < c.opts.Retries; attempt++ {
 		if attempt > 0 {
-			d := backoff + time.Duration(c.rng.Int63n(int64(backoff)/2+1))
-			time.Sleep(d)
-			if backoff < 30*c.opts.Backoff {
-				backoff *= 2
-			}
+			c.backoffLocked(&backoff)
 		}
 		conn, err := net.DialTimeout("tcp", c.addr, c.opts.Timeout)
 		if err != nil {
@@ -370,6 +446,14 @@ func (c *Client) reconnectLocked() error {
 	return fmt.Errorf("harmony: dial %s failed after %d attempts: %w", c.addr, c.opts.Retries, lastErr)
 }
 
+// dropConnLocked closes and forgets the current connection, if any.
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}
+
 // Close closes the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -382,8 +466,18 @@ func (c *Client) Close() error {
 	return err
 }
 
-// appError marks a server-side (application-level) failure, which must not
-// trigger a reconnect.
+// Resumes returns how many resume handshakes the client has completed, and
+// the server's answer to the latest one. A non-zero count means the client
+// survived at least one connection loss by re-attaching to its session.
+func (c *Client) Resumes() (int, ResumeInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumes, c.lastRes
+}
+
+// appError marks a server-side (application-level) failure: the request was
+// delivered and the server answered no. Retrying cannot change the answer,
+// so these are permanent — they must never trigger a reconnect loop.
 type appError struct{ msg, code string }
 
 func (e *appError) Error() string { return e.msg }
@@ -395,52 +489,120 @@ func IsInvalidValue(err error) bool {
 	return errors.As(err, &ae) && ae.code == "invalid_value"
 }
 
+// IsUnknownSession reports whether an error is the server's structured
+// "no such session" answer — after a server restart whose checkpoint
+// predates the registration, the cure is to re-register, not redial.
+func IsUnknownSession(err error) bool {
+	var ae *appError
+	return errors.As(err, &ae) && ae.code == "unknown_session"
+}
+
+// IsPermanent reports whether an error returned by a Client method is a
+// server-side application error: the request was delivered and rejected, so
+// retrying it verbatim is pointless. Transport failures are transient and
+// the client already retried them internally before surfacing one.
+func IsPermanent(err error) bool {
+	var ae *appError
+	return errors.As(err, &ae)
+}
+
 func (c *Client) roundTrip(req *request) (*response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	req.Client = c.id
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	backoff := c.opts.Backoff
+	attempts := c.opts.Retries
+	if attempts < 2 {
+		attempts = 2
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.backoffLocked(&backoff)
+		}
 		if c.conn == nil {
 			if err := c.reconnectLocked(); err != nil {
+				// The full dial budget is spent; the server is unreachable.
 				return nil, err
 			}
+			c.resumeLocked()
 		}
 		resp, err := c.sendLocked(req)
 		if err == nil {
 			if !resp.OK {
 				return nil, &appError{msg: resp.Error, code: resp.Code}
 			}
+			if req.Session != "" {
+				c.session = req.Session
+			}
 			return resp, nil
 		}
-		// Connection-level failure: drop the connection and retry once on a
-		// fresh one (requests are idempotent; reports carry a rid).
+		// Connection-level failure: drop the connection and retry on a fresh
+		// one (fetches are idempotent, reports carry a rid, and every resend
+		// is a new frame sequence).
 		lastErr = err
-		if c.conn != nil {
-			_ = c.conn.Close()
-			c.conn = nil
-		}
+		c.dropConnLocked()
 	}
-	return nil, lastErr
+	return nil, fmt.Errorf("harmony: %s failed after %d attempts: %w", req.Op, attempts, lastErr)
 }
 
+// resumeLocked re-attaches to the last session after a reconnect. It is
+// best-effort: a transport failure just leaves the fresh connection to the
+// caller's retry loop, and an application error (say the session died with
+// the server) is surfaced by the caller's own request instead.
+func (c *Client) resumeLocked() {
+	if c.session == "" || c.conn == nil {
+		return
+	}
+	resp, err := c.sendLocked(&request{Op: "resume", Session: c.session, Client: c.id})
+	if err != nil || !resp.OK {
+		return
+	}
+	c.resumes++
+	c.lastRes = ResumeInfo{
+		LastSeq:    resp.LastSeq,
+		Dropped:    resp.Dropped,
+		Duplicates: resp.Duplicates,
+		Resumes:    resp.Resumes,
+	}
+}
+
+// sendLocked puts one frame on the wire and reads its response, skipping
+// response frames that transit faults duplicated (their echoed sequence is
+// below the frame just sent). Caller holds c.mu; req.Seq is assigned here —
+// every send attempt is a fresh frame.
 func (c *Client) sendLocked(req *request) (*response, error) {
+	c.seq++
+	req.Seq = c.seq
 	if c.opts.Timeout > 0 {
 		_ = c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
 	}
 	if err := c.enc.Encode(req); err != nil {
 		return nil, err
 	}
-	if !c.rd.Scan() {
-		if err := c.rd.Err(); err != nil {
+	// Bounded skip of stale response frames: each is at most one duplicated
+	// response; a stream that keeps failing to produce our sequence is
+	// treated as a broken connection.
+	for reads := 0; reads < 16; reads++ {
+		if !c.rd.Scan() {
+			if err := c.rd.Err(); err != nil {
+				return nil, err
+			}
+			return nil, io.ErrUnexpectedEOF
+		}
+		var resp response
+		if err := json.Unmarshal(c.rd.Bytes(), &resp); err != nil {
 			return nil, err
 		}
-		return nil, io.ErrUnexpectedEOF
+		if resp.Seq != 0 && resp.Seq < req.Seq {
+			continue // stale or duplicated response frame
+		}
+		if resp.Seq > req.Seq {
+			return nil, fmt.Errorf("harmony: response stream desynchronised (got seq %d, want %d)", resp.Seq, req.Seq)
+		}
+		return &resp, nil
 	}
-	var resp response
-	if err := json.Unmarshal(c.rd.Bytes(), &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
+	return nil, errors.New("harmony: response stream flooded with stale frames")
 }
 
 // Register creates or joins a session.

@@ -16,8 +16,12 @@ import (
 // internal/measuredb is included for the same reason: same-seed runs must
 // produce byte-identical WAL and snapshot files, so nothing time- or
 // map-order-dependent may reach the encoder.
+// internal/chaos is included because its whole contract is that the fault
+// plan replays byte-identically from a seed: a wall-clock read in the
+// schedule path would break same-seed trace comparison.
 var simPackages = []string{
 	"paratune/internal/baseline",
+	"paratune/internal/chaos",
 	"paratune/internal/cluster",
 	"paratune/internal/core",
 	"paratune/internal/dist",

@@ -12,6 +12,7 @@ import (
 // (async evaluation plumbing). A leaked goroutine in any of them either
 // corrupts a later measurement or wedges shutdown.
 var lifecyclePackages = []string{
+	"paratune/internal/chaos",
 	"paratune/internal/cluster",
 	"paratune/internal/core",
 	"paratune/internal/harmony",

@@ -12,8 +12,11 @@ import (
 // pure function of an injected seed. The list deliberately includes
 // internal/fault (excluded from the wall-clock rule: injectors run beside
 // real servers) — its crash/straggler draws still must replay under a seed.
+// internal/chaos joins for its schedule draws: every fault decision must
+// trace back to Config.Seed or the same-seed replay guarantee is fiction.
 var seedFlowPackages = []string{
 	"paratune/internal/baseline",
+	"paratune/internal/chaos",
 	"paratune/internal/cluster",
 	"paratune/internal/dist",
 	"paratune/internal/fault",
