@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-fix lint-sarif test race bench bench-smoke trace-smoke db-smoke chaos-smoke fuzz results examples clean
+.PHONY: all build lint lint-fix lint-sarif test race bench bench-json bench-smoke trace-smoke db-smoke chaos-smoke fuzz results examples clean
+
+# Baseline number for bench-json artefacts (BENCH_$(N).json).
+N ?= 7
 
 all: build test
 
@@ -41,6 +44,13 @@ bench:
 # Compile-and-run-once pass over every benchmark (what CI runs).
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Machine-readable benchmark baseline: one pass over every benchmark with
+# alloc counters, folded into BENCH_$(N).json (sorted, diffable across PRs).
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... > bench_output.txt
+	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_$(N).json
+	rm -f bench_output.txt
 
 # End-to-end event-stream check: two same-seed runs must produce
 # byte-identical JSONL traces, and traceanalyze must parse them directly.

@@ -1,0 +1,159 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark baselines can be committed and diffed across
+// PRs (BENCH_<n>.json at the repo root) and smoke-checked in CI.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | benchjson
+//
+// The input is the standard benchmark line format:
+//
+//	BenchmarkStoreLookup-8   1000000   1234 ns/op   120 B/op   3 allocs/op
+//
+// plus the goos/goarch/cpu/pkg header lines, which are folded into the
+// output. Benchmarks are sorted by (package, name) so two runs over the
+// same code produce structurally identical documents (timings still vary).
+// Exit status is non-zero when the input contains no benchmark lines or a
+// FAIL marker, so a broken benchmark cannot silently produce an empty
+// baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the whole document: run metadata plus every benchmark.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep, failed, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: input contains a FAIL line; refusing to emit a baseline")
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+}
+
+// parse reads `go test -bench` output, returning the report and whether a
+// FAIL marker was seen.
+func parse(r io.Reader) (Report, bool, error) {
+	var rep Report
+	failed := false
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "FAIL"):
+			failed = true
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if !ok {
+				continue // a Benchmark... line without metrics (e.g. sub-bench header)
+			}
+			b.Package = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Report{}, false, err
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		a, b := rep.Benchmarks[i], rep.Benchmarks[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+	return rep, failed, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8  1000000  1234 ns/op  120 B/op  3 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	var b Benchmark
+	b.Name = fields[0]
+	b.Procs = 1 // go test omits the -N suffix when GOMAXPROCS is 1
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	b.Name = strings.TrimPrefix(b.Name, "Benchmark")
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	ok := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				b.NsPerOp = v
+				ok = true
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				b.BytesPerOp = v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				b.AllocsPerOp = v
+			}
+		}
+	}
+	return b, ok
+}

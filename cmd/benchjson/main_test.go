@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: paratune
+cpu: Some CPU @ 2.40GHz
+BenchmarkStoreLookup-8   	 1000000	      1234 ns/op	     120 B/op	       3 allocs/op
+BenchmarkStoreAppend-8   	       1	    987654 ns/op	    4096 B/op	      17 allocs/op
+BenchmarkFastPath-8      	 5000000	         0.5000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	paratune	1.234s
+`
+
+func TestParse(t *testing.T) {
+	rep, failed, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("failed=true for passing input")
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "Some CPU @ 2.40GHz" {
+		t.Fatalf("metadata = %q/%q/%q", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	// Sorted by name: FastPath, StoreAppend, StoreLookup.
+	if rep.Benchmarks[0].Name != "FastPath" || rep.Benchmarks[1].Name != "StoreAppend" || rep.Benchmarks[2].Name != "StoreLookup" {
+		t.Fatalf("sort order: %q %q %q", rep.Benchmarks[0].Name, rep.Benchmarks[1].Name, rep.Benchmarks[2].Name)
+	}
+	got := rep.Benchmarks[2]
+	if got.Package != "paratune" || got.Procs != 8 || got.Iterations != 1000000 ||
+		got.NsPerOp != 1234 || got.BytesPerOp != 120 || got.AllocsPerOp != 3 {
+		t.Fatalf("StoreLookup parsed as %+v", got)
+	}
+	if rep.Benchmarks[0].NsPerOp != 0.5 {
+		t.Fatalf("fractional ns/op parsed as %v", rep.Benchmarks[0].NsPerOp)
+	}
+}
+
+func TestParseFail(t *testing.T) {
+	_, failed, err := parse(strings.NewReader("--- FAIL: TestX\nFAIL\tparatune\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("FAIL marker not detected")
+	}
+}
+
+func TestParseSkipsMetriclessLines(t *testing.T) {
+	rep, _, err := parse(strings.NewReader("BenchmarkNoMetrics\nBenchmarkReal-4 10 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "Real" {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+}

@@ -5,8 +5,11 @@
 // mid-session server kills with checkpoint/WAL recovery — twice per seed,
 // and asserts the robustness invariants:
 //
-//   - no hangs: every run terminates within -deadline (a watchdog fails the
-//     seed otherwise);
+//   - no hangs: every run terminates within -deadline, and some event (a
+//     chaos decision, a session lifecycle step, an optimiser iteration)
+//     progresses at least every -stall; a watchdog trip dumps every
+//     goroutine stack to stderr and fails the seed, so a deadlock the
+//     static lockorder pass missed leaves a post-mortem;
 //   - every session converges, or degrades gracefully with a recorded
 //     reason (session lost to an early kill and re-registered, or the
 //     iteration cap struck first);
@@ -18,7 +21,7 @@
 // Usage:
 //
 //	chaosharness [-seeds 20] [-base-seed 1] [-clients 2] [-iters 4000]
-//	             [-deadline 60s] [-bound 0.25] [-kills 2] [-v]
+//	             [-deadline 60s] [-stall 15s] [-bound 0.25] [-kills 2] [-v]
 //
 // Exit status 0 when every seed holds every invariant, 1 otherwise.
 package main
@@ -31,7 +34,9 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"paratune/internal/chaos"
@@ -50,6 +55,7 @@ func main() {
 		clients  = flag.Int("clients", 2, "concurrent tuning clients per run")
 		iters    = flag.Int("iters", 4000, "per-client fetch cap before a run degrades as iteration_cap")
 		deadline = flag.Duration("deadline", 60*time.Second, "per-run watchdog; a run still going is a hang")
+		stall    = flag.Duration("stall", 15*time.Second, "deadlock watchdog; a run with no event progress for this long is dumped and failed")
 		bound    = flag.Float64("bound", 0.25, "relative quality bound vs the fault-free baseline best")
 		kills    = flag.Int("kills", 2, "max scheduled server kills per run (drawn 0..max)")
 		verbose  = flag.Bool("v", false, "log per-run detail")
@@ -59,7 +65,7 @@ func main() {
 	db := objective.GenerateGS2(objective.GS2Config{Seed: 11})
 
 	// Fault-free baseline: same tuning setup behind a transparent proxy.
-	base, err := runOnce(db, chaos.Config{Seed: 1}, *clients, *iters, *deadline, *verbose)
+	base, err := runOnce(db, chaos.Config{Seed: 1}, *clients, *iters, *deadline, *stall, *verbose)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaosharness: baseline:", err)
 		os.Exit(1)
@@ -74,7 +80,7 @@ func main() {
 		var runs [2]result
 		ok := true
 		for r := 0; r < 2; r++ {
-			res, err := runOnce(db, cfg, *clients, *iters, *deadline, *verbose)
+			res, err := runOnce(db, cfg, *clients, *iters, *deadline, *stall, *verbose)
 			if err != nil {
 				fmt.Printf("seed %d run %d: FAIL: %v\n", seed, r, err)
 				ok = false
@@ -125,20 +131,20 @@ func main() {
 func drawConfig(seed int64, maxKills int) chaos.Config {
 	rng := rand.New(rand.NewSource(seed))
 	return chaos.Config{
-		Seed:       seed,
-		Links:      16,
-		Frames:     64,
-		PDelay:     0.02 + 0.06*rng.Float64(),
-		PDrop:      0.01 + 0.04*rng.Float64(),
-		PDup:       0.01 + 0.05*rng.Float64(),
-		PTruncate:  0.03 * rng.Float64(),
-		PReset:     0.01 + 0.03*rng.Float64(),
-		DelayMinMS: 1,
-		DelayMaxMS: 5,
-		Kills:      rng.Intn(maxKills + 1),
+		Seed:            seed,
+		Links:           16,
+		Frames:          64,
+		PDelay:          0.02 + 0.06*rng.Float64(),
+		PDrop:           0.01 + 0.04*rng.Float64(),
+		PDup:            0.01 + 0.05*rng.Float64(),
+		PTruncate:       0.03 * rng.Float64(),
+		PReset:          0.01 + 0.03*rng.Float64(),
+		DelayMinMS:      1,
+		DelayMaxMS:      5,
+		Kills:           rng.Intn(maxKills + 1),
 		KillEveryFrames: 30,
-		DownMinMS:  5,
-		DownMaxMS:  40,
+		DownMinMS:       5,
+		DownMaxMS:       40,
 	}
 }
 
@@ -154,26 +160,100 @@ type result struct {
 	elapsed   time.Duration
 }
 
+// progress is the liveness bridge between the static concurrency pass and
+// the race-enabled soak: every event the run records — chaos decisions,
+// session lifecycle steps, fault applications — bumps the tick counter.
+// The deadlock watchdog in runOnce fails a run whose counter stops moving,
+// on the theory that a genuinely deadlocked run emits nothing at all while
+// a merely slow one keeps trickling events.
+type progress struct {
+	ticks atomic.Uint64
+	inner event.Recorder
+}
+
+func (p *progress) Record(e event.Event) {
+	p.ticks.Add(1)
+	if p.inner != nil {
+		p.inner.Record(e)
+	}
+}
+
 // runOnce executes one full tuning run behind one chaos schedule, bounded
-// by the watchdog deadline.
-func runOnce(db *objective.DB, cfg chaos.Config, clients, iters int, deadline time.Duration, verbose bool) (result, error) {
+// by the hard deadline and by the no-progress stall window. Either trip
+// dumps every goroutine stack to stderr so the hang is diagnosable.
+func runOnce(db *objective.DB, cfg chaos.Config, clients, iters int, deadline, stall time.Duration, verbose bool) (result, error) {
+	prog := &progress{}
 	done := make(chan struct{})
 	var res result
 	var runErr error
 	go func() {
 		defer close(done)
-		res, runErr = soak(db, cfg, clients, iters, verbose)
+		res, runErr = soak(db, cfg, clients, iters, verbose, prog)
 	}()
-	select {
-	case <-done:
-		return res, runErr
-	case <-time.After(deadline):
-		return result{}, fmt.Errorf("HANG: run exceeded %v watchdog", deadline)
+	if err := watch(prog, done, deadline, stall); err != nil {
+		return result{}, err
+	}
+	return res, runErr
+}
+
+// watch blocks until done closes, returning an error when either watchdog
+// trips first: the hard deadline, or the stall window elapsing with no new
+// event recorded through prog. Both trips dump all goroutine stacks.
+func watch(prog *progress, done <-chan struct{}, deadline, stall time.Duration) error {
+	poll := stall / 4
+	if poll <= 0 {
+		poll = time.Second
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	hardDeadline := time.After(deadline)
+	lastTicks := prog.ticks.Load()
+	lastMoved := time.Now()
+	for {
+		select {
+		case <-done:
+			return nil
+		case <-hardDeadline:
+			dumpStacks(fmt.Sprintf("run exceeded %v deadline", deadline))
+			return fmt.Errorf("HANG: run exceeded %v watchdog", deadline)
+		case <-ticker.C:
+			if now := prog.ticks.Load(); now != lastTicks {
+				lastTicks = now
+				lastMoved = time.Now()
+				continue
+			}
+			if stalled := time.Since(lastMoved); stalled >= stall {
+				dumpStacks(fmt.Sprintf("no event progress for %v (stall window %v, %d events total)",
+					stalled.Round(time.Millisecond), stall, lastTicks))
+				return fmt.Errorf("DEADLOCK: no event progress for %v (stall window %v)",
+					stalled.Round(time.Millisecond), stall)
+			}
+		}
 	}
 }
 
-func soak(db *objective.DB, cfg chaos.Config, nClients, iters int, verbose bool) (result, error) {
+// dumpStacks writes every goroutine's stack to stderr, growing the buffer
+// until runtime.Stack reports a complete capture.
+func dumpStacks(reason string) {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	fmt.Fprintf(os.Stderr, "chaosharness: watchdog: %s; dumping all goroutine stacks\n%s\n", reason, buf)
+}
+
+func soak(db *objective.DB, cfg chaos.Config, nClients, iters int, verbose bool, prog *progress) (result, error) {
 	start := time.Now()
+	// Wire the event sink before anything that can record: the supervisor
+	// starts the server (which records through prog) before the proxy exists.
+	var mem event.Memory
+	prog.inner = &mem
+	cfg.Recorder = prog
 	dir, err := os.MkdirTemp("", "chaosharness-*")
 	if err != nil {
 		return result{}, err
@@ -191,7 +271,7 @@ func soak(db *objective.DB, cfg chaos.Config, nClients, iters int, verbose bool)
 		if err != nil {
 			return nil, nil, err
 		}
-		srv := harmony.NewServer(harmony.ServerOptions{Estimator: est, DB: store})
+		srv := harmony.NewServer(harmony.ServerOptions{Estimator: est, DB: store, Recorder: prog})
 		if data, err := os.ReadFile(ckpt); err == nil {
 			if err := srv.RestoreAll(data); err != nil {
 				_ = store.Close()
@@ -223,8 +303,6 @@ func soak(db *objective.DB, cfg chaos.Config, nClients, iters int, verbose bool)
 	}
 	defer sup.Kill()
 
-	var mem event.Memory
-	cfg.Recorder = &mem
 	proxy, err := chaos.New(cfg, sup.Dial, sup.KillFor())
 	if err != nil {
 		return result{}, err

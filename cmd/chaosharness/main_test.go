@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"paratune/internal/event"
+)
+
+// TestProgressCountsAndForwards checks the liveness recorder both bumps its
+// tick counter and forwards every event to the wrapped sink.
+func TestProgressCountsAndForwards(t *testing.T) {
+	var mem event.Memory
+	p := &progress{inner: &mem}
+	for i := 0; i < 3; i++ {
+		p.Record(event.ChaosApplied{})
+	}
+	if got := p.ticks.Load(); got != 3 {
+		t.Fatalf("ticks = %d, want 3", got)
+	}
+	if got := mem.Count(event.KindChaosApplied); got != 3 {
+		t.Fatalf("forwarded count = %d, want 3", got)
+	}
+}
+
+// TestWatchReturnsOnDone: a run that finishes before either watchdog window
+// closes reports no error.
+func TestWatchReturnsOnDone(t *testing.T) {
+	prog := &progress{}
+	done := make(chan struct{})
+	close(done)
+	if err := watch(prog, done, time.Minute, time.Minute); err != nil {
+		t.Fatalf("watch on closed done: %v", err)
+	}
+}
+
+// TestWatchTripsOnStall: a run that records nothing trips the no-progress
+// watchdog well before the hard deadline.
+func TestWatchTripsOnStall(t *testing.T) {
+	prog := &progress{}
+	done := make(chan struct{}) // never closed: the "run" is deadlocked
+	start := time.Now()
+	err := watch(prog, done, time.Minute, 80*time.Millisecond)
+	if err == nil {
+		t.Fatal("watch returned nil for a silent run")
+	}
+	if !strings.Contains(err.Error(), "DEADLOCK") {
+		t.Fatalf("want DEADLOCK error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("stall watchdog took %v; should trip near the 80ms window", elapsed)
+	}
+}
+
+// TestWatchToleratesSlowProgress: as long as events keep arriving inside the
+// stall window the watchdog stays quiet, even when each gap is a large
+// fraction of it.
+func TestWatchToleratesSlowProgress(t *testing.T) {
+	prog := &progress{}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < 6; i++ {
+			time.Sleep(40 * time.Millisecond)
+			prog.Record(event.ChaosApplied{})
+		}
+	}()
+	if err := watch(prog, done, time.Minute, 400*time.Millisecond); err != nil {
+		t.Fatalf("watchdog tripped despite steady progress: %v", err)
+	}
+	wg.Wait()
+}

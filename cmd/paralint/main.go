@@ -10,7 +10,7 @@
 //   - floatcompare: no float ==/!= in rank-ordering and stats code
 //   - errdiscipline: no discarded errors at the harmony wire boundary
 //
-// and four follow dataflow across package boundaries through typed facts:
+// four follow dataflow across package boundaries through typed facts:
 //
 //   - seedflow: RNG seeds in simulation packages trace to injected seeds,
 //     never the wall clock, crypto/rand, or the process id
@@ -20,6 +20,19 @@
 //     wall-clock payload, and never happen under a mutex
 //   - hotpathalloc: //paralint:hotpath functions avoid fmt, float boxing,
 //     and per-iteration allocation
+//
+// and four enforce the concurrency contract (DESIGN.md "Concurrency
+// contract"):
+//
+//   - lockorder: the whole-program lock-acquisition graph is acyclic and
+//     respects ranks declared with //paralint:lockrank N on the mutex
+//   - chanflow: unbuffered sends have a provable receiver, ranged channels
+//     are closed, and no defaultless select runs under a held mutex
+//   - ctxflow: blocking channel ops in harmony/chaos/cluster carry a
+//     cancellation path (ctx.Done/done-channel/timer arm, buffered send);
+//     the missing-ctx-arm finding has a mechanical -fix
+//   - atomics: a variable accessed via sync/atomic anywhere is accessed
+//     atomically everywhere
 //
 // Usage:
 //

@@ -20,14 +20,14 @@ import (
 // faultyConfig is a representative mixed-fault schedule for tests.
 func faultyConfig(seed int64, rec event.Recorder) Config {
 	return Config{
-		Seed:      seed,
-		Links:     12,
-		Frames:    48,
-		PDelay:    0.06,
-		PDrop:     0.04,
-		PDup:      0.05,
-		PTruncate: 0.02,
-		PReset:    0.03,
+		Seed:       seed,
+		Links:      12,
+		Frames:     48,
+		PDelay:     0.06,
+		PDrop:      0.04,
+		PDup:       0.05,
+		PTruncate:  0.02,
+		PReset:     0.03,
 		DelayMinMS: 1, DelayMaxMS: 5,
 		Recorder: rec,
 	}

@@ -38,7 +38,7 @@ type Proxy struct {
 
 	wg sync.WaitGroup
 
-	mu       sync.Mutex
+	mu       sync.Mutex //paralint:lockrank 12
 	closed   bool
 	conns    map[net.Conn]struct{}
 	links    int // next link ordinal

@@ -95,7 +95,7 @@ type SupervisorConfig struct {
 type Supervisor struct {
 	cfg SupervisorConfig
 
-	mu      sync.Mutex
+	mu      sync.Mutex //paralint:lockrank 10
 	l       *MemListener
 	srv     *harmony.Server
 	cleanup func()

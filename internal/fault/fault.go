@@ -82,7 +82,7 @@ type Event struct {
 
 // Plan records the faults an Injector has issued. Safe for concurrent use.
 type Plan struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //paralint:lockrank 62
 	events []Event
 }
 
@@ -157,7 +157,7 @@ type Injector struct {
 	cfg  Config // immutable after New
 	plan Plan   // self-locking; safe to hand out by pointer
 
-	mu      sync.Mutex
+	mu      sync.Mutex //paralint:lockrank 60
 	rng     *rand.Rand
 	crashes int
 	corrupt int            // rotates through the corrupt-value menu

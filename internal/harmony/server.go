@@ -120,7 +120,7 @@ func (o *ServerOptions) normalise() {
 // Server coordinates tuning sessions.
 type Server struct {
 	opts     ServerOptions
-	mu       sync.Mutex
+	mu       sync.Mutex //paralint:lockrank 20
 	sessions map[string]*session
 }
 
@@ -151,12 +151,12 @@ type session struct {
 	opts     ServerOptions
 	db       *measuredb.Store // nil when no measurement database attached
 	rec      event.Recorder   // never nil (OrNop); safe for concurrent use
-	restored bool           // skip Init: the algorithm state came from a checkpoint
-	done     chan struct{}  // closed by Stop
-	finished chan struct{}  // closed when the run goroutine exits
+	restored bool             // skip Init: the algorithm state came from a checkpoint
+	done     chan struct{}    // closed by Stop
+	finished chan struct{}    // closed when the run goroutine exits
 	snapCh   chan chan snapResult
 
-	mu        sync.Mutex
+	mu        sync.Mutex //paralint:lockrank 30
 	batch     map[uint64]*candidate
 	order     []uint64 // batch tags in submission order
 	resultCh  chan []float64
@@ -836,7 +836,10 @@ func (srv *Server) Checkpoint(name string) ([]byte, error) {
 	req := make(chan snapResult, 1)
 	select {
 	case s.snapCh <- req:
-		res = <-req
+		// The optimiser accepted the handshake and writes exactly one reply
+		// into the buffered channel before doing anything else (see
+		// evalRemote), so this receive completes without further rendezvous.
+		res = <-req //paralint:allow ctxflow reply guaranteed: the snapCh handshake was accepted and the responder's first act is the buffered send
 	case <-s.finished:
 		// The run goroutine has exited (converged, stopped, or errored); the
 		// algorithm is quiescent and safe to snapshot directly.

@@ -149,7 +149,7 @@ func Serve(l net.Listener, srv *Server) error {
 type connTracker struct {
 	wg sync.WaitGroup
 
-	mu     sync.Mutex
+	mu     sync.Mutex //paralint:lockrank 32
 	closed bool
 	conns  map[net.Conn]struct{}
 }
@@ -374,7 +374,7 @@ type Client struct {
 	opts DialOptions // immutable after DialWith
 	id   string      // stable wire identity; immutable after DialWith
 
-	mu      sync.Mutex
+	mu      sync.Mutex //paralint:lockrank 34
 	conn    net.Conn
 	rd      *bufio.Scanner
 	enc     *json.Encoder

@@ -5,7 +5,7 @@
 // the simulator and estimators are bit-deterministic under a fixed seed, and
 // trustworthy only if the concurrent harmony server is race- and leak-free.
 //
-// Eight rules are enforced. Four are syntax-local:
+// Twelve rules are enforced. Four are syntax-local:
 //
 //   - determinism: no wall-clock time and no process-global rand inside
 //     simulation packages; no wall-clock-seeded RNG sources anywhere.
@@ -28,6 +28,22 @@
 //     carry no wall-clock-derived payload, and never happen under a mutex.
 //   - hotpathalloc: functions marked //paralint:hotpath avoid fmt, float
 //     interface boxing, and per-iteration allocations.
+//
+// Four more are the concurrency contract (DESIGN.md "Concurrency
+// contract"), the machine-checked precondition for sharding the harmony
+// session table:
+//
+//   - lockorder: the whole-program lock-acquisition graph — including
+//     acquisitions reached through calls, via LockSet facts — must be
+//     acyclic, and must respect ranks declared with //paralint:lockrank.
+//   - chanflow: a send on an unbuffered channel needs a provable receiver, a
+//     ranged channel needs a close, and a select with no default must not
+//     run under a held mutex.
+//   - ctxflow: blocking channel operations in harmony/chaos/cluster must be
+//     cancellable (ctx.Done()/done-channel/timer arm, or a provably
+//     buffered send); CtxAware facts carry the property across calls.
+//   - atomics: a variable accessed via sync/atomic anywhere must be
+//     accessed atomically everywhere.
 //
 // A finding can be suppressed with a comment on the same line or the line
 // immediately above:
@@ -201,6 +217,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		Determinism, LockDiscipline, FloatCompare, ErrDiscipline,
 		SeedFlow, GoroutineLifecycle, EventHygiene, HotPathAlloc,
+		LockOrder, ChanFlow, CtxFlow, Atomics,
 	}
 }
 
@@ -214,20 +231,44 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 }
 
 // RunWithFacts is Run against an existing fact store, so facts exported by
-// an earlier call are visible to a later one.
+// an earlier call are visible to a later one. An analyzer panic becomes a
+// Go panic naming the analyzer and package (the golden tests run known-good
+// analyzers; the repo-wide driver goes through Analyze, which returns the
+// failure as an error instead).
 func RunWithFacts(fb *FactBase, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		diags = append(diags, runPackage(fb, pkg, analyzers, false, nil)...)
+		pkgDiags, err := runPackage(fb, pkg, analyzers, false, nil)
+		if err != nil {
+			panic(err)
+		}
+		diags = append(diags, pkgDiags...)
 	}
+	diags = append(diags, finalize(fb, analyzers)...)
 	return sortDiags(diags)
+}
+
+// finalize runs the whole-program checks that need the complete fact store:
+// today that is lockorder's cycle detection over the accumulated
+// acquisition graph. It is idempotent (cycles are reported once per
+// canonical key) so incremental RunWithFacts callers may invoke it after
+// every batch.
+func finalize(fb *FactBase, analyzers []*Analyzer) []Diagnostic {
+	for _, a := range analyzers {
+		if a == LockOrder {
+			return lockOrderCycles(fb)
+		}
+	}
+	return nil
 }
 
 // runPackage applies every analyzer to one type-checked package. When
 // onlyFiles is non-nil, findings outside that filename set are discarded
 // (used to keep test-variant passes from double-reporting non-test files).
-func runPackage(fb *FactBase, pkg *Package, analyzers []*Analyzer, testVariant bool, onlyFiles map[string]bool) []Diagnostic {
-	var diags []Diagnostic
+// A panicking analyzer is caught and surfaced as an error naming the
+// analyzer and the package, so the driver can fail loudly instead of
+// silently losing the package's findings.
+func runPackage(fb *FactBase, pkg *Package, analyzers []*Analyzer, testVariant bool, onlyFiles map[string]bool) (diags []Diagnostic, err error) {
 	ctx := newPkgContext(pkg)
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -241,10 +282,12 @@ func runPackage(fb *FactBase, pkg *Package, analyzers []*Analyzer, testVariant b
 			facts:       fb,
 			out:         &diags,
 		}
-		a.Run(pass)
+		if err := runAnalyzer(pass, a); err != nil {
+			return nil, err
+		}
 	}
 	if onlyFiles == nil {
-		return diags
+		return diags, nil
 	}
 	kept := diags[:0]
 	for _, d := range diags {
@@ -252,10 +295,23 @@ func runPackage(fb *FactBase, pkg *Package, analyzers []*Analyzer, testVariant b
 			kept = append(kept, d)
 		}
 	}
-	return kept
+	return kept, nil
 }
 
-// sortDiags orders findings by position and collapses exact duplicates
+// runAnalyzer runs one analyzer over one package, converting a panic into
+// an error that names both.
+func runAnalyzer(pass *Pass, a *Analyzer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("analyzer %s panicked on package %s: %v", a.Name, pass.ctx.pkg.ImportPath, r)
+		}
+	}()
+	a.Run(pass)
+	return nil
+}
+
+// sortDiags orders findings by (file, line, rule, column) — the order the
+// -json and -sarif emitters promise — and collapses exact duplicates
 // (nested constructs can report the same defect twice).
 func sortDiags(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
@@ -266,10 +322,10 @@ func sortDiags(diags []Diagnostic) []Diagnostic {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
+		if diags[i].Rule != diags[j].Rule {
+			return diags[i].Rule < diags[j].Rule
 		}
-		return diags[i].Rule < diags[j].Rule
+		return a.Column < b.Column
 	})
 	out := diags[:0]
 	for i, d := range diags {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -468,6 +469,135 @@ func TestAllowParsing(t *testing.T) {
 		got := parseAllowRules(c.in)
 		if fmt.Sprint(got) != fmt.Sprint(c.want) {
 			t.Errorf("parseAllowRules(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLockOrder(t *testing.T) {
+	runGolden(t, LockOrder, "lockorder", "paratune/internal/harmony")
+}
+
+// TestLockOrderCrossPackageCycle seeds a two-lock inversion that spans a
+// package boundary: the dependency's Add acquires DB.Mu (exported as a
+// LockSet fact), the importer calls it under cache.mu, and the importer also
+// takes the locks in the opposite order. Only the whole-program graph —
+// edges from both packages plus the imported fact — shows the cycle.
+func TestLockOrderCrossPackageCycle(t *testing.T) {
+	dep := loadTestdata(t, "lockorder_dep", "paratune/internal/measuredb", nil)
+	use := loadTestdata(t, "lockorder_use", "paratune/internal/harmony",
+		map[string]*Package{"paratune/internal/measuredb": dep})
+	srcs := make(map[string][]byte)
+	for name, b := range dep.Src {
+		srcs[name] = b
+	}
+	for name, b := range use.Src {
+		srcs[name] = b
+	}
+	diags := Run([]*Package{dep, use}, []*Analyzer{LockOrder})
+	checkWants(t, srcs, diags)
+	if len(diags) == 0 {
+		t.Fatalf("cross-package lock cycle produced no findings; LockSet fact did not cross the package boundary")
+	}
+}
+
+func TestChanFlow(t *testing.T) {
+	runGolden(t, ChanFlow, "chanflow", "paratune/internal/harmony")
+}
+
+func TestCtxFlow(t *testing.T) {
+	runGolden(t, CtxFlow, "ctxflow", "paratune/internal/harmony")
+}
+
+// TestCtxFlowScope checks the rule is silent outside harmony/chaos/cluster,
+// no matter what the code does.
+func TestCtxFlowScope(t *testing.T) {
+	pkg := loadTestdata(t, "ctxflow", "paratune/internal/stats", nil)
+	if diags := Run([]*Package{pkg}, []*Analyzer{CtxFlow}); len(diags) != 0 {
+		t.Errorf("ctxflow fired outside its package scope: %v", diags)
+	}
+}
+
+// TestCtxFlowFactPropagation pins the cross-package direction: an
+// out-of-scope helper that parks uncancellably is reported at its call site
+// in a scoped package, via the imported CtxAware fact.
+func TestCtxFlowFactPropagation(t *testing.T) {
+	dep := loadTestdata(t, "ctxflow_dep", "paratune/internal/stats", nil)
+	use := loadTestdata(t, "ctxflow_use", "paratune/internal/harmony",
+		map[string]*Package{"paratune/internal/stats": dep})
+	srcs := make(map[string][]byte)
+	for name, b := range dep.Src {
+		srcs[name] = b
+	}
+	for name, b := range use.Src {
+		srcs[name] = b
+	}
+	diags := Run([]*Package{dep, use}, []*Analyzer{CtxFlow})
+	checkWants(t, srcs, diags)
+	if len(diags) == 0 {
+		t.Fatalf("fact propagation produced no findings; CtxAware fact did not cross the package boundary")
+	}
+}
+
+func TestAtomics(t *testing.T) {
+	runGolden(t, Atomics, "atomics", "paratune/internal/harmony")
+}
+
+// TestCtxArmFixRoundTrip applies the mechanical ctx-arm fix and re-runs the
+// analyzer on the result: the select gains a `case <-ctx.Done(): return`
+// arm, the fixed package still type-checks, and ctxflow reports nothing.
+func TestCtxArmFixRoundTrip(t *testing.T) {
+	pkg := loadTestdata(t, "ctxflow_fix", "paratune/internal/harmony", nil)
+	diags := Run([]*Package{pkg}, []*Analyzer{CtxFlow})
+	if len(diags) != 1 {
+		t.Fatalf("fixture produced %d findings, want exactly 1: %v", len(diags), diags)
+	}
+	if diags[0].Fix == nil {
+		t.Fatalf("ctxflow finding carries no suggested fix: %s", diags[0])
+	}
+	byFile, conflicts := FixPlan(diags)
+	if len(conflicts) != 0 {
+		t.Fatalf("fix plan reported conflicts: %v", conflicts)
+	}
+	dir := t.TempDir()
+	for name, edits := range byFile {
+		out, err := ApplyEdits(pkg.Src[name], edits)
+		if err != nil {
+			t.Fatalf("applying edits to %s: %v", name, err)
+		}
+		if !strings.Contains(string(out), "case <-ctx.Done():") {
+			t.Fatalf("fixed source lacks the ctx arm:\n%s", out)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(name)), out, 0o644); err != nil {
+			t.Fatalf("writing fixed source: %v", err)
+		}
+	}
+	fixed, err := LoadDirWithDeps(dir, "paratune/internal/harmony", nil)
+	if err != nil {
+		t.Fatalf("reloading fixed package: %v", err)
+	}
+	for _, terr := range fixed.TypeErrors {
+		t.Errorf("type error after fix: %v", terr)
+	}
+	if diags := Run([]*Package{fixed}, []*Analyzer{CtxFlow}); len(diags) != 0 {
+		t.Errorf("ctxflow still reports after applying its own fix: %v", diags)
+	}
+}
+
+// TestAnalyzerPanicIsSurfaced pins the driver contract: a panicking
+// analyzer fails the run with an error naming the analyzer and the package,
+// instead of silently dropping the package's findings.
+func TestAnalyzerPanicIsSurfaced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks packages")
+	}
+	boom := &Analyzer{Name: "boom", Doc: "always panics", Run: func(*Pass) { panic("kaboom") }}
+	_, _, err := Analyze(filepath.Join("..", ".."), []string{"./internal/space"}, []*Analyzer{boom})
+	if err == nil {
+		t.Fatalf("panicking analyzer produced no error")
+	}
+	for _, want := range []string{"boom", "kaboom", "paratune/internal/space"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
 		}
 	}
 }

@@ -44,9 +44,10 @@ func Analyze(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic
 			continue
 		}
 		if p.Error != nil {
-			if !p.DepOnly {
-				broken = append(broken, fmt.Sprintf("%s: %s", p.ImportPath, p.Error.Err))
-			}
+			// Dep-only packages are reported too: silently skipping a broken
+			// dependency would silently drop its facts, and every analysis
+			// depending on them would quietly pass.
+			broken = append(broken, fmt.Sprintf("%s: %s", p.ImportPath, p.Error.Err))
 			continue
 		}
 		modules[p.ImportPath] = p
@@ -140,6 +141,7 @@ func Analyze(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic
 	if len(errs) > 0 {
 		return nil, nil, errors.Join(errs...)
 	}
+	diags = append(diags, finalize(fb, analyzers)...)
 	return sortDiags(diags), typeErrs, nil
 }
 
@@ -176,8 +178,12 @@ func (u *analysisUnit) run(fset *token.FileSet, imp *moduleImporter, fb *FactBas
 		pkg.Types, pkg.Info, pkg.TypeErrors = typeCheck(fset, lp.ImportPath, files, imp)
 		imp.provide(lp.ImportPath, pkg.Types)
 		u.pure = pkg
-		u.typeErrs = pkg.TypeErrors
-		diags := runPackage(fb, pkg, analyzers, false, nil)
+		u.typeErrs = wrapTypeErrs(lp.ImportPath, pkg.TypeErrors)
+		diags, err := runPackage(fb, pkg, analyzers, false, nil)
+		if err != nil {
+			u.err = err
+			return
+		}
 		if !lp.DepOnly {
 			u.diags = diags
 		}
@@ -204,8 +210,8 @@ func (u *analysisUnit) run(fset *token.FileSet, imp *moduleImporter, fb *FactBas
 		}
 		pkg := &Package{ImportPath: lp.ImportPath, Dir: lp.Dir, Fset: fset, Files: files, Src: src}
 		pkg.Types, pkg.Info, pkg.TypeErrors = typeCheck(fset, lp.ImportPath, files, imp)
-		u.typeErrs = pkg.TypeErrors
-		u.diags = runPackage(fb, pkg, analyzers, true, only)
+		u.typeErrs = wrapTypeErrs(lp.ImportPath, pkg.TypeErrors)
+		u.diags, u.err = runPackage(fb, pkg, analyzers, true, only)
 
 	case unitXTest:
 		files, src, err := parseFiles(fset, lp.Dir, lp.XTestGoFiles)
@@ -216,9 +222,22 @@ func (u *analysisUnit) run(fset *token.FileSet, imp *moduleImporter, fb *FactBas
 		path := lp.ImportPath + "_test"
 		pkg := &Package{ImportPath: path, Dir: lp.Dir, Fset: fset, Files: files, Src: src}
 		pkg.Types, pkg.Info, pkg.TypeErrors = typeCheck(fset, path, files, imp)
-		u.typeErrs = pkg.TypeErrors
-		u.diags = runPackage(fb, pkg, analyzers, true, nil)
+		u.typeErrs = wrapTypeErrs(path, pkg.TypeErrors)
+		u.diags, u.err = runPackage(fb, pkg, analyzers, true, nil)
 	}
+}
+
+// wrapTypeErrs prefixes each type-check error with the package that failed,
+// so the driver's non-zero exit names it.
+func wrapTypeErrs(importPath string, errs []error) []error {
+	if len(errs) == 0 {
+		return nil
+	}
+	out := make([]error, len(errs))
+	for i, e := range errs {
+		out[i] = fmt.Errorf("%s: %v", importPath, e)
+	}
+	return out
 }
 
 // RelPaths rewrites diagnostic filenames relative to base when they are

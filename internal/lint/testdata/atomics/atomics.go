@@ -1,0 +1,43 @@
+// Package atomics is golden-file input for the atomics analyzer: a field
+// and a package-level variable accessed both through sync/atomic and
+// plainly, plus the typed-atomic shape that is immune by construction.
+package atomics
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	c.total++ // plain everywhere: fine
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want "plain access to hits"
+}
+
+func (c *counter) readAtomic() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+var generation uint32
+
+func advance() {
+	atomic.AddUint32(&generation, 1)
+}
+
+func current() uint32 {
+	return generation // want "plain access to generation"
+}
+
+// gauge uses a typed atomic: no plain access is expressible, so the rule
+// stays silent.
+type gauge struct {
+	level atomic.Int64
+}
+
+func (g *gauge) set(v int64) { g.level.Store(v) }
+func (g *gauge) get() int64  { return g.level.Load() }

@@ -1,0 +1,110 @@
+// Package chanflow is golden-file input for the chanflow analyzer: a send
+// with no receiver anywhere, a range over a never-closed channel, a blocking
+// select entered under a held mutex, and the negative shapes (buffered,
+// escaped, closed, aliased) that must stay silent.
+package chanflow
+
+import "sync"
+
+// droppedSend parks forever: nothing in the package receives from signal.
+func droppedSend() {
+	signal := make(chan struct{})
+	signal <- struct{}{} // want "send on unbuffered channel signal with no receive"
+}
+
+// bufferedSend is fine: the buffer absorbs the value.
+func bufferedSend() {
+	acks := make(chan int, 1)
+	acks <- 1
+}
+
+// aliasedRecv is fine: the receive happens through an alias of the channel.
+func aliasedRecv() {
+	ch := make(chan struct{})
+	alias := ch
+	go func() { <-alias }()
+	ch <- struct{}{}
+}
+
+// handoff is fine: the channel escapes into sink, so a receiver may exist
+// beyond the analysis horizon.
+func handoff(sink func(chan int)) {
+	ch := make(chan int)
+	sink(ch)
+	ch <- 1
+}
+
+// feed's queue is filled and ranged but never closed: drain cannot
+// terminate.
+type feed struct {
+	q chan int
+}
+
+func (f *feed) init() {
+	f.q = make(chan int, 4)
+}
+
+func (f *feed) pump(n int) {
+	for i := 0; i < n; i++ {
+		f.q <- i
+	}
+}
+
+func (f *feed) drain() int {
+	sum := 0
+	for v := range f.q { // want "range over channel q, which is never closed"
+		sum += v
+	}
+	return sum
+}
+
+// closedDrain is fine: the close lets the range terminate.
+func closedDrain() int {
+	ch := make(chan int, 2)
+	ch <- 1
+	ch <- 2
+	close(ch)
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+// relay demonstrates the lock rule: forward parks inside a select while
+// holding r.mu, convoying every other path through the lock.
+type relay struct {
+	mu   sync.Mutex
+	out  chan int
+	stop chan struct{}
+}
+
+func (r *relay) forward(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select { // want "blocking select while holding r.mu"
+	case r.out <- v:
+	case <-r.stop:
+	}
+}
+
+// forwardUnlocked is the same select outside the lock: fine.
+func (r *relay) forwardUnlocked(v int) {
+	select {
+	case r.out <- v:
+	case <-r.stop:
+	}
+}
+
+// forwardNonblocking is fine even under the lock: the default keeps the
+// goroutine moving.
+func (r *relay) forwardNonblocking(v int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.out <- v:
+		return true
+	default:
+		return false
+	}
+}

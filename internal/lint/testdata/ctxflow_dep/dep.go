@@ -1,0 +1,16 @@
+// Package dep stands in for an out-of-scope helper package (stats) in the
+// ctxflow fact-propagation test: Wait parks uncancellably, which is legal
+// here but exports a CtxAware fact that scoped callers inherit.
+package dep
+
+var ready = make(chan struct{})
+
+// Ready hands the channel to external arming code.
+func Ready() chan<- struct{} { return ready }
+
+// Wait parks on a package-level channel with no cancellation path. Not
+// reported here — this package is outside ctxflow's scope — but the
+// BlocksUncancellably fact follows the function into every importer.
+func Wait() {
+	<-ready
+}

@@ -1,0 +1,20 @@
+// Package fix is input for the ctx-arm suggested-fix test: run's select has
+// no cancellation arm but a context in scope, so the finding carries a
+// mechanical `case <-ctx.Done(): return` insertion. The test applies the
+// fix, re-runs the analyzer on the result, and expects silence.
+package fix
+
+import "context"
+
+type pump struct {
+	src chan int
+}
+
+func (p *pump) run(ctx context.Context, out func(int)) {
+	for {
+		select {
+		case v := <-p.src:
+			out(v)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package use is the scoped side of the ctxflow fact-propagation test: the
+// helper's uncancellable park is only visible here through the imported
+// CtxAware fact.
+package use
+
+import (
+	stats "paratune/internal/stats"
+)
+
+func awaitStats() {
+	stats.Wait() // want "call to paratune/internal/stats.Wait, which can block uncancellably"
+}

@@ -1,0 +1,65 @@
+// Package order is golden-file input for the lockorder analyzer: a seeded
+// two-lock inversion (journal vs index), a declared-rank inversion, a
+// same-class re-acquisition, and malformed/dangling rank directives.
+package order
+
+import "sync"
+
+// inbox and outbox carry declared ranks in the wrong order for drain below.
+type inbox struct {
+	mu sync.Mutex //paralint:lockrank 90
+}
+
+type outbox struct {
+	mu sync.Mutex //paralint:lockrank 80
+}
+
+func drain(in *inbox, out *outbox) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out.mu.Lock() // want "lock rank inversion: harmony.outbox.mu .rank 80. acquired while holding harmony.inbox.mu .rank 90."
+	out.mu.Unlock()
+}
+
+// journal and index are acquired in opposite orders by appendEntry and
+// rebuild: the seeded two-lock inversion the cycle detector must catch.
+type journal struct{ mu sync.Mutex }
+
+type index struct{ mu sync.Mutex }
+
+func appendEntry(j *journal, ix *index) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ix.mu.Lock()
+	ix.mu.Unlock()
+}
+
+func rebuild(j *journal, ix *index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	j.mu.Lock() // want "lock order cycle: harmony.index.mu -> harmony.journal.mu -> harmony.index.mu"
+	j.mu.Unlock()
+}
+
+// merge acquires a second instance of a class already held: between two
+// instances of one class no order is provable.
+func merge(dst, src *journal) {
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	src.mu.Lock() // want "acquires harmony.journal.mu while an instance of harmony.journal.mu is already held"
+	src.mu.Unlock()
+}
+
+//paralint:lockrank twelve // want "malformed paralint:lockrank directive"
+type badRank struct {
+	mu sync.Mutex
+}
+
+//paralint:lockrank 7 // want "directive does not annotate a sync.Mutex/RWMutex"
+var notALock int
+
+func touch(b *badRank) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	_ = notALock
+}

@@ -1,0 +1,22 @@
+// Package dep stands in for paratune/internal/measuredb in the cross-package
+// lock-order test: Add acquires DB.Mu, so analyzing this package exports a
+// LockSet fact on Add that the importing package combines with its own lock
+// into a cycle neither package exhibits alone.
+package dep
+
+import "sync"
+
+// DB is a tiny stand-in for the measurement store: an exported mutex plus a
+// method that takes it, so an importer can interleave with it both ways.
+type DB struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Add bumps the counter under Mu. Its LockSet fact carries measuredb.DB.Mu
+// to every caller.
+func (d *DB) Add() {
+	d.Mu.Lock()
+	d.n++
+	d.Mu.Unlock()
+}

@@ -1,0 +1,30 @@
+// Package use completes a lock-order cycle across a package boundary: put
+// holds the cache lock and calls into the store (the imported LockSet fact
+// records cache.mu -> DB.Mu), while evict holds the store's exported mutex
+// before taking the cache lock (DB.Mu -> cache.mu). Neither package is wrong
+// in isolation; only the whole-program graph shows the deadlock.
+package use
+
+import (
+	"sync"
+
+	measuredb "paratune/internal/measuredb"
+)
+
+type cache struct {
+	mu sync.Mutex
+	db *measuredb.DB
+}
+
+func (c *cache) put() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.db.Add() // want "lock order cycle: harmony.cache.mu -> measuredb.DB.Mu -> harmony.cache.mu"
+}
+
+func (c *cache) evict() {
+	c.db.Mu.Lock()
+	defer c.db.Mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}

@@ -59,7 +59,7 @@ type record struct {
 // shard is one lock-striped slice of the store. recs is keyed by the
 // configuration's canonical binary key (see appendKey).
 type shard struct {
-	mu   sync.Mutex
+	mu   sync.Mutex //paralint:lockrank 50
 	recs map[string]*record
 }
 
@@ -92,7 +92,7 @@ type Store struct {
 
 	shards [numShards]shard
 
-	mu       sync.Mutex
+	mu       sync.Mutex //paralint:lockrank 40
 	spaceSig string
 	wal      *os.File // nil for a memory-only store
 	walBuf   []byte   // scratch frame-encode buffer
