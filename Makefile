@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-fix lint-sarif test race bench bench-json bench-smoke trace-smoke db-smoke chaos-smoke fuzz results examples clean
+.PHONY: all build lint lint-fix lint-sarif test race bench bench-json bench-smoke trace-smoke db-smoke chaos-smoke load-smoke fuzz results examples clean
 
 # Baseline number for bench-json artefacts (BENCH_$(N).json).
-N ?= 7
+N ?= 8
 
 all: build test
 
@@ -87,12 +87,19 @@ db-smoke:
 chaos-smoke:
 	$(GO) run -race ./cmd/chaosharness -seeds 20 -kills 2
 
+# Saturation smoke: 256 synthetic sessions against an in-process server over
+# the binary wire with batched round trips, race-enabled. Exercises the
+# sharded session table and PHWIRE1 codec under real concurrency.
+load-smoke:
+	$(GO) run -race ./cmd/harmonyload -sessions 256 -duration 5s -wire binary -batch 16
+
 # Brief fuzzing passes over the parsing/projection boundaries.
 fuzz:
 	$(GO) test -fuzz FuzzProject -fuzztime 15s ./internal/space/
 	$(GO) test -fuzz FuzzParameterNeighbors -fuzztime 15s ./internal/space/
 	$(GO) test -fuzz FuzzDispatch -fuzztime 15s ./internal/harmony/
 	$(GO) test -fuzz FuzzTCPFrameDecode -fuzztime 15s ./internal/harmony/
+	$(GO) test -fuzz FuzzBinaryFrameDecode -fuzztime 15s ./internal/harmony/
 	$(GO) test -fuzz FuzzLoadDB -fuzztime 15s ./internal/objective/
 	$(GO) test -fuzz FuzzWALDecode -fuzztime 15s ./internal/measuredb/
 	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime 15s ./internal/measuredb/

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	harmonyclient [-addr localhost:7779] [-session gs2] [-rho 0.2]
-//	              [-seed 1] [-max-iters 100000]
+//	              [-seed 1] [-max-iters 100000] [-wire json|binary]
 //	              [-dial-retries 5] [-dial-backoff 100ms]
 //
 // The client survives server restarts: a broken connection is redialled with
@@ -40,6 +40,7 @@ func main() {
 		maxIters    = flag.Int("max-iters", 100000, "iteration cap")
 		dialRetries = flag.Int("dial-retries", 5, "connection attempts before giving up")
 		dialBackoff = flag.Duration("dial-backoff", 100*time.Millisecond, "initial redial backoff (doubles per attempt, with jitter)")
+		wire        = flag.String("wire", "json", "wire protocol: json or binary (PHWIRE1)")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		Retries: *dialRetries,
 		Backoff: *dialBackoff,
 		Seed:    *seed,
+		Wire:    harmony.Wire(*wire),
 	})
 	if err != nil {
 		fatal(err)

@@ -63,6 +63,7 @@ func main() {
 		dbDir       = flag.String("db", "", "persist measurements to (and warm-start from) the measurement database in this directory")
 		supervise   = flag.Bool("supervise", false, "run a supervisor that re-execs this binary as a worker and restarts it on abnormal exit")
 		maxRestarts = flag.Int("max-restarts", 10, "with -supervise: give up after this many abnormal worker exits")
+		maxPending  = flag.Int("max-pending-reports", 0, "per-session surplus-measurement queue bound before backpressure (0 = default 4096, <0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -91,6 +92,7 @@ func main() {
 		Estimator:          est,
 		MeasurementTimeout: *measureTO,
 		IdleTimeout:        *idleExpiry,
+		MaxPendingReports:  *maxPending,
 	}
 	if rec != nil {
 		opts.Recorder = rec

@@ -51,7 +51,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	data, db, chaos, err := readColumn(r, *col)
+	data, db, chaos, wires, err := readColumn(r, *col)
 	if err != nil {
 		fatal(err)
 	}
@@ -59,10 +59,11 @@ func main() {
 		fmt.Println(line)
 	}
 	hadChaos := chaos.report(os.Stdout)
+	hadWire := wires.report(os.Stdout)
 	if len(data) < 10 {
-		if hadChaos {
-			// A chaos/recovery trace need not carry step samples; the summary
-			// above is the analysis.
+		if hadChaos || hadWire {
+			// A chaos/recovery/load trace need not carry step samples; the
+			// summary above is the analysis.
 			fmt.Printf("(%d step samples — too few for variability diagnostics)\n", len(data))
 			return
 		}
@@ -199,6 +200,127 @@ func (c *chaosCounts) report(w io.Writer) bool {
 	return had
 }
 
+// wireCounts aggregates the fleet-facing server's batching and backpressure
+// events from a JSONL trace. Traces may mix JSON- and binary-origin frames
+// freely (a fleet mid-migration); the Wire tag on each event is tallied
+// rather than assumed uniform.
+type wireCounts struct {
+	fetchFrames  int
+	fetchGranted int
+	reportFrames int
+	reportItems  int
+	accepted     int
+	rejected     int
+	refused      int            // measurements shed, both single and batched
+	bpEvents     int            // single-report backpressure refusal events
+	byWire       map[string]int // codec origin → frames seen
+	sessions     map[string]*wireSession
+}
+
+// wireSession is the per-session aggregate: the deepest pending queue seen
+// and how many measurements were shed.
+type wireSession struct {
+	maxQueue int
+	refused  int
+}
+
+func (c *wireCounts) session(name string) *wireSession {
+	if c.sessions == nil {
+		c.sessions = make(map[string]*wireSession)
+	}
+	ws := c.sessions[name]
+	if ws == nil {
+		ws = &wireSession{}
+		c.sessions[name] = ws
+	}
+	return ws
+}
+
+func (c *wireCounts) noteWire(wire string) {
+	if wire == "" {
+		wire = "in-proc"
+	}
+	if c.byWire == nil {
+		c.byWire = make(map[string]int)
+	}
+	c.byWire[wire]++
+}
+
+func (c *wireCounts) observe(env *event.Envelope) bool {
+	switch env.Kind {
+	case event.KindBackpressure:
+		var bp event.Backpressure
+		if err := json.Unmarshal(env.Event, &bp); err != nil {
+			return true
+		}
+		c.bpEvents++
+		c.refused += bp.Refused
+		c.noteWire(bp.Wire)
+		ws := c.session(bp.Session)
+		ws.refused += bp.Refused
+		if bp.Queue > ws.maxQueue {
+			ws.maxQueue = bp.Queue
+		}
+	case event.KindBatchFetch:
+		var bf event.BatchFetch
+		if err := json.Unmarshal(env.Event, &bf); err != nil {
+			return true
+		}
+		c.fetchFrames++
+		c.fetchGranted += bf.Granted
+		c.noteWire(bf.Wire)
+		c.session(bf.Session)
+	case event.KindBatchReport:
+		var br event.BatchReport
+		if err := json.Unmarshal(env.Event, &br); err != nil {
+			return true
+		}
+		c.reportFrames++
+		c.reportItems += br.Items
+		c.accepted += br.Accepted
+		c.rejected += br.Rejected
+		c.refused += br.Refused
+		c.noteWire(br.Wire)
+		ws := c.session(br.Session)
+		ws.refused += br.Refused
+		if br.Queue > ws.maxQueue {
+			ws.maxQueue = br.Queue
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// report prints the batching/backpressure summary; false when the trace
+// carried none of those events (plain traces stay unchanged).
+func (c *wireCounts) report(w io.Writer) bool {
+	had := false
+	if c.fetchFrames > 0 || c.reportFrames > 0 {
+		had = true
+		fmt.Fprintf(w, "batching: %d fetchn frame(s) granting %d candidate(s), %d reportn frame(s) carrying %d measurement(s) (%d accepted, %d rejected, %d refused) [%s]\n",
+			c.fetchFrames, c.fetchGranted, c.reportFrames, c.reportItems,
+			c.accepted, c.rejected, c.refused, actionList(c.byWire))
+	}
+	if c.bpEvents > 0 {
+		had = true
+		fmt.Fprintf(w, "backpressure: %d single-report refusal event(s)\n", c.bpEvents)
+	}
+	if len(c.sessions) > 0 {
+		had = true
+		names := make([]string, 0, len(c.sessions))
+		for s := range c.sessions {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		for _, s := range names {
+			ws := c.sessions[s]
+			fmt.Fprintf(w, "queue: session %q max depth %d, %d refusal(s)\n", s, ws.maxQueue, ws.refused)
+		}
+	}
+	return had
+}
+
 // actionList renders an action→count map as "3 delay + 2 drop", in a stable
 // order; "none" for empty maps.
 func actionList(m map[string]int) string {
@@ -221,15 +343,17 @@ func actionList(m map[string]int) string {
 // skipping unparsable lines (headers). Input whose first non-empty line
 // starts with '{' is treated as a JSONL event trace instead: each line is an
 // event.Envelope, the T_k of every "step_time" event becomes a sample,
-// db_hit/db_miss events are tallied for the hit-rate summary, and chaos and
+// db_hit/db_miss events are tallied for the hit-rate summary, chaos and
 // recovery events (chaos_plan/chaos_applied/chaos_kill/session_resumed plus
-// checkpoint restores) feed the chaos summary.
-func readColumn(r io.Reader, col int) ([]float64, dbCounts, chaosCounts, error) {
+// checkpoint restores) feed the chaos summary, and batching/backpressure
+// events (batch_fetch/batch_report/backpressure) feed the wire summary.
+func readColumn(r io.Reader, col int) ([]float64, dbCounts, chaosCounts, wireCounts, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var out []float64
 	var db dbCounts
 	var chaos chaosCounts
+	var wires wireCounts
 	jsonl := false
 	first := true
 	for sc.Scan() {
@@ -247,6 +371,9 @@ func readColumn(r io.Reader, col int) ([]float64, dbCounts, chaosCounts, error) 
 				continue
 			}
 			if chaos.observe(&env) {
+				continue
+			}
+			if wires.observe(&env) {
 				continue
 			}
 			switch env.Kind {
@@ -272,7 +399,7 @@ func readColumn(r io.Reader, col int) ([]float64, dbCounts, chaosCounts, error) 
 		}
 		out = append(out, v)
 	}
-	return out, db, chaos, sc.Err()
+	return out, db, chaos, wires, sc.Err()
 }
 
 // report writes the full diagnostic battery.

@@ -10,7 +10,7 @@ import (
 
 func TestReadColumnCSV(t *testing.T) {
 	in := "step,t\n1,2.5\n2,3.5\n"
-	data, db, _, err := readColumn(strings.NewReader(in), 1)
+	data, db, _, _, err := readColumn(strings.NewReader(in), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestReadColumnJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	// -col is ignored for JSONL; only step_time events contribute samples.
-	data, _, _, err := readColumn(&buf, 99)
+	data, _, _, _, err := readColumn(&buf, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestReadColumnJSONLCountsDBTraffic(t *testing.T) {
 	if err := j.Err(); err != nil {
 		t.Fatal(err)
 	}
-	data, db, _, err := readColumn(&buf, 0)
+	data, db, _, _, err := readColumn(&buf, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestReadColumnJSONLSkipsMalformed(t *testing.T) {
 {"seq":2,"kind":"iteration","event":{"iter":1}}
 {"seq":3,"kind":"step_time","event":{"step":2,"t":2.5}}
 `
-	data, _, _, err := readColumn(strings.NewReader(in), 0)
+	data, _, _, _, err := readColumn(strings.NewReader(in), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,12 +3,27 @@ package chaos
 import (
 	"bufio"
 	"errors"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"paratune/internal/event"
 )
+
+// binPreamble mirrors the harmony binary protocol's PHWIRE1 connection
+// preamble. The proxy forwards it verbatim outside the fault schedule: the
+// preamble is connection negotiation, not a frame — the client writes it
+// atomically with connect, so faulting it would model a failure the
+// endpoints cannot experience and would shift every frame ordinal after it,
+// breaking the same-seed plan-replay contract between JSON and binary runs.
+const binPreamble = "PHWIRE1\n"
+
+// maxBinFrame mirrors the harmony codec's 1MB frame bound; a length prefix
+// above it means the stream is not actually framed binary and the link is
+// dropped rather than buffered without bound.
+const maxBinFrame = 1 << 20
 
 // Killer is the supervisor hook the proxy fires scheduled server kills
 // through. Kill must tear the backend down abruptly (no final checkpoint),
@@ -113,8 +128,11 @@ func (p *Proxy) Serve(l net.Listener) error {
 		p.conns[server] = struct{}{}
 		p.mu.Unlock()
 		p.wg.Add(2)
-		go p.forward(link, 0, client, server)
-		go p.forward(link, 1, server, client)
+		// Both forwarders of a link share one binary-protocol flag; the
+		// client→server side settles it from the connection preamble.
+		bin := new(atomic.Bool)
+		go p.forward(link, 0, client, server, bin)
+		go p.forward(link, 1, server, client, bin)
 	}
 }
 
@@ -148,20 +166,48 @@ func (p *Proxy) drop(a, b net.Conn) {
 	_ = b.Close()
 }
 
-// forward relays line-framed messages src → dst, applying the planned fault
-// for each frame ordinal. dir 0 is client→server (counted toward kill
-// triggers), 1 is server→client. The goroutine exits when either side
-// closes; both forwarders of a link share its fate because every fault that
-// severs the link closes both connections.
-func (p *Proxy) forward(link, dir int, src, dst net.Conn) {
+// forward relays whole messages src → dst — newline-framed JSON lines, or
+// length-prefixed PHWIRE1 frames once the link's preamble negotiated binary —
+// applying the planned fault for each frame ordinal. dir 0 is client→server
+// (counted toward kill triggers), 1 is server→client. The goroutine exits
+// when either side closes; both forwarders of a link share its fate because
+// every fault that severs the link closes both connections.
+func (p *Proxy) forward(link, dir int, src, dst net.Conn, bin *atomic.Bool) {
 	defer p.wg.Done()
 	defer p.drop(src, dst)
 	rd := bufio.NewReader(src)
-	for f := 0; ; f++ {
-		frame, err := rd.ReadBytes('\n')
+	if dir == 0 {
+		// Sniff the client's first byte for the binary preamble and, if
+		// present, relay it verbatim before any scheduled fault applies (see
+		// binPreamble for why it sits outside the schedule).
+		first, err := rd.Peek(1)
 		if err != nil {
-			// A partial final line is garbage mid-frame: forwarding it would
-			// invent a truncation the plan never drew, so it is discarded.
+			return
+		}
+		if first[0] == binPreamble[0] {
+			var magic [len(binPreamble)]byte
+			if _, err := io.ReadFull(rd, magic[:]); err != nil || string(magic[:]) != binPreamble {
+				return
+			}
+			if _, err := dst.Write(magic[:]); err != nil {
+				return
+			}
+			bin.Store(true)
+		}
+	} else if _, err := rd.Peek(1); err != nil {
+		// Block until the server's first byte. The server only writes after a
+		// complete request was relayed — which the dir-0 forwarder could only
+		// do after settling the preamble — so once Peek returns, the link's
+		// binary flag is final.
+		return
+	}
+	binary := bin.Load()
+	for f := 0; ; f++ {
+		frame, err := readWireFrame(rd, binary)
+		if err != nil {
+			// A partial final message is garbage mid-frame: forwarding it
+			// would invent a truncation the plan never drew, so it is
+			// discarded.
 			return
 		}
 		pl := p.sched.frame(link, dir, f)
@@ -203,6 +249,41 @@ func (p *Proxy) forward(link, dir int, src, dst net.Conn) {
 			p.countClientFrame()
 		}
 	}
+}
+
+// readWireFrame reads one whole message: a newline-terminated JSON line, or
+// a complete PHWIRE1 frame (uvarint length, 4-byte CRC, payload) returned
+// with its header bytes intact. The proxy never validates CRCs — it is a
+// transparent relay, and deliberately broken frames (Truncate faults) are
+// exactly what the endpoints must detect themselves.
+func readWireFrame(rd *bufio.Reader, binary bool) ([]byte, error) {
+	if !binary {
+		return rd.ReadBytes('\n')
+	}
+	frame := make([]byte, 0, 64)
+	var size uint64
+	for shift := uint(0); ; shift += 7 {
+		b, err := rd.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		frame = append(frame, b)
+		if shift > 63 {
+			return nil, errors.New("chaos: binary frame length overflow")
+		}
+		size |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+	}
+	if size > maxBinFrame {
+		return nil, errors.New("chaos: binary frame exceeds size limit")
+	}
+	rest := make([]byte, 4+int(size))
+	if _, err := io.ReadFull(rd, rest); err != nil {
+		return nil, err
+	}
+	return append(frame, rest...), nil
 }
 
 // applied mirrors one executed fault into the event stream.

@@ -37,6 +37,10 @@ const (
 	KindChaosApplied   = "chaos_applied"
 	KindChaosKill      = "chaos_kill"
 	KindSessionResumed = "session_resumed"
+
+	KindBackpressure = "backpressure"
+	KindBatchFetch   = "batch_fetch"
+	KindBatchReport  = "batch_report"
 )
 
 // RunStart opens one tuning run.
@@ -302,6 +306,76 @@ type SessionResumed struct {
 
 // EventKind implements Event.
 func (SessionResumed) EventKind() string { return KindSessionResumed }
+
+// Backpressure reports the server refusing surplus measurements for a
+// session: the per-session pending queue (observations buffered beyond what
+// the current candidate batch still needs) hit its bound, so the excess was
+// rejected with a retryable "backpressure" answer instead of being buffered
+// without limit. One noisy client flooding a session degrades only that
+// session — its surplus is shed, every other session's locks and memory are
+// untouched. Client-driven like SessionResumed, so timing-dependent:
+// observability data, not part of the byte-identity contract.
+type Backpressure struct {
+	// Session is the session name.
+	Session string `json:"session"`
+	// Queue is the pending-queue depth (buffered surplus observations) when
+	// the refusal happened.
+	Queue int `json:"queue"`
+	// Limit is the session's pending-queue bound.
+	Limit int `json:"limit"`
+	// Refused is how many measurements this frame had to shed.
+	Refused int `json:"refused"`
+	// Wire names the codec the refused frame arrived over ("json", "binary",
+	// or "" for in-process calls).
+	Wire string `json:"wire,omitempty"`
+}
+
+// EventKind implements Event.
+func (Backpressure) EventKind() string { return KindBackpressure }
+
+/// BatchFetch reports one batched fetchN round-trip: a client asked for up to
+// Requested candidates in a single frame and was granted Granted distinct
+// ones (round-robin over the session's outstanding candidates).
+type BatchFetch struct {
+	// Session is the session name.
+	Session string `json:"session"`
+	// Requested is the candidate count the client asked for.
+	Requested int `json:"requested"`
+	// Granted is how many distinct unmeasured candidates were handed out;
+	// 0 means the batch is fully issued and the client got the best-known
+	// configuration instead.
+	Granted int `json:"granted"`
+	// Wire names the codec the frame arrived over.
+	Wire string `json:"wire,omitempty"`
+}
+
+// EventKind implements Event.
+func (BatchFetch) EventKind() string { return KindBatchFetch }
+
+// BatchReport reports one batched reportN round-trip: Items measurements in
+// a single frame, of which Accepted were stored, Rejected were invalid or
+// named unknown/completed tags, and Refused were shed by backpressure.
+type BatchReport struct {
+	// Session is the session name.
+	Session string `json:"session"`
+	// Items is the number of measurements the frame carried.
+	Items int `json:"items"`
+	// Accepted is how many were stored (idempotent duplicates count as
+	// accepted: the client's retry succeeded even though nothing new was
+	// recorded).
+	Accepted int `json:"accepted"`
+	// Rejected is how many were invalid values or unknown/completed tags.
+	Rejected int `json:"rejected,omitempty"`
+	// Refused is how many were shed by backpressure.
+	Refused int `json:"refused,omitempty"`
+	// Queue is the session's pending-queue depth after the frame.
+	Queue int `json:"queue"`
+	// Wire names the codec the frame arrived over.
+	Wire string `json:"wire,omitempty"`
+}
+
+// EventKind implements Event.
+func (BatchReport) EventKind() string { return KindBatchReport }
 
 // FormatValue renders a float for an event payload. Unlike raw JSON numbers
 // it survives NaN and ±Inf, which injected corrupt reports deliberately use.

@@ -41,7 +41,7 @@ func TestWireRejectsInvalidValueWithCode(t *testing.T) {
 	if err := srv.Register("s", gs2Params()); err != nil {
 		t.Fatal(err)
 	}
-	resp := dispatch(srv, &request{Op: "report", Session: "s", Tag: 1, Value: -3})
+	resp := dispatch(srv, &request{Op: "report", Session: "s", Tag: 1, Value: -3}, "")
 	if resp.OK || resp.Code != "invalid_value" {
 		t.Errorf("resp = %+v, want structured invalid_value error", resp)
 	}

@@ -1,6 +1,7 @@
 package harmony
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"net"
@@ -59,6 +60,97 @@ func FuzzTCPFrameDecode(f *testing.F) {
 	})
 }
 
+// binSeed builds a valid PHWIRE1 frame for req, for fuzz corpus seeding.
+func binSeed(req *request) []byte {
+	payload, err := appendRequest(nil, req)
+	if err != nil {
+		panic(err)
+	}
+	return appendBinFrame(nil, payload)
+}
+
+// FuzzBinaryFrameDecode: arbitrary bytes after the PHWIRE1 preamble —
+// truncated frames, corrupted CRCs, non-minimal uvarints, oversized lengths,
+// garbage opcodes — must never panic the connection handler or leak its
+// goroutine, and any payload the canonical decoder accepts must re-encode to
+// the exact same bytes (decode∘encode identity).
+func FuzzBinaryFrameDecode(f *testing.F) {
+	f.Add(binSeed(&request{Op: "best", Session: "s", Client: "c", Seq: 1}))
+	f.Add(binSeed(&request{Op: "fetch", Session: "s", Client: "c", Seq: 2}))
+	f.Add(binSeed(&request{Op: "report", Session: "s", Tag: 1, Value: 2.5, RID: "r-1", Seq: 3}))
+	f.Add(binSeed(&request{Op: "fetchn", Session: "s", N: 8, Seq: 4}))
+	f.Add(binSeed(&request{Op: "reportn", Session: "s", Seq: 5,
+		Reports: []ReportItem{{Tag: 1, Value: 3.5, RID: "r-2"}, {Tag: 2, Value: 4.5}}}))
+	f.Add(binSeed(&request{Op: "register", Session: "s", Seq: 6, Params: []wireParam{
+		{Name: "x", Kind: "integer", Lower: 0, Upper: 5},
+		{Name: "m", Kind: "discrete", Values: []float64{1, 2, 4}},
+	}}))
+	f.Add(binSeed(&request{Op: "resume", Session: "s", Client: "c", Seq: ^uint64(0)}))
+	// Structural corruption: truncated frame, bad CRC, oversized length
+	// prefix, non-minimal length uvarint, bare garbage.
+	good := binSeed(&request{Op: "best", Session: "s", Client: "c", Seq: 1})
+	f.Add(good[:len(good)/2])
+	bad := append([]byte{}, good...)
+	bad[len(bad)-1] ^= 0xff
+	f.Add(bad)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{0x80, 0x00, 0, 0, 0, 0}) // non-minimal uvarint length
+	f.Add([]byte{0x00, 0, 0, 0, 0})       // empty payload: CRC ok?, zero-length
+	f.Add(bytes.Repeat([]byte{0xa5}, 512))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Canonicality: if raw parses as one whole frame whose payload decodes
+		// as a request, re-encoding that request must reproduce the payload
+		// byte for byte.
+		br := bufio.NewReader(bytes.NewReader(raw))
+		if frame, err := readBinFrame(br, maxBinFrame); err == nil {
+			var req request
+			if err := decodeRequest(frame, &req); err == nil {
+				re, err := appendRequest(nil, &req)
+				if err != nil {
+					t.Fatalf("decoded request failed to re-encode: %v", err)
+				}
+				if !bytes.Equal(re, frame) {
+					t.Fatalf("decode∘encode not identity:\n in: %x\nout: %x", frame, re)
+				}
+			}
+		}
+
+		// Transport robustness: the same bytes fed through a live handler
+		// after a real preamble must never wedge or leak the connection
+		// goroutine.
+		srv := NewServer(ServerOptions{})
+		defer srv.Close()
+		//paralint:allow errdiscipline fuzz setup; a failed register still exercises the decoder
+		_ = srv.Register("s", gs2Params())
+
+		client, server := net.Pipe()
+		var tracker connTracker
+		tracker.add(server)
+		tracker.wg.Add(1)
+		opts := ConnOptions{ReadTimeout: 2 * time.Second, WriteTimeout: 2 * time.Second}
+		go handleConn(server, srv, opts, &tracker)
+
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			buf := make([]byte, 4096)
+			for {
+				if _, err := client.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		_ = client.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		//paralint:allow errdiscipline a write the handler already rejected is a valid fuzz outcome
+		_, _ = client.Write([]byte(wireMagic))
+		//paralint:allow errdiscipline a write the handler already rejected is a valid fuzz outcome
+		_, _ = client.Write(raw)
+		_ = client.Close()
+		tracker.wg.Wait() // a leaked handler goroutine hangs here
+		<-done
+	})
+}
+
 // FuzzDispatch: arbitrary request JSON must never panic the server and must
 // always produce a well-formed response.
 func FuzzDispatch(f *testing.F) {
@@ -84,7 +176,7 @@ func FuzzDispatch(f *testing.F) {
 		}
 		srv := NewServer(ServerOptions{})
 		defer srv.Close()
-		resp := dispatch(srv, &req)
+		resp := dispatch(srv, &req, "")
 		if !resp.OK && resp.Error == "" {
 			t.Fatalf("failed response without error message for %q", raw)
 		}

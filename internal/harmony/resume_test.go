@@ -3,6 +3,7 @@ package harmony
 import (
 	"bufio"
 	"encoding/json"
+	"io"
 	"math/rand"
 	"net"
 	"strings"
@@ -10,9 +11,19 @@ import (
 	"time"
 )
 
-// dialTest connects a Client to a served Server with fast, deterministic
-// retry options and returns both plus the listener address.
+// wireCases enumerates the two wire protocols; the resume/dup-suppression
+// contract must hold identically under both.
+var wireCases = []Wire{WireJSON, WireBinary}
+
+// dialTest connects a JSON Client to a served Server with fast,
+// deterministic retry options and returns both plus the listener address.
 func dialTest(t *testing.T, srv *Server) (*Client, string) {
+	t.Helper()
+	return dialTestWire(t, srv, WireJSON)
+}
+
+// dialTestWire is dialTest with an explicit wire protocol.
+func dialTestWire(t *testing.T, srv *Server, wire Wire) (*Client, string) {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -25,6 +36,7 @@ func dialTest(t *testing.T, srv *Server) (*Client, string) {
 		Backoff: 5 * time.Millisecond,
 		Timeout: 5 * time.Second,
 		Seed:    42,
+		Wire:    wire,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -33,37 +45,111 @@ func dialTest(t *testing.T, srv *Server) (*Client, string) {
 	return c, l.Addr().String()
 }
 
-func TestResumeHandshake(t *testing.T) {
-	srv := NewServer(ServerOptions{Estimator: mustMinOfK(t, 1)})
-	defer srv.Close()
-	c, _ := dialTest(t, srv)
-	if err := c.Register("s", gs2Params()); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := c.Fetch("s"); err != nil {
-		t.Fatal(err)
-	}
+// rawWire drives a served connection with hand-built frames in either codec,
+// for tests that need wire-level control (duplicated frames, raw sequences).
+type rawWire struct {
+	t    *testing.T
+	conn net.Conn
+	wire Wire
+	sc   *bufio.Scanner
+	br   *bufio.Reader
+}
 
-	// Sever the connection behind the client's back; the next call must
-	// transparently reconnect, resume the session, and succeed.
-	c.mu.Lock()
-	_ = c.conn.Close()
-	c.mu.Unlock()
-	if _, err := c.Fetch("s"); err != nil {
-		t.Fatalf("fetch after severed connection: %v", err)
+func newRawWire(t *testing.T, addr string, wire Wire) *rawWire {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
 	}
-	n, info := c.Resumes()
-	if n != 1 {
-		t.Fatalf("resumes = %d, want 1", n)
+	t.Cleanup(func() { _ = conn.Close() })
+	rw := &rawWire{t: t, conn: conn, wire: wire}
+	if wire == WireBinary {
+		if _, err := io.WriteString(conn, wireMagic); err != nil {
+			t.Fatal(err)
+		}
+		rw.br = bufio.NewReader(conn)
+	} else {
+		rw.sc = bufio.NewScanner(conn)
 	}
-	if info.Resumes != 1 {
-		t.Errorf("server-side resume count = %d, want 1", info.Resumes)
+	return rw
+}
+
+// frame encodes one request in the connection's codec.
+func (rw *rawWire) frame(req *request) []byte {
+	rw.t.Helper()
+	if rw.wire == WireBinary {
+		payload, err := appendRequest(nil, req)
+		if err != nil {
+			rw.t.Fatal(err)
+		}
+		return appendBinFrame(nil, payload)
 	}
-	// Exactly one frame died with the connection: the retried fetch's first
-	// send attempt, which consumed a sequence number on the dead socket. The
-	// resume frame itself and every pre-cut frame must not be counted.
-	if info.Dropped != 1 {
-		t.Errorf("reconnect reported %d dropped frames, want exactly 1 (the send attempt that died with the socket)", info.Dropped)
+	b, err := json.Marshal(req)
+	if err != nil {
+		rw.t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// readResp reads one response frame; false on connection end.
+func (rw *rawWire) readResp() (response, bool) {
+	rw.t.Helper()
+	var resp response
+	if rw.wire == WireBinary {
+		payload, err := readBinFrame(rw.br, maxBinFrame)
+		if err != nil {
+			return resp, false
+		}
+		if err := decodeResponse(payload, &resp); err != nil {
+			rw.t.Fatal(err)
+		}
+		return resp, true
+	}
+	if !rw.sc.Scan() {
+		return resp, false
+	}
+	if err := json.Unmarshal(rw.sc.Bytes(), &resp); err != nil {
+		rw.t.Fatal(err)
+	}
+	return resp, true
+}
+
+func TestResumeHandshake(t *testing.T) {
+	for _, wire := range wireCases {
+		t.Run(string(wire), func(t *testing.T) {
+			srv := NewServer(ServerOptions{Estimator: mustMinOfK(t, 1)})
+			defer srv.Close()
+			c, _ := dialTestWire(t, srv, wire)
+			if err := c.Register("s", gs2Params()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Fetch("s"); err != nil {
+				t.Fatal(err)
+			}
+
+			// Sever the connection behind the client's back; the next call must
+			// transparently reconnect, resume the session, and succeed.
+			c.mu.Lock()
+			_ = c.conn.Close()
+			c.mu.Unlock()
+			if _, err := c.Fetch("s"); err != nil {
+				t.Fatalf("fetch after severed connection: %v", err)
+			}
+			n, info := c.Resumes()
+			if n != 1 {
+				t.Fatalf("resumes = %d, want 1", n)
+			}
+			if info.Resumes != 1 {
+				t.Errorf("server-side resume count = %d, want 1", info.Resumes)
+			}
+			// Exactly one frame died with the connection: the retried fetch's
+			// first send attempt, which consumed a sequence number on the dead
+			// socket. The resume frame itself and every pre-cut frame must not
+			// be counted.
+			if info.Dropped != 1 {
+				t.Errorf("reconnect reported %d dropped frames, want exactly 1 (the send attempt that died with the socket)", info.Dropped)
+			}
+		})
 	}
 }
 
@@ -116,61 +202,53 @@ func TestResumeCountsDroppedFrames(t *testing.T) {
 // discarded silently, or every later round trip on the connection would read
 // the wrong response.
 func TestDuplicateFrameSuppressed(t *testing.T) {
-	srv := NewServer(ServerOptions{})
-	defer srv.Close()
-	if err := srv.Register("s", gs2Params()); err != nil {
-		t.Fatal(err)
-	}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer l.Close()
-	serveAsync(l, srv)
+	for _, wire := range wireCases {
+		t.Run(string(wire), func(t *testing.T) {
+			srv := NewServer(ServerOptions{})
+			defer srv.Close()
+			if err := srv.Register("s", gs2Params()); err != nil {
+				t.Fatal(err)
+			}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			serveAsync(l, srv)
 
-	conn, err := net.Dial("tcp", l.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	frame, err := json.Marshal(request{Op: "best", Session: "s", Client: "dup-test", Seq: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	frame = append(frame, '\n')
-	// The duplicated frame, then a fresh one so the reader can prove exactly
-	// one response was sent for the pair of duplicates.
-	if _, err := conn.Write(append(append([]byte{}, frame...), frame...)); err != nil {
-		t.Fatal(err)
-	}
-	next, err := json.Marshal(request{Op: "best", Session: "s", Client: "dup-test", Seq: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := conn.Write(append(next, '\n')); err != nil {
-		t.Fatal(err)
-	}
+			rw := newRawWire(t, l.Addr().String(), wire)
+			frame := rw.frame(&request{Op: "best", Session: "s", Client: "dup-test", Seq: 1})
+			// The duplicated frame, then a fresh one so the reader can prove
+			// exactly one response was sent for the pair of duplicates.
+			if _, err := rw.conn.Write(append(append([]byte{}, frame...), frame...)); err != nil {
+				t.Fatal(err)
+			}
+			next := rw.frame(&request{Op: "best", Session: "s", Client: "dup-test", Seq: 2})
+			if _, err := rw.conn.Write(next); err != nil {
+				t.Fatal(err)
+			}
 
-	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	sc := bufio.NewScanner(conn)
-	var seqs []uint64
-	for len(seqs) < 2 && sc.Scan() {
-		var resp response
-		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
-			t.Fatal(err)
-		}
-		seqs = append(seqs, resp.Seq)
-	}
-	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
-		t.Fatalf("response seqs = %v, want [1 2] (duplicate must get no response)", seqs)
-	}
+			_ = rw.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			var seqs []uint64
+			for len(seqs) < 2 {
+				resp, ok := rw.readResp()
+				if !ok {
+					break
+				}
+				seqs = append(seqs, resp.Seq)
+			}
+			if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+				t.Fatalf("response seqs = %v, want [1 2] (duplicate must get no response)", seqs)
+			}
 
-	info, err := srv.Resume("s", "dup-test", 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if info.Duplicates != 1 {
-		t.Errorf("duplicates = %d, want 1", info.Duplicates)
+			info, err := srv.Resume("s", "dup-test", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Duplicates != 1 {
+				t.Errorf("duplicates = %d, want 1", info.Duplicates)
+			}
+		})
 	}
 }
 
@@ -178,35 +256,39 @@ func TestDuplicateFrameSuppressed(t *testing.T) {
 // fails fast on the very first connection — no redial loop — with an error
 // the classifier helpers recognise.
 func TestPermanentErrorNoRetry(t *testing.T) {
-	srv := NewServer(ServerOptions{})
-	defer srv.Close()
-	c, _ := dialTest(t, srv)
-	if err := c.Register("s", gs2Params()); err != nil {
-		t.Fatal(err)
-	}
-	fr, err := c.Fetch("s")
-	if err != nil {
-		t.Fatal(err)
-	}
-	start := time.Now()
-	err = c.Report("s", fr.Tag, -1)
-	if err == nil {
-		t.Fatal("negative report should fail")
-	}
-	if !IsInvalidValue(err) || !IsPermanent(err) {
-		t.Fatalf("error not classified permanent/invalid_value: %v", err)
-	}
-	// A retried permanent error would cost at least one backoff sleep; fast
-	// failure stays well under the first delay's floor.
-	if d := time.Since(start); d > 3*time.Second {
-		t.Errorf("permanent error took %v; looks like it was retried", d)
-	}
-	if err := c.Register("other", gs2Params()); err != nil {
-		t.Fatalf("client unusable after permanent error: %v", err)
-	}
-	_, err = c.Fetch("nope")
-	if !IsUnknownSession(err) {
-		t.Fatalf("unknown session not classified: %v", err)
+	for _, wire := range wireCases {
+		t.Run(string(wire), func(t *testing.T) {
+			srv := NewServer(ServerOptions{})
+			defer srv.Close()
+			c, _ := dialTestWire(t, srv, wire)
+			if err := c.Register("s", gs2Params()); err != nil {
+				t.Fatal(err)
+			}
+			fr, err := c.Fetch("s")
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			err = c.Report("s", fr.Tag, -1)
+			if err == nil {
+				t.Fatal("negative report should fail")
+			}
+			if !IsInvalidValue(err) || !IsPermanent(err) {
+				t.Fatalf("error not classified permanent/invalid_value: %v", err)
+			}
+			// A retried permanent error would cost at least one backoff sleep;
+			// fast failure stays well under the first delay's floor.
+			if d := time.Since(start); d > 3*time.Second {
+				t.Errorf("permanent error took %v; looks like it was retried", d)
+			}
+			if err := c.Register("other", gs2Params()); err != nil {
+				t.Fatalf("client unusable after permanent error: %v", err)
+			}
+			_, err = c.Fetch("nope")
+			if !IsUnknownSession(err) {
+				t.Fatalf("unknown session not classified: %v", err)
+			}
+		})
 	}
 }
 

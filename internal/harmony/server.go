@@ -94,6 +94,13 @@ type ServerOptions struct {
 	// start. The store binds to one parameter-space signature, so every
 	// session sharing the server must share the space.
 	DB *measuredb.Store
+	// MaxPendingReports bounds each session's pending measurement queue: the
+	// surplus observations buffered beyond what the current candidate batch
+	// still needs. Past the bound further surplus reports are refused with
+	// ErrBackpressure (wire code "backpressure") until the optimiser consumes
+	// the batch; measurements the batch still needs are never refused. 0
+	// picks the 4096 default; negative disables the bound.
+	MaxPendingReports int
 }
 
 func (o *ServerOptions) normalise() {
@@ -115,19 +122,42 @@ func (o *ServerOptions) normalise() {
 	if o.Clock == nil {
 		o.Clock = SystemClock()
 	}
+	if o.MaxPendingReports == 0 {
+		o.MaxPendingReports = defaultMaxPendingReports
+	}
 }
 
-// Server coordinates tuning sessions.
+// Server coordinates tuning sessions. The session table is sharded (see
+// shard.go): there is no server-global lock, so registration, lookup, and
+// dispatch for different sessions never contend.
 type Server struct {
-	opts     ServerOptions
-	mu       sync.Mutex //paralint:lockrank 20
-	sessions map[string]*session
+	opts   ServerOptions
+	rec    event.Recorder // never nil (OrNop); safe for concurrent use
+	shards []sessionShard // fixed at construction; shard() hashes into it
 }
 
 // NewServer creates an empty server.
 func NewServer(opts ServerOptions) *Server {
+	return newServerWithShards(opts, sessionShards)
+}
+
+// newServerWithShards sizes the session table explicitly. The
+// parallel-session benchmark uses width 1 to reconstruct the pre-sharding
+// single-mutex server as its baseline.
+func newServerWithShards(opts ServerOptions, n int) *Server {
 	opts.normalise()
-	return &Server{opts: opts, sessions: make(map[string]*session)}
+	if n < 1 {
+		n = 1
+	}
+	srv := &Server{
+		opts:   opts,
+		rec:    event.OrNop(opts.Recorder),
+		shards: make([]sessionShard, n),
+	}
+	for i := range srv.shards {
+		srv.shards[i].sessions = make(map[string]*session)
+	}
+	return srv
 }
 
 // candidate is one configuration awaiting measurements.
@@ -161,6 +191,8 @@ type session struct {
 	order     []uint64 // batch tags in submission order
 	resultCh  chan []float64
 	batchObs  int // measurements accepted for the current batch
+	rrNext    int // round-robin cursor for batched fetchN dispatch
+	surplus   int // surplus observations buffered for the current batch
 	nextTag   uint64
 	converged bool
 	best      space.Point
@@ -216,57 +248,45 @@ func (srv *Server) newSession(name string, sp *space.Space, alg core.Algorithm, 
 
 // Register creates (or returns) the named session over the given parameters
 // and starts its optimiser. Re-registering with the same name joins the
-// existing session; its space must match.
+// existing session; its space must match. The registered event is emitted
+// only after the shard lock is released (shardMutateErr owns that contract).
 func (srv *Server) Register(name string, params []space.Parameter) error {
 	if name == "" {
 		return errors.New("harmony: session name required")
 	}
-	s, created, err := srv.register(name, params)
-	if err != nil || !created {
-		return err
-	}
-	// Emit only after srv.mu is released: the recorder may block, and a
-	// re-entrant recorder would deadlock against the server lock.
-	s.rec.Record(event.Session{Session: name, Phase: "registered", Detail: s.alg.String()})
-	return nil
-}
-
-// register does the locked half of Register and reports whether a new
-// session was created (as opposed to joining an existing one).
-func (srv *Server) register(name string, params []space.Parameter) (*session, bool, error) {
-	srv.mu.Lock()
-	defer srv.mu.Unlock()
-	if s, ok := srv.sessions[name]; ok {
-		// Joining: verify the space matches.
-		joined, err := space.New(params...)
+	return srv.shardMutateErr(name, func(sh *sessionShard) ([]event.Event, error) {
+		if s, ok := sh.sessions[name]; ok {
+			// Joining: verify the space matches.
+			joined, err := space.New(params...)
+			if err != nil {
+				return nil, err
+			}
+			if joined.String() != s.sp.String() {
+				return nil, fmt.Errorf("harmony: session %q already registered with different parameters", name)
+			}
+			return nil, nil
+		}
+		sp, err := space.New(params...)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
-		if joined.String() != s.sp.String() {
-			return nil, false, fmt.Errorf("harmony: session %q already registered with different parameters", name)
+		if srv.opts.DB != nil {
+			if err := srv.opts.DB.BindSpace(sp.String()); err != nil {
+				return nil, err
+			}
 		}
-		return s, false, nil
-	}
-	sp, err := space.New(params...)
-	if err != nil {
-		return nil, false, err
-	}
-	if srv.opts.DB != nil {
-		if err := srv.opts.DB.BindSpace(sp.String()); err != nil {
-			return nil, false, err
+		alg, err := srv.opts.NewAlgorithm(sp)
+		if err != nil {
+			return nil, err
 		}
-	}
-	alg, err := srv.opts.NewAlgorithm(sp)
-	if err != nil {
-		return nil, false, err
-	}
-	s := srv.newSession(name, sp, alg, false)
-	srv.sessions[name] = s
-	go s.run()
-	if srv.opts.IdleTimeout > 0 {
-		go srv.expire(s)
-	}
-	return s, true, nil
+		s := srv.newSession(name, sp, alg, false)
+		sh.sessions[name] = s
+		go s.run()
+		if srv.opts.IdleTimeout > 0 {
+			go srv.expire(s)
+		}
+		return []event.Event{event.Session{Session: name, Phase: "registered", Detail: s.alg.String()}}, nil
+	})
 }
 
 // expire stops and removes s once it has been idle past IdleTimeout. The
@@ -286,12 +306,15 @@ func (srv *Server) expire(s *session) {
 			idle := clock.Now().Sub(s.lastUsed)
 			s.mu.Unlock()
 			if idle >= srv.opts.IdleTimeout {
-				srv.mu.Lock()
-				if srv.sessions[s.name] == s {
-					delete(srv.sessions, s.name)
-				}
-				srv.mu.Unlock()
-				s.rec.Record(event.Session{Session: s.name, Phase: "expired"})
+				srv.shardMutate(s.name, func(sh *sessionShard) []event.Event {
+					if sh.sessions[s.name] != s {
+						// Already expired and re-registered; the replacement
+						// owns the table slot.
+						return nil
+					}
+					delete(sh.sessions, s.name)
+					return []event.Event{event.Session{Session: s.name, Phase: "expired"}}
+				})
 				s.stop()
 				return
 			}
@@ -417,6 +440,8 @@ func (e *sessionEvaluator) evalRemote(points []space.Point) ([]float64, error) {
 	}
 	s.resultCh = ch
 	s.batchObs = 0
+	s.surplus = 0
+	s.rrNext = 0
 	// Keep the session's public best in sync with the optimiser.
 	if best, val := s.alg.Best(); best != nil {
 		s.best, s.bestVal = best, val
@@ -513,6 +538,7 @@ func (s *session) forceCompleteLocked() []float64 {
 		delete(s.batch, t)
 	}
 	s.resultCh = nil
+	s.surplus = 0
 	return vals
 }
 
@@ -578,6 +604,16 @@ func (srv *Server) ReportTagged(name string, tag uint64, value float64, rid stri
 	if err != nil {
 		return err
 	}
+	return s.reportOne(tag, value, rid)
+}
+
+// reportOne records one measurement for s. It is shared by the single-report
+// path and batched ReportN frames (which resolve the session once per frame).
+// Surplus measurements — values for a candidate that already has enough
+// observations — are buffered only up to MaxPendingReports; past the bound
+// they are refused with a *BackpressureError. Measurements the batch still
+// needs are never refused, so backpressure cannot wedge tuning.
+func (s *session) reportOne(tag uint64, value float64, rid string) error {
 	if !fault.ValidValue(value) {
 		return fmt.Errorf("%w: %g", ErrInvalidValue, value)
 	}
@@ -585,7 +621,7 @@ func (srv *Server) ReportTagged(name string, tag uint64, value float64, rid stri
 		return nil
 	}
 	s.mu.Lock()
-	s.lastUsed = srv.opts.Clock.Now()
+	s.lastUsed = s.opts.Clock.Now()
 	if rid != "" {
 		if _, dup := s.seenRIDs[rid]; dup {
 			s.mu.Unlock()
@@ -596,6 +632,16 @@ func (srv *Server) ReportTagged(name string, tag uint64, value float64, rid stri
 	if !ok {
 		s.mu.Unlock()
 		return fmt.Errorf("harmony: unknown or completed tag %d", tag)
+	}
+	if len(c.obs) >= c.need {
+		if limit := s.opts.MaxPendingReports; limit > 0 && s.surplus >= limit {
+			q := s.surplus
+			s.mu.Unlock()
+			// The rid is deliberately not remembered: a later retry, once the
+			// queue has drained, must be processable.
+			return &BackpressureError{Queue: q, Limit: limit}
+		}
+		s.surplus++
 	}
 	if rid != "" {
 		s.rememberRIDLocked(rid)
@@ -626,6 +672,7 @@ func (srv *Server) ReportTagged(name string, tag uint64, value float64, rid stri
 	}
 	ch := s.resultCh
 	s.resultCh = nil
+	s.surplus = 0
 	s.mu.Unlock()
 	s.db.Observe(pt, value)
 	ch <- vals
@@ -794,13 +841,7 @@ func (srv *Server) Stop(name string) error {
 
 // Close stops every session.
 func (srv *Server) Close() {
-	srv.mu.Lock()
-	names := make([]string, 0, len(srv.sessions))
-	for n := range srv.sessions {
-		names = append(names, n)
-	}
-	srv.mu.Unlock()
-	for _, n := range names {
+	for _, n := range srv.Sessions() {
 		_ = srv.Stop(n)
 	}
 }
@@ -922,31 +963,29 @@ func (srv *Server) RestoreSession(data []byte) error {
 	if err := snapper.Restore(cp.Alg); err != nil {
 		return err
 	}
-	srv.mu.Lock()
-	if _, exists := srv.sessions[cp.Name]; exists {
-		srv.mu.Unlock()
-		return fmt.Errorf("harmony: session %q already exists", cp.Name)
-	}
-	s := srv.newSession(cp.Name, sp, alg, true)
-	s.nextTag = cp.NextTag
-	if s.nextTag == 0 {
-		s.nextTag = 1
-	}
-	s.worstObs, s.haveWorst = cp.WorstObs, cp.HaveWorst
-	if len(cp.Best) > 0 {
-		s.best, s.bestVal = space.Point(cp.Best).Clone(), cp.BestVal
-	}
-	if best, val := alg.Best(); best != nil {
-		s.best, s.bestVal = best, val
-	}
-	srv.sessions[cp.Name] = s
-	srv.mu.Unlock()
-	s.rec.Record(event.Session{Session: cp.Name, Phase: "restored", Detail: alg.String()})
-	go s.run()
-	if srv.opts.IdleTimeout > 0 {
-		go srv.expire(s)
-	}
-	return nil
+	return srv.shardMutateErr(cp.Name, func(sh *sessionShard) ([]event.Event, error) {
+		if _, exists := sh.sessions[cp.Name]; exists {
+			return nil, fmt.Errorf("harmony: session %q already exists", cp.Name)
+		}
+		s := srv.newSession(cp.Name, sp, alg, true)
+		s.nextTag = cp.NextTag
+		if s.nextTag == 0 {
+			s.nextTag = 1
+		}
+		s.worstObs, s.haveWorst = cp.WorstObs, cp.HaveWorst
+		if len(cp.Best) > 0 {
+			s.best, s.bestVal = space.Point(cp.Best).Clone(), cp.BestVal
+		}
+		if best, val := alg.Best(); best != nil {
+			s.best, s.bestVal = best, val
+		}
+		sh.sessions[cp.Name] = s
+		go s.run()
+		if srv.opts.IdleTimeout > 0 {
+			go srv.expire(s)
+		}
+		return []event.Event{event.Session{Session: cp.Name, Phase: "restored", Detail: alg.String()}}, nil
+	})
 }
 
 // RestoreAll recreates every session in a CheckpointAll blob.
@@ -1004,25 +1043,4 @@ func (srv *Server) Stats(name string) (SessionStats, error) {
 		Pending:   pending,
 		NextTag:   s.nextTag,
 	}, nil
-}
-
-// Sessions lists registered session names.
-func (srv *Server) Sessions() []string {
-	srv.mu.Lock()
-	defer srv.mu.Unlock()
-	names := make([]string, 0, len(srv.sessions))
-	for n := range srv.sessions {
-		names = append(names, n)
-	}
-	return names
-}
-
-func (srv *Server) session(name string) (*session, error) {
-	srv.mu.Lock()
-	defer srv.mu.Unlock()
-	s, ok := srv.sessions[name]
-	if !ok {
-		return nil, fmt.Errorf("%w %q", ErrUnknownSession, name)
-	}
-	return s, nil
 }

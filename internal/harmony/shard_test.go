@@ -1,0 +1,310 @@
+package harmony
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+)
+
+// waitBatch polls until the named session's optimiser has proposed a batch of
+// at least n candidates (batch proposal happens on the session's run
+// goroutine, asynchronously to Register) and returns the pending count.
+func waitBatch(t *testing.T, srv *Server, name string, n int) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := srv.Stats(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Pending >= n {
+			return st.Pending
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("session %q never proposed a batch of %d candidates", name, n)
+	return 0
+}
+
+// TestSessionsSortedAcrossShards registers enough sessions to populate many
+// shards and pins the Sessions contract: sorted names, every one resolvable,
+// and removal visible immediately.
+func TestSessionsSortedAcrossShards(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	defer srv.Close()
+	var want []string
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("fleet-%02d", i)
+		if err := srv.Register(name, gs2Params()); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, name)
+	}
+	got := srv.Sessions()
+	if !sort.StringsAreSorted(got) {
+		t.Error("Sessions() not sorted")
+	}
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("Sessions() = %d names, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sessions()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, name := range want {
+		if _, err := srv.Stats(name); err != nil {
+			t.Fatalf("session %q unreachable: %v", name, err)
+		}
+	}
+	// Re-registration joins when the space matches and is refused when it
+	// differs, regardless of which shard owns the name.
+	if err := srv.Register("fleet-12", gs2Params()); err != nil {
+		t.Errorf("same-space join refused: %v", err)
+	}
+	if err := srv.Register("fleet-12", gs2Params()[:1]); err == nil {
+		t.Error("different-space re-registration accepted")
+	}
+}
+
+// TestFetchNDisjointWork pins the round-robin contract: one batched fetch
+// hands out distinct candidates, and consecutive fetches continue around the
+// ring instead of re-issuing the same least-measured candidate.
+func TestFetchNDisjointWork(t *testing.T) {
+	srv := NewServer(ServerOptions{Estimator: mustMinOfK(t, 1)})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	pending := waitBatch(t, srv, "s", 2)
+
+	batch, err := srv.FetchN("s", pending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != pending {
+		t.Fatalf("FetchN granted %d candidates, want %d", len(batch), pending)
+	}
+	seen := map[uint64]bool{}
+	for _, fr := range batch {
+		if fr.Tag == 0 {
+			t.Fatal("FetchN returned tag 0 while candidates were outstanding")
+		}
+		if seen[fr.Tag] {
+			t.Fatalf("FetchN issued tag %d twice in one batch", fr.Tag)
+		}
+		seen[fr.Tag] = true
+	}
+
+	// The cursor advances: two single fetches issue different candidates.
+	a, err := srv.FetchN("s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := srv.FetchN("s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Tag == b[0].Tag {
+		t.Errorf("consecutive FetchN(1) both issued tag %d; round-robin cursor stuck", a[0].Tag)
+	}
+
+	// Once every candidate is measured the batch completes and FetchN falls
+	// back to the single best-known point with tag 0.
+	for tag := range seen {
+		if err := srv.Report("s", tag, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fin, err := srv.FetchN("s", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fin) != 1 || fin[0].Tag != 0 {
+		// A fresh batch may already be out after completion; tag-0 fallback
+		// only applies when nothing is outstanding, so accept either a new
+		// batch or the fallback — but never an empty result.
+		if len(fin) == 0 {
+			t.Error("FetchN returned no work at all")
+		}
+	}
+}
+
+// TestReportNClassification pins per-item classification: one bad measurement
+// must not void the rest of the frame.
+func TestReportNClassification(t *testing.T) {
+	srv := NewServer(ServerOptions{Estimator: mustMinOfK(t, 1)})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, srv, "s", 2)
+	batch, err := srv.FetchN("s", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) < 2 || batch[0].Tag == 0 {
+		t.Fatalf("need 2 tagged candidates, got %+v", batch)
+	}
+	res, err := srv.ReportN("s", []ReportItem{
+		{Tag: batch[0].Tag, Value: 1.5, RID: "r-1"},
+		{Tag: batch[0].Tag, Value: 1.5, RID: "r-1"}, // idempotent retry: accepted
+		{Tag: batch[1].Tag, Value: -4},              // invalid value: rejected
+		{Tag: 999999, Value: 2.0},                   // unknown tag: rejected
+		{Tag: batch[1].Tag, Value: 2.5, RID: "r-2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 3 || res.Rejected != 2 || res.Refused != 0 {
+		t.Errorf("classification = %+v, want 3 accepted / 2 rejected / 0 refused", res)
+	}
+	if _, err := srv.ReportN("ghost", nil); !IsUnknownSession(err) && !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("unknown session error not classified: %v", err)
+	}
+}
+
+// TestBackpressureRefusal pins the shedding contract: surplus observations
+// beyond MaxPendingReports are refused with a structured, retryable error,
+// while measurements the batch still needs are never refused.
+func TestBackpressureRefusal(t *testing.T) {
+	srv := NewServer(ServerOptions{Estimator: mustMinOfK(t, 1), MaxPendingReports: 2})
+	defer srv.Close()
+	if err := srv.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, srv, "s", 2)
+	batch, err := srv.FetchN("s", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) < 2 || batch[0].Tag == 0 {
+		t.Fatalf("need 2 tagged candidates, got %+v", batch)
+	}
+	tag := batch[0].Tag
+
+	// need=1: the first report fills the candidate; the next two are surplus
+	// and fit the queue bound of 2; the fourth must be refused.
+	for i := 0; i < 3; i++ {
+		if err := srv.ReportTagged("s", tag, 1.0, fmt.Sprintf("r-%d", i)); err != nil {
+			t.Fatalf("report %d refused early: %v", i, err)
+		}
+	}
+	err = srv.ReportTagged("s", tag, 1.0, "r-over")
+	if err == nil {
+		t.Fatal("surplus report beyond the bound was accepted")
+	}
+	if !errors.Is(err, ErrBackpressure) || !IsBackpressure(err) {
+		t.Fatalf("refusal not classified as backpressure: %v", err)
+	}
+	var bp *BackpressureError
+	if !errors.As(err, &bp) {
+		t.Fatalf("refusal is not a *BackpressureError: %v", err)
+	}
+	if bp.Queue != 2 || bp.Limit != 2 {
+		t.Errorf("refusal carried queue=%d limit=%d, want 2/2", bp.Queue, bp.Limit)
+	}
+
+	// A needed measurement (unmeasured candidate) is never refused.
+	if err := srv.ReportTagged("s", batch[1].Tag, 2.0, "r-needed"); err != nil {
+		t.Fatalf("needed measurement refused under backpressure: %v", err)
+	}
+
+	// The refused rid was deliberately not remembered: after the batch
+	// completes and the queue resets, a retry of the same rid must succeed
+	// on the next batch (or be cleanly rejected as unknown tag) — never
+	// surface as a duplicate suppression.
+	res, err := srv.ReportN("s", []ReportItem{{Tag: tag, Value: 1.0, RID: "r-over"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refused+res.Accepted+res.Rejected != 1 {
+		t.Errorf("retry after refusal not classified: %+v", res)
+	}
+
+	// ReportN classifies refusals rather than failing the frame.
+	srv2 := NewServer(ServerOptions{Estimator: mustMinOfK(t, 1), MaxPendingReports: 1})
+	defer srv2.Close()
+	if err := srv2.Register("s", gs2Params()); err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, srv2, "s", 1)
+	b2, err := srv2.FetchN("s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]ReportItem, 4)
+	for i := range items {
+		items[i] = ReportItem{Tag: b2[0].Tag, Value: 1.0, RID: fmt.Sprintf("q-%d", i)}
+	}
+	res2, err := srv2.ReportN("s", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Accepted != 2 || res2.Refused != 2 {
+		t.Errorf("bounded ReportN = %+v, want 2 accepted / 2 refused", res2)
+	}
+	if res2.Queue != 1 {
+		t.Errorf("queue depth after frame = %d, want 1", res2.Queue)
+	}
+}
+
+// TestClientBatchRoundTrips drives FetchN/ReportN through a real client under
+// both wire protocols, including a wire-level backpressure refusal, which
+// must classify as permanent (back off, don't redial).
+func TestClientBatchRoundTrips(t *testing.T) {
+	for _, wire := range wireCases {
+		t.Run(string(wire), func(t *testing.T) {
+			srv := NewServer(ServerOptions{Estimator: mustMinOfK(t, 1), MaxPendingReports: 1})
+			defer srv.Close()
+			c, _ := dialTestWire(t, srv, wire)
+			if err := c.Register("s", gs2Params()); err != nil {
+				t.Fatal(err)
+			}
+			waitBatch(t, srv, "s", 2)
+			batch, err := c.FetchN("s", 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch) < 2 || batch[0].Tag == 0 || batch[0].Tag == batch[1].Tag {
+				t.Fatalf("client FetchN = %+v, want 2 distinct tagged candidates", batch)
+			}
+			if len(batch[0].Point) == 0 {
+				t.Fatal("client FetchN candidate has no point")
+			}
+			res, err := c.ReportN("s", []ReportItem{
+				{Tag: batch[0].Tag, Value: 1.5},
+				{Tag: batch[1].Tag, Value: -1}, // invalid: rejected, frame survives
+				{Tag: batch[0].Tag, Value: 1.5},
+				{Tag: batch[0].Tag, Value: 1.5},
+				{Tag: batch[0].Tag, Value: 1.5},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Accepted != 2 || res.Rejected != 1 || res.Refused != 2 {
+				t.Errorf("wire ReportN = %+v, want 2 accepted / 1 rejected / 2 refused", res)
+			}
+
+			// A single report shed by backpressure surfaces as a structured,
+			// permanent error on the client.
+			err = c.Report("s", batch[0].Tag, 1.5)
+			if err == nil {
+				t.Fatal("over-quota single report accepted")
+			}
+			if !IsBackpressure(err) || !IsPermanent(err) {
+				t.Fatalf("wire backpressure not classified: %v", err)
+			}
+			n, _ := c.Resumes()
+			if n != 0 {
+				t.Errorf("backpressure triggered %d reconnects; it must not redial", n)
+			}
+			if _, err := c.FetchN("nope", 3); !IsUnknownSession(err) {
+				t.Fatalf("unknown session via FetchN not classified: %v", err)
+			}
+		})
+	}
+}

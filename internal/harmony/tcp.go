@@ -1,10 +1,8 @@
 package harmony
 
 import (
-	"bufio"
 	crand "crypto/rand"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"paratune/internal/event"
 	"paratune/internal/space"
 )
 
@@ -63,9 +62,9 @@ func fromWireParams(ws []wireParam) ([]space.Parameter, error) {
 	return out, nil
 }
 
-// request is one JSON-line client message.
+// request is one client message (a JSON line, or a PHWIRE1 frame payload).
 type request struct {
-	Op      string      `json:"op"` // register | fetch | report | best | stats | resume
+	Op      string      `json:"op"` // register | fetch | report | best | stats | resume | fetchn | reportn
 	Session string      `json:"session"`
 	Params  []wireParam `json:"params,omitempty"`
 	Tag     uint64      `json:"tag,omitempty"`
@@ -81,6 +80,17 @@ type request struct {
 	// connection's high-water mark — that is a duplicate injected in transit,
 	// and answering it would desynchronise the response stream.
 	Seq uint64 `json:"seq,omitempty"`
+	// N is the batch size for fetchn.
+	N int `json:"n,omitempty"`
+	// Reports carries the measurements of a reportn frame.
+	Reports []ReportItem `json:"reports,omitempty"`
+}
+
+// wireFetch is one unit of work inside a batched fetchn response.
+type wireFetch struct {
+	Point     []float64 `json:"point,omitempty"`
+	Tag       uint64    `json:"tag,omitempty"`
+	Converged bool      `json:"converged,omitempty"`
 }
 
 // response is one JSON-line server reply.
@@ -102,6 +112,15 @@ type response struct {
 	Dropped    uint64 `json:"dropped,omitempty"`
 	Duplicates uint64 `json:"duplicates,omitempty"`
 	Resumes    int    `json:"resumes,omitempty"`
+	// Batch answers a fetchn request.
+	Batch []wireFetch `json:"batch,omitempty"`
+	// Accepted, Refused, and Rejected classify a reportn frame's items;
+	// Queue is the session's pending-queue depth (also set on a single
+	// report's backpressure refusal, so clients can size their backoff).
+	Accepted int `json:"accepted,omitempty"`
+	Refused  int `json:"refused,omitempty"`
+	Rejected int `json:"rejected,omitempty"`
+	Queue    int `json:"queue,omitempty"`
 }
 
 // errResponse builds a failure response, attaching a machine-readable code
@@ -110,9 +129,15 @@ func errResponse(err error) response {
 	r := response{Error: err.Error()}
 	switch {
 	case errors.Is(err, ErrInvalidValue):
-		r.Code = "invalid_value"
+		r.Code = codeInvalidValue
 	case errors.Is(err, ErrUnknownSession):
-		r.Code = "unknown_session"
+		r.Code = codeUnknownSession
+	case errors.Is(err, ErrBackpressure):
+		r.Code = codeBackpressure
+		var bp *BackpressureError
+		if errors.As(err, &bp) {
+			r.Queue = bp.Queue
+		}
 	}
 	return r
 }
@@ -221,9 +246,16 @@ func handleConn(conn net.Conn, srv *Server, opts ConnOptions, tracker *connTrack
 	defer tracker.wg.Done()
 	defer tracker.remove(conn)
 	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	enc := json.NewEncoder(conn)
+	if opts.ReadTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(opts.ReadTimeout))
+	}
+	// Negotiate the codec from the connection's first bytes; everything after
+	// the sniff — deadlines, dup suppression, dispatch — is codec-agnostic,
+	// which is how the resume contract stays identical across wire formats.
+	codec, wire, err := sniffServerCodec(conn)
+	if err != nil {
+		return
+	}
 	// lastSeq is this connection's per-client frame high-water mark: a frame
 	// whose sequence does not advance past it was duplicated in transit (the
 	// client never sends the same sequence twice on one connection), so it is
@@ -234,13 +266,16 @@ func handleConn(conn net.Conn, srv *Server, opts ConnOptions, tracker *connTrack
 		if opts.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(opts.ReadTimeout))
 		}
-		if !sc.Scan() {
-			return
-		}
 		var req request
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			//paralint:allow errdiscipline best-effort error reply; the connection closes either way
-			_ = enc.Encode(response{OK: false, Error: "bad request: " + err.Error()})
+		if err := codec.readRequest(&req); err != nil {
+			var bad *badRequestError
+			if errors.As(err, &bad) {
+				if opts.WriteTimeout > 0 {
+					_ = conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+				}
+				//paralint:allow errdiscipline best-effort error reply; the connection closes either way
+				_ = codec.writeResponse(&response{OK: false, Error: "bad request: " + bad.Unwrap().Error()})
+			}
 			return
 		}
 		if req.Client != "" && req.Seq != 0 {
@@ -253,18 +288,21 @@ func handleConn(conn net.Conn, srv *Server, opts ConnOptions, tracker *connTrack
 			}
 			lastSeq[req.Client] = req.Seq
 		}
-		resp := dispatch(srv, &req)
+		resp := dispatch(srv, &req, wire)
 		resp.Seq = req.Seq
 		if opts.WriteTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
 		}
-		if err := enc.Encode(resp); err != nil {
+		if err := codec.writeResponse(&resp); err != nil {
 			return
 		}
 	}
 }
 
-func dispatch(srv *Server, req *request) response {
+// dispatch routes one decoded request; wire names the codec it arrived over
+// ("json" or "binary", "" for direct in-process use) and tags the batching
+// and backpressure observability events.
+func dispatch(srv *Server, req *request, wire string) response {
 	if req.Op != "resume" {
 		// Session-level frame accounting: duplicates that slip past the
 		// connection filter (reconnect resends land on a fresh connection)
@@ -289,9 +327,43 @@ func dispatch(srv *Server, req *request) response {
 		return response{OK: true, Point: fr.Point, Tag: fr.Tag, Converged: fr.Converged}
 	case "report":
 		if err := srv.ReportTagged(req.Session, req.Tag, req.Value, req.RID); err != nil {
+			var bp *BackpressureError
+			if errors.As(err, &bp) {
+				srv.rec.Record(event.Backpressure{
+					Session: req.Session, Queue: bp.Queue, Limit: bp.Limit,
+					Refused: 1, Wire: wire,
+				})
+			}
 			return errResponse(err)
 		}
 		return response{OK: true}
+	case "fetchn":
+		frs, err := srv.FetchN(req.Session, req.N)
+		if err != nil {
+			return errResponse(err)
+		}
+		batch := make([]wireFetch, len(frs))
+		granted := 0
+		for i, fr := range frs {
+			batch[i] = wireFetch{Point: fr.Point, Tag: fr.Tag, Converged: fr.Converged}
+			if fr.Tag != 0 {
+				granted++
+			}
+		}
+		srv.rec.Record(event.BatchFetch{Session: req.Session, Requested: req.N, Granted: granted, Wire: wire})
+		return response{OK: true, Batch: batch}
+	case "reportn":
+		res, err := srv.ReportN(req.Session, req.Reports)
+		if err != nil {
+			return errResponse(err)
+		}
+		srv.rec.Record(event.BatchReport{
+			Session: req.Session, Items: len(req.Reports),
+			Accepted: res.Accepted, Rejected: res.Rejected, Refused: res.Refused,
+			Queue: res.Queue, Wire: wire,
+		})
+		return response{OK: true, Accepted: res.Accepted, Refused: res.Refused,
+			Rejected: res.Rejected, Queue: res.Queue}
 	case "best":
 		p, v, conv, err := srv.Best(req.Session)
 		if err != nil {
@@ -336,9 +408,20 @@ type DialOptions struct {
 	// seed from crypto/rand so independently started clients de-correlate
 	// their jitter. Tests and experiments set it explicitly.
 	Seed int64
+	// Wire selects the wire protocol: WireJSON (the default) or WireBinary.
+	// Both speak the same frame semantics (Seq, dup suppression, rids), so
+	// resume and idempotent retry behave identically either way.
+	Wire Wire
+	// DialFunc overrides how the client reaches the server — e.g. a chaos
+	// MemListener's Dial, or a net.Pipe in benchmarks. nil dials addr over
+	// TCP. Retries and backoff apply to it exactly as to TCP dialing.
+	DialFunc func() (net.Conn, error)
 }
 
 func (o *DialOptions) normalise() {
+	if o.Wire == "" {
+		o.Wire = WireJSON
+	}
 	if o.Retries <= 0 {
 		o.Retries = 5
 	}
@@ -376,8 +459,7 @@ type Client struct {
 
 	mu      sync.Mutex //paralint:lockrank 34
 	conn    net.Conn
-	rd      *bufio.Scanner
-	enc     *json.Encoder
+	codec   clientCodec
 	rng     *rand.Rand
 	nonce   int64
 	nextID  uint64
@@ -396,6 +478,9 @@ func Dial(addr string) (*Client, error) {
 // with capped exponential backoff per opts.
 func DialWith(addr string, opts DialOptions) (*Client, error) {
 	opts.normalise()
+	if opts.Wire != WireJSON && opts.Wire != WireBinary {
+		return nil, fmt.Errorf("harmony: unknown wire protocol %q", opts.Wire)
+	}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = cryptoSeed()
@@ -433,17 +518,37 @@ func (c *Client) reconnectLocked() error {
 		if attempt > 0 {
 			c.backoffLocked(&backoff)
 		}
-		conn, err := net.DialTimeout("tcp", c.addr, c.opts.Timeout)
+		conn, err := c.dialOnceLocked()
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		sc := bufio.NewScanner(conn)
-		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-		c.conn, c.rd, c.enc = conn, sc, json.NewEncoder(conn)
+		if c.opts.Wire == WireBinary {
+			// Announce the binary protocol before the first frame; the server
+			// sniffs this preamble to pick the codec.
+			if c.opts.Timeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(c.opts.Timeout))
+			}
+			if _, err := io.WriteString(conn, wireMagic); err != nil {
+				_ = conn.Close()
+				lastErr = err
+				continue
+			}
+			c.conn, c.codec = conn, newBinClientCodec(conn)
+			return nil
+		}
+		c.conn, c.codec = conn, newJSONClientCodec(conn)
 		return nil
 	}
 	return fmt.Errorf("harmony: dial %s failed after %d attempts: %w", c.addr, c.opts.Retries, lastErr)
+}
+
+// dialOnceLocked makes one connection attempt via DialFunc or TCP.
+func (c *Client) dialOnceLocked() (net.Conn, error) {
+	if c.opts.DialFunc != nil {
+		return c.opts.DialFunc()
+	}
+	return net.DialTimeout("tcp", c.addr, c.opts.Timeout)
 }
 
 // dropConnLocked closes and forgets the current connection, if any.
@@ -486,7 +591,7 @@ func (e *appError) Error() string { return e.msg }
 // server's structured rejection of a non-finite/negative measurement.
 func IsInvalidValue(err error) bool {
 	var ae *appError
-	return errors.As(err, &ae) && ae.code == "invalid_value"
+	return errors.As(err, &ae) && ae.code == codeInvalidValue
 }
 
 // IsUnknownSession reports whether an error is the server's structured
@@ -494,7 +599,7 @@ func IsInvalidValue(err error) bool {
 // predates the registration, the cure is to re-register, not redial.
 func IsUnknownSession(err error) bool {
 	var ae *appError
-	return errors.As(err, &ae) && ae.code == "unknown_session"
+	return errors.As(err, &ae) && ae.code == codeUnknownSession
 }
 
 // IsPermanent reports whether an error returned by a Client method is a
@@ -577,21 +682,15 @@ func (c *Client) sendLocked(req *request) (*response, error) {
 	if c.opts.Timeout > 0 {
 		_ = c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
 	}
-	if err := c.enc.Encode(req); err != nil {
+	if err := c.codec.send(req); err != nil {
 		return nil, err
 	}
 	// Bounded skip of stale response frames: each is at most one duplicated
 	// response; a stream that keeps failing to produce our sequence is
 	// treated as a broken connection.
 	for reads := 0; reads < 16; reads++ {
-		if !c.rd.Scan() {
-			if err := c.rd.Err(); err != nil {
-				return nil, err
-			}
-			return nil, io.ErrUnexpectedEOF
-		}
 		var resp response
-		if err := json.Unmarshal(c.rd.Bytes(), &resp); err != nil {
+		if err := c.codec.recv(&resp); err != nil {
 			return nil, err
 		}
 		if resp.Seq != 0 && resp.Seq < req.Seq {
@@ -629,6 +728,46 @@ func (c *Client) Report(session string, tag uint64, value float64) error {
 	c.mu.Unlock()
 	_, err := c.roundTrip(&request{Op: "report", Session: session, Tag: tag, Value: value, RID: rid})
 	return err
+}
+
+// FetchN obtains up to n units of work in one round trip. When no candidate
+// work is outstanding the single returned entry is the best-known
+// configuration with Tag 0, exactly like Fetch.
+func (c *Client) FetchN(session string, n int) ([]FetchResult, error) {
+	resp, err := c.roundTrip(&request{Op: "fetchn", Session: session, N: n})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FetchResult, len(resp.Batch))
+	for i, b := range resp.Batch {
+		out[i] = FetchResult{Point: space.Point(b.Point), Tag: b.Tag, Converged: b.Converged}
+	}
+	return out, nil
+}
+
+// ReportN sends a batch of measurements in one round trip. Items without a
+// RID are stamped with a client-unique one, so a reconnect retry of the whole
+// frame cannot double-count any measurement. The result classifies every
+// item; a Refused count above zero is the server's backpressure signal.
+func (c *Client) ReportN(session string, items []ReportItem) (BatchReportResult, error) {
+	c.mu.Lock()
+	for i := range items {
+		if items[i].RID == "" {
+			c.nextID++
+			items[i].RID = fmt.Sprintf("%x-%d", c.nonce, c.nextID)
+		}
+	}
+	c.mu.Unlock()
+	resp, err := c.roundTrip(&request{Op: "reportn", Session: session, Reports: items})
+	if err != nil {
+		return BatchReportResult{}, err
+	}
+	return BatchReportResult{
+		Accepted: resp.Accepted,
+		Rejected: resp.Rejected,
+		Refused:  resp.Refused,
+		Queue:    resp.Queue,
+	}, nil
 }
 
 // Stats fetches a monitoring snapshot of the session.

@@ -1,0 +1,717 @@
+package harmony
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math"
+	"net"
+)
+
+// The PHWIRE1 binary protocol.
+//
+// A binary client opens the conversation with the 8-byte magic preamble
+// "PHWIRE1\n"; the server sniffs the first byte of every new connection ('{'
+// means a JSON-lines client, which keeps working byte-for-byte) and locks the
+// connection to the negotiated codec. After the preamble both directions
+// exchange frames:
+//
+//	frame   = uvarint(len(payload)) | crc32(payload) 4 bytes big-endian | payload
+//	payload = every request/response field in fixed order (see appendRequest /
+//	          appendResponse) — uvarints are canonical (minimal), strings are
+//	          uvarint-length-prefixed bytes, floats are IEEE-754 bits
+//	          big-endian, bools are a single 0/1 byte
+//
+// The codec is canonical: decoding a frame and re-encoding the result yields
+// the same bytes (FuzzBinaryFrameDecode pins this), which is what lets the
+// resume/dup-suppression machinery treat binary frames exactly like JSON
+// lines. Frame semantics — per-frame Seq, per-connection dup suppression,
+// rid-idempotent reports — are shared with the JSON codec; only the encoding
+// differs.
+
+// wireMagic is the binary client's connection preamble. The first byte can
+// never open a JSON-lines request (those start with '{'), which is the whole
+// negotiation.
+const wireMagic = "PHWIRE1\n"
+
+// maxBinFrame bounds a binary frame payload, mirroring the JSON scanner's
+// 1MB line cap.
+const maxBinFrame = 1 << 20
+
+// Wire selects a client wire protocol.
+type Wire string
+
+const (
+	// WireJSON is the newline-delimited JSON protocol; the default.
+	WireJSON Wire = "json"
+	// WireBinary is the length-prefixed PHWIRE1 binary protocol.
+	WireBinary Wire = "binary"
+)
+
+// Structured error codes carried in response.Code.
+const (
+	codeInvalidValue   = "invalid_value"
+	codeUnknownSession = "unknown_session"
+	codeBackpressure   = "backpressure"
+)
+
+// Request opcodes. The order is frozen: it is the wire format.
+const (
+	opRegister byte = iota + 1
+	opFetch
+	opReport
+	opBest
+	opStats
+	opResume
+	opFetchN
+	opReportN
+)
+
+// Static errors for the hot encode/decode paths (fmt is banned there).
+var (
+	errBinMalformed = errors.New("harmony: malformed binary frame")
+	errBinTooLarge  = errors.New("harmony: binary frame exceeds size limit")
+	errBinCRC       = errors.New("harmony: binary frame CRC mismatch")
+	errUnknownOp    = errors.New("harmony: unknown op for binary encoding")
+	errUnknownKind  = errors.New("harmony: unknown parameter kind for binary encoding")
+)
+
+// opCode maps an op name to its wire opcode.
+func opCode(op string) (byte, bool) {
+	switch op {
+	case "register":
+		return opRegister, true
+	case "fetch":
+		return opFetch, true
+	case "report":
+		return opReport, true
+	case "best":
+		return opBest, true
+	case "stats":
+		return opStats, true
+	case "resume":
+		return opResume, true
+	case "fetchn":
+		return opFetchN, true
+	case "reportn":
+		return opReportN, true
+	}
+	return 0, false
+}
+
+// opName maps a wire opcode back to its op name.
+func opName(code byte) (string, bool) {
+	switch code {
+	case opRegister:
+		return "register", true
+	case opFetch:
+		return "fetch", true
+	case opReport:
+		return "report", true
+	case opBest:
+		return "best", true
+	case opStats:
+		return "stats", true
+	case opResume:
+		return "resume", true
+	case opFetchN:
+		return "fetchn", true
+	case opReportN:
+		return "reportn", true
+	}
+	return "", false
+}
+
+// kindCode maps a wireParam kind string to its wire byte.
+func kindCode(kind string) (byte, bool) {
+	switch kind {
+	case "continuous":
+		return 0, true
+	case "integer":
+		return 1, true
+	case "discrete":
+		return 2, true
+	}
+	return 0, false
+}
+
+// kindName maps a wire kind byte back to the string form.
+func kindName(code byte) (string, bool) {
+	switch code {
+	case 0:
+		return "continuous", true
+	case 1:
+		return "integer", true
+	case 2:
+		return "discrete", true
+	}
+	return "", false
+}
+
+// --- append-style encoders (zero allocations into a caller-owned buffer) ---
+
+// appendUvarint appends v in canonical (minimal) uvarint form.
+//
+//paralint:hotpath
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// appendWireString appends a uvarint-length-prefixed string.
+//
+//paralint:hotpath
+func appendWireString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendF64 appends the IEEE-754 bits big-endian.
+//
+//paralint:hotpath
+func appendF64(dst []byte, f float64) []byte {
+	v := math.Float64bits(f)
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// appendFloats appends a uvarint count followed by the values.
+//
+//paralint:hotpath
+func appendFloats(dst []byte, fs []float64) []byte {
+	dst = appendUvarint(dst, uint64(len(fs)))
+	for _, f := range fs {
+		dst = appendF64(dst, f)
+	}
+	return dst
+}
+
+// appendBool appends a single 0/1 byte.
+//
+//paralint:hotpath
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// appendBinFrame wraps payload in the PHWIRE1 frame envelope.
+//
+//paralint:hotpath
+func appendBinFrame(dst, payload []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(payload)))
+	crc := crc32.ChecksumIEEE(payload)
+	dst = append(dst, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+	return append(dst, payload...)
+}
+
+// appendRequest encodes req as a PHWIRE1 request payload. Every field is
+// written in fixed order regardless of op, so the encoding is canonical.
+//
+//paralint:hotpath
+func appendRequest(dst []byte, req *request) ([]byte, error) {
+	op, ok := opCode(req.Op)
+	if !ok {
+		return nil, errUnknownOp
+	}
+	dst = append(dst, op)
+	dst = appendUvarint(dst, req.Seq)
+	dst = appendWireString(dst, req.Client)
+	dst = appendWireString(dst, req.Session)
+	dst = appendUvarint(dst, req.Tag)
+	dst = appendF64(dst, req.Value)
+	dst = appendWireString(dst, req.RID)
+	dst = appendUvarint(dst, uint64(req.N))
+	dst = appendUvarint(dst, uint64(len(req.Params)))
+	for i := range req.Params {
+		p := &req.Params[i]
+		kind, ok := kindCode(p.Kind)
+		if !ok {
+			return nil, errUnknownKind
+		}
+		dst = appendWireString(dst, p.Name)
+		dst = append(dst, kind)
+		dst = appendF64(dst, p.Lower)
+		dst = appendF64(dst, p.Upper)
+		dst = appendFloats(dst, p.Values)
+	}
+	dst = appendUvarint(dst, uint64(len(req.Reports)))
+	for i := range req.Reports {
+		it := &req.Reports[i]
+		dst = appendUvarint(dst, it.Tag)
+		dst = appendF64(dst, it.Value)
+		dst = appendWireString(dst, it.RID)
+	}
+	return dst, nil
+}
+
+// Response flag bits.
+const (
+	respFlagOK        = 1 << 0
+	respFlagConverged = 1 << 1
+	respFlagStats     = 1 << 2
+	respFlagMask      = respFlagOK | respFlagConverged | respFlagStats
+)
+
+// appendResponse encodes resp as a PHWIRE1 response payload.
+//
+//paralint:hotpath
+func appendResponse(dst []byte, resp *response) []byte {
+	var flags byte
+	if resp.OK {
+		flags |= respFlagOK
+	}
+	if resp.Converged {
+		flags |= respFlagConverged
+	}
+	if resp.Stats != nil {
+		flags |= respFlagStats
+	}
+	dst = append(dst, flags)
+	dst = appendUvarint(dst, resp.Seq)
+	dst = appendWireString(dst, resp.Code)
+	dst = appendWireString(dst, resp.Error)
+	dst = appendFloats(dst, resp.Point)
+	dst = appendUvarint(dst, resp.Tag)
+	dst = appendF64(dst, resp.Value)
+	if resp.Stats != nil {
+		dst = appendWireString(dst, resp.Stats.Name)
+		dst = appendBool(dst, resp.Stats.Converged)
+		dst = appendFloats(dst, resp.Stats.Best)
+		dst = appendF64(dst, resp.Stats.BestValue)
+		dst = appendUvarint(dst, uint64(resp.Stats.Pending))
+		dst = appendUvarint(dst, resp.Stats.NextTag)
+	}
+	dst = appendUvarint(dst, resp.LastSeq)
+	dst = appendUvarint(dst, resp.Dropped)
+	dst = appendUvarint(dst, resp.Duplicates)
+	dst = appendUvarint(dst, uint64(resp.Resumes))
+	dst = appendUvarint(dst, uint64(len(resp.Batch)))
+	for i := range resp.Batch {
+		b := &resp.Batch[i]
+		dst = appendFloats(dst, b.Point)
+		dst = appendUvarint(dst, b.Tag)
+		dst = appendBool(dst, b.Converged)
+	}
+	dst = appendUvarint(dst, uint64(resp.Accepted))
+	dst = appendUvarint(dst, uint64(resp.Refused))
+	dst = appendUvarint(dst, uint64(resp.Rejected))
+	dst = appendUvarint(dst, uint64(resp.Queue))
+	return dst
+}
+
+// --- decoder ---
+
+// binReader is a sticky-error cursor over one frame payload. Decoding is
+// strict: uvarints must be canonical, counts must fit the remaining payload,
+// bools must be 0/1, and the payload must be consumed exactly — which is
+// what makes decode∘encode the identity on valid frames.
+type binReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *binReader) fail() {
+	if r.err == nil {
+		r.err = errBinMalformed
+	}
+}
+
+func (r *binReader) byteVal() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 || (n > 1 && r.buf[r.off+n-1] == 0) {
+		// Unterminated, overlong, or non-minimal encoding.
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// intVal decodes a uvarint that must fit a non-negative int.
+func (r *binReader) intVal() int {
+	v := r.uvarint()
+	if v > math.MaxInt32 {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+// count decodes an element count for elements of at least elemMin encoded
+// bytes, bounding allocations by the remaining payload.
+func (r *binReader) count(elemMin int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64((len(r.buf)-r.off)/elemMin) {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (r *binReader) str() string {
+	n := r.count(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *binReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf)-r.off < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return math.Float64frombits(v)
+}
+
+func (r *binReader) floats() []float64 {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	fs := make([]float64, n)
+	for i := range fs {
+		fs[i] = r.f64()
+	}
+	return fs
+}
+
+func (r *binReader) boolVal() bool {
+	b := r.byteVal()
+	if b > 1 {
+		r.fail()
+		return false
+	}
+	return b == 1
+}
+
+// finish demands the payload was consumed exactly.
+func (r *binReader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return errBinMalformed
+	}
+	return nil
+}
+
+// decodeRequest parses a PHWIRE1 request payload into req.
+func decodeRequest(payload []byte, req *request) error {
+	r := binReader{buf: payload}
+	op, ok := opName(r.byteVal())
+	if !ok {
+		return errBinMalformed
+	}
+	req.Op = op
+	req.Seq = r.uvarint()
+	req.Client = r.str()
+	req.Session = r.str()
+	req.Tag = r.uvarint()
+	req.Value = r.f64()
+	req.RID = r.str()
+	req.N = r.intVal()
+	if n := r.count(2); n > 0 {
+		req.Params = make([]wireParam, n)
+		for i := range req.Params {
+			p := &req.Params[i]
+			p.Name = r.str()
+			kind, ok := kindName(r.byteVal())
+			if r.err == nil && !ok {
+				return errBinMalformed
+			}
+			p.Kind = kind
+			p.Lower = r.f64()
+			p.Upper = r.f64()
+			p.Values = r.floats()
+		}
+	}
+	if n := r.count(2); n > 0 {
+		req.Reports = make([]ReportItem, n)
+		for i := range req.Reports {
+			it := &req.Reports[i]
+			it.Tag = r.uvarint()
+			it.Value = r.f64()
+			it.RID = r.str()
+		}
+	}
+	return r.finish()
+}
+
+// decodeResponse parses a PHWIRE1 response payload into resp.
+func decodeResponse(payload []byte, resp *response) error {
+	r := binReader{buf: payload}
+	flags := r.byteVal()
+	if flags&^byte(respFlagMask) != 0 {
+		return errBinMalformed
+	}
+	resp.OK = flags&respFlagOK != 0
+	resp.Converged = flags&respFlagConverged != 0
+	resp.Seq = r.uvarint()
+	resp.Code = r.str()
+	resp.Error = r.str()
+	resp.Point = r.floats()
+	resp.Tag = r.uvarint()
+	resp.Value = r.f64()
+	if flags&respFlagStats != 0 {
+		st := &SessionStats{}
+		st.Name = r.str()
+		st.Converged = r.boolVal()
+		st.Best = r.floats()
+		st.BestValue = r.f64()
+		st.Pending = r.intVal()
+		st.NextTag = r.uvarint()
+		resp.Stats = st
+	}
+	resp.LastSeq = r.uvarint()
+	resp.Dropped = r.uvarint()
+	resp.Duplicates = r.uvarint()
+	resp.Resumes = r.intVal()
+	if n := r.count(2); n > 0 {
+		resp.Batch = make([]wireFetch, n)
+		for i := range resp.Batch {
+			b := &resp.Batch[i]
+			b.Point = r.floats()
+			b.Tag = r.uvarint()
+			b.Converged = r.boolVal()
+		}
+	}
+	resp.Accepted = r.intVal()
+	resp.Refused = r.intVal()
+	resp.Rejected = r.intVal()
+	resp.Queue = r.intVal()
+	return r.finish()
+}
+
+// readBinFrame reads one PHWIRE1 frame from br and returns its payload. The
+// returned slice is freshly allocated and owned by the caller. Transport
+// errors (EOF, deadlines) come back as-is; structural violations come back
+// as errBinMalformed / errBinTooLarge / errBinCRC.
+func readBinFrame(br *bufio.Reader, max int) ([]byte, error) {
+	// Read the canonical uvarint length byte-by-byte.
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := 0
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if n >= len(lenBuf) {
+			return nil, errBinMalformed
+		}
+		lenBuf[n] = b
+		n++
+		if b < 0x80 {
+			break
+		}
+	}
+	size, un := binary.Uvarint(lenBuf[:n])
+	if un != n || (n > 1 && lenBuf[n-1] == 0) {
+		return nil, errBinMalformed
+	}
+	if size > uint64(max) {
+		return nil, errBinTooLarge
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return nil, err
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, err
+	}
+	want := binary.BigEndian.Uint32(crcBuf[:])
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, errBinCRC
+	}
+	return payload, nil
+}
+
+// --- codec plumbing shared by the server and client loops ---
+
+// badRequestError marks a parse-level failure the server answers with one
+// final "bad request" response before closing the connection, matching the
+// JSON protocol's historical behaviour.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+// serverCodec reads requests and writes responses for one served connection.
+type serverCodec interface {
+	readRequest(req *request) error
+	writeResponse(resp *response) error
+}
+
+// jsonServerCodec speaks the newline-delimited JSON protocol.
+type jsonServerCodec struct {
+	sc  *bufio.Scanner
+	enc *json.Encoder
+}
+
+func (c *jsonServerCodec) readRequest(req *request) error {
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return err
+		}
+		return io.EOF
+	}
+	if err := json.Unmarshal(c.sc.Bytes(), req); err != nil {
+		return &badRequestError{err: err}
+	}
+	return nil
+}
+
+func (c *jsonServerCodec) writeResponse(resp *response) error {
+	return c.enc.Encode(resp)
+}
+
+// binServerCodec speaks PHWIRE1. The encode buffers are reused across
+// frames, so a steady-state connection writes responses without allocating.
+type binServerCodec struct {
+	br   *bufio.Reader
+	w    io.Writer
+	pbuf []byte // payload scratch
+	fbuf []byte // frame scratch
+}
+
+func (c *binServerCodec) readRequest(req *request) error {
+	payload, err := readBinFrame(c.br, maxBinFrame)
+	if err != nil {
+		if errors.Is(err, errBinMalformed) || errors.Is(err, errBinTooLarge) || errors.Is(err, errBinCRC) {
+			return &badRequestError{err: err}
+		}
+		return err
+	}
+	if err := decodeRequest(payload, req); err != nil {
+		return &badRequestError{err: err}
+	}
+	return nil
+}
+
+func (c *binServerCodec) writeResponse(resp *response) error {
+	c.pbuf = appendResponse(c.pbuf[:0], resp)
+	c.fbuf = appendBinFrame(c.fbuf[:0], c.pbuf)
+	_, err := c.w.Write(c.fbuf)
+	return err
+}
+
+// sniffServerCodec negotiates the wire protocol for a freshly accepted
+// connection: a '{' first byte is a JSON-lines client, the PHWIRE1 magic
+// preamble selects the binary codec, anything else is handed to the JSON
+// scanner whose parse error produces the historical "bad request" reply.
+func sniffServerCodec(conn net.Conn) (serverCodec, string, error) {
+	br := bufio.NewReaderSize(conn, 64*1024)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, "", err
+	}
+	if first[0] == wireMagic[0] {
+		var magic [len(wireMagic)]byte
+		if _, err := io.ReadFull(br, magic[:]); err != nil {
+			return nil, "", err
+		}
+		if string(magic[:]) != wireMagic {
+			return nil, "", errBinMalformed
+		}
+		return &binServerCodec{br: br, w: conn}, string(WireBinary), nil
+	}
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &jsonServerCodec{sc: sc, enc: json.NewEncoder(conn)}, string(WireJSON), nil
+}
+
+// clientCodec puts request frames on the wire and reads response frames.
+type clientCodec interface {
+	send(req *request) error
+	recv(resp *response) error
+}
+
+type jsonClientCodec struct {
+	enc *json.Encoder
+	sc  *bufio.Scanner
+}
+
+func newJSONClientCodec(conn net.Conn) *jsonClientCodec {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &jsonClientCodec{enc: json.NewEncoder(conn), sc: sc}
+}
+
+func (c *jsonClientCodec) send(req *request) error { return c.enc.Encode(req) }
+
+func (c *jsonClientCodec) recv(resp *response) error {
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return err
+		}
+		return io.ErrUnexpectedEOF
+	}
+	return json.Unmarshal(c.sc.Bytes(), resp)
+}
+
+type binClientCodec struct {
+	br   *bufio.Reader
+	w    io.Writer
+	pbuf []byte
+	fbuf []byte
+}
+
+func newBinClientCodec(conn net.Conn) *binClientCodec {
+	return &binClientCodec{br: bufio.NewReaderSize(conn, 64*1024), w: conn}
+}
+
+func (c *binClientCodec) send(req *request) error {
+	payload, err := appendRequest(c.pbuf[:0], req)
+	if err != nil {
+		return err
+	}
+	c.pbuf = payload
+	c.fbuf = appendBinFrame(c.fbuf[:0], payload)
+	_, err = c.w.Write(c.fbuf)
+	return err
+}
+
+func (c *binClientCodec) recv(resp *response) error {
+	payload, err := readBinFrame(c.br, maxBinFrame)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(payload, resp)
+}

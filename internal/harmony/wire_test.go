@@ -1,0 +1,206 @@
+package harmony
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"paratune/internal/alloccheck"
+)
+
+// wireRequests is a round-trip corpus covering every opcode and every field
+// combination the codec distinguishes.
+func wireRequests() []request {
+	return []request{
+		{Op: "best", Session: "s", Client: "c", Seq: 1},
+		{Op: "fetch", Session: "sess-два", Client: "client/1", Seq: 2},
+		{Op: "report", Session: "s", Tag: 99, Value: 3.25, RID: "rid-1", Seq: 300},
+		{Op: "stats", Session: "s", Seq: ^uint64(0)},
+		{Op: "resume", Session: "s", Client: "c", Seq: 1 << 40},
+		{Op: "fetchn", Session: "s", N: 64, Seq: 7},
+		{Op: "reportn", Session: "s", Seq: 8, Reports: []ReportItem{
+			{Tag: 1, Value: 0.5, RID: "a"},
+			{Tag: 2, Value: 1e9},
+		}},
+		{Op: "register", Session: "s", Seq: 9, Params: []wireParam{
+			{Name: "x", Kind: "continuous", Lower: -1.5, Upper: 1.5},
+			{Name: "n", Kind: "integer", Lower: 0, Upper: 63},
+			{Name: "m", Kind: "discrete", Values: []float64{1, 2, 4, 8}},
+		}},
+	}
+}
+
+func wireResponses() []response {
+	return []response{
+		{OK: true, Seq: 1},
+		{OK: false, Seq: 2, Code: codeUnknownSession, Error: "unknown session \"s\""},
+		{OK: true, Seq: 3, Point: []float64{1, 2.5, -3}, Tag: 17, Converged: true},
+		{OK: true, Seq: 4, Value: 0.125, LastSeq: 40, Dropped: 3, Duplicates: 1, Resumes: 2},
+		{OK: true, Seq: 5, Stats: &SessionStats{
+			Name: "s", Converged: true, Best: []float64{9, 8}, BestValue: 0.25,
+			Pending: 4, NextTag: 77,
+		}},
+		{OK: true, Seq: 6, Batch: []wireFetch{
+			{Point: []float64{1, 2}, Tag: 5},
+			{Point: []float64{3, 4}, Tag: 6, Converged: true},
+		}},
+		{OK: true, Seq: 7, Accepted: 10, Refused: 2, Rejected: 1, Queue: 5},
+		{OK: false, Seq: 8, Code: codeBackpressure, Error: "session backpressure", Queue: 4096},
+	}
+}
+
+// TestBinaryRequestRoundTrip pins decode(encode(req)) == req and the
+// canonicality property encode(decode(payload)) == payload.
+func TestBinaryRequestRoundTrip(t *testing.T) {
+	for _, req := range wireRequests() {
+		payload, err := appendRequest(nil, &req)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", req.Op, err)
+		}
+		var got request
+		if err := decodeRequest(payload, &got); err != nil {
+			t.Fatalf("%s: decode: %v", req.Op, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", req.Op, got, req)
+		}
+		re, err := appendRequest(nil, &got)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", req.Op, err)
+		}
+		if !bytes.Equal(re, payload) {
+			t.Errorf("%s: encoding not canonical:\n got %x\nwant %x", req.Op, re, payload)
+		}
+	}
+}
+
+func TestBinaryResponseRoundTrip(t *testing.T) {
+	for i, resp := range wireResponses() {
+		payload := appendResponse(nil, &resp)
+		var got response
+		if err := decodeResponse(payload, &got); err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Errorf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, got, resp)
+		}
+		re := appendResponse(nil, &got)
+		if !bytes.Equal(re, payload) {
+			t.Errorf("case %d: encoding not canonical", i)
+		}
+	}
+}
+
+// TestBinaryDecodeRejects pins the strictness that makes the codec canonical:
+// unknown opcodes, non-minimal uvarints, out-of-range bools, undeclared flag
+// bits, truncation, and trailing garbage are all malformed.
+func TestBinaryDecodeRejects(t *testing.T) {
+	valid, err := appendRequest(nil, &request{Op: "best", Session: "s", Client: "c", Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":              {},
+		"unknown op":         append([]byte{0xee}, valid[1:]...),
+		"truncated":          valid[:len(valid)-1],
+		"trailing byte":      append(append([]byte{}, valid...), 0),
+		"non-minimal seq":    append(append([]byte{valid[0]}, 0x81, 0x00), valid[2:]...),
+		"string overruns":    {byte(opBest), 1, 0xff, 0x7f},
+		"huge param count":   append(append([]byte{}, valid[:len(valid)-2]...), 0xff, 0x7f),
+		"count eats payload": {byte(opBest), 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xf0, 0x21},
+	}
+	for name, payload := range cases {
+		var req request
+		if err := decodeRequest(payload, &req); err == nil {
+			t.Errorf("%s: decodeRequest accepted malformed payload %x", name, payload)
+		}
+	}
+
+	respValid := appendResponse(nil, &response{OK: true, Seq: 1})
+	respCases := map[string][]byte{
+		"undeclared flag bit": append([]byte{0x80 | respValid[0]}, respValid[1:]...),
+		"stats flag no stats": append([]byte{respFlagStats | respValid[0]}, respValid[1:]...),
+		"truncated":           respValid[:len(respValid)-1],
+		"trailing":            append(append([]byte{}, respValid...), 7),
+	}
+	for name, payload := range respCases {
+		var resp response
+		if err := decodeResponse(payload, &resp); err == nil {
+			t.Errorf("%s: decodeResponse accepted malformed payload", name)
+		}
+	}
+
+	// Bool strictness: flip a Stats.Converged byte to 2.
+	withStats := appendResponse(nil, &response{OK: true, Seq: 1,
+		Stats: &SessionStats{Name: "s", Converged: true}})
+	// Find the bool byte: it directly follows the one-byte name "s".
+	idx := bytes.Index(withStats, []byte{1, 's', 1})
+	if idx < 0 {
+		t.Fatal("could not locate stats bool byte in encoding")
+	}
+	withStats[idx+2] = 2
+	var resp response
+	if err := decodeResponse(withStats, &resp); err == nil {
+		t.Error("decodeResponse accepted bool byte 2")
+	}
+}
+
+// TestReadBinFrameRejects covers the frame envelope: CRC mismatch, oversized
+// length, and a non-minimal length prefix must all be structural errors.
+func TestReadBinFrameRejects(t *testing.T) {
+	payload, err := appendRequest(nil, &request{Op: "best", Session: "s", Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := appendBinFrame(nil, payload)
+
+	corrupt := append([]byte{}, frame...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	if _, err := readBinFrame(bufio.NewReader(bytes.NewReader(corrupt)), maxBinFrame); !errors.Is(err, errBinCRC) {
+		t.Errorf("corrupted payload: err = %v, want CRC mismatch", err)
+	}
+
+	huge := appendUvarint(nil, maxBinFrame+1)
+	huge = append(huge, 0, 0, 0, 0)
+	if _, err := readBinFrame(bufio.NewReader(bytes.NewReader(huge)), maxBinFrame); !errors.Is(err, errBinTooLarge) {
+		t.Errorf("oversized frame: err = %v, want too-large", err)
+	}
+
+	nonMinimal := append([]byte{0x80, 0x00, 0, 0, 0, 0}, frame...)
+	if _, err := readBinFrame(bufio.NewReader(bytes.NewReader(nonMinimal)), maxBinFrame); !errors.Is(err, errBinMalformed) {
+		t.Errorf("non-minimal length: err = %v, want malformed", err)
+	}
+
+	// A valid frame decodes to exactly its payload.
+	got, err := readBinFrame(bufio.NewReader(bytes.NewReader(frame)), maxBinFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("readBinFrame returned wrong payload")
+	}
+}
+
+// TestBinaryEncodeAllocs pins the steady-state encode path at zero
+// allocations per frame once the scratch buffers have grown.
+func TestBinaryEncodeAllocs(t *testing.T) {
+	req := request{Op: "report", Session: "tuning-session", Client: "client-1",
+		Tag: 42, Value: 1.25, RID: "aa-42", Seq: 1000}
+	resp := response{OK: true, Seq: 1000, Point: []float64{1, 2, 3}, Tag: 42}
+	pbuf := make([]byte, 0, 1024)
+	fbuf := make([]byte, 0, 1024)
+	alloccheck.Guard(t, "harmony.appendRequest+appendBinFrame", 0, func() {
+		var err error
+		pbuf, err = appendRequest(pbuf[:0], &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fbuf = appendBinFrame(fbuf[:0], pbuf)
+	})
+	alloccheck.Guard(t, "harmony.appendResponse+appendBinFrame", 0, func() {
+		pbuf = appendResponse(pbuf[:0], &resp)
+		fbuf = appendBinFrame(fbuf[:0], pbuf)
+	})
+}
