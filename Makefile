@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-fix lint-sarif test race bench bench-json bench-smoke trace-smoke db-smoke chaos-smoke load-smoke fuzz results examples clean
+.PHONY: all build lint lint-fix lint-sarif lint-selftest test race bench bench-json bench-smoke trace-smoke db-smoke chaos-smoke load-smoke fuzz results examples clean
 
 # Baseline number for bench-json artefacts (BENCH_$(N).json).
-N ?= 8
+N ?= 9
 
 all: build test
 
@@ -28,6 +28,18 @@ lint-fix:
 # Machine-readable findings for CI code-scanning upload.
 lint-sarif:
 	$(GO) run ./cmd/paralint -sarif ./... > paralint.sarif || true
+
+# The driver's own regression gate: analyze the committed selftest fixture,
+# pin the JSON findings (ordering included) against the golden file, and
+# require exit status 3 for its malformed //paralint:bounded directive.
+# Built as a binary because `go run` flattens the child's exit status.
+lint-selftest:
+	$(GO) build -o "$${TMPDIR:-/tmp}/paralint-selftest" ./cmd/paralint
+	"$${TMPDIR:-/tmp}/paralint-selftest" -rules wireproto,bufalias,boundedres -json \
+	  ./internal/lint/testdata/selftest > selftest-got.json; \
+	  test $$? -eq 3
+	diff -u internal/lint/testdata/selftest/expect.json selftest-got.json
+	rm -f selftest-got.json "$${TMPDIR:-/tmp}/paralint-selftest"
 
 test: lint
 	$(GO) vet ./...

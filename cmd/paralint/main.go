@@ -21,7 +21,7 @@
 //   - hotpathalloc: //paralint:hotpath functions avoid fmt, float boxing,
 //     and per-iteration allocation
 //
-// and four enforce the concurrency contract (DESIGN.md "Concurrency
+// four enforce the concurrency contract (DESIGN.md "Concurrency
 // contract"):
 //
 //   - lockorder: the whole-program lock-acquisition graph is acyclic and
@@ -34,13 +34,28 @@
 //   - atomics: a variable accessed via sync/atomic anywhere is accessed
 //     atomically everywhere
 //
+// and three gate the zero-copy PHWIRE1 wire path (DESIGN.md "Buffer
+// ownership" and "Bounded resources"):
+//
+//   - wireproto: code/name codec tables are exact inverses and exhaustive,
+//     dispatch switches cover every wire op, and server-built error codes
+//     are classified client-side somewhere in the program
+//   - bufalias: []byte views of connection read buffers (functions marked
+//     //paralint:framebuf) must not outlive the frame; the copy-insertion
+//     finding has a mechanical -fix
+//   - boundedres: per-request growth reachable from a connection handler
+//     declares //paralint:bounded <limit-expr> backed by an enforced check
+//
 // Usage:
 //
 //	paralint [flags] [packages]
 //
 // With no packages, ./... is analysed, including _test.go files. Findings
 // print as file:line:col: rule: message. Exit status: 0 clean, 1 findings,
-// 2 load or type-check failure.
+// 2 load or type-check failure, 3 when any finding is a malformed or
+// dangling paralint directive (//paralint:lockrank, //paralint:bounded,
+// //paralint:framebuf) — an annotation that silently stopped enforcing its
+// contract outranks an ordinary finding.
 //
 // Output and repair flags:
 //
@@ -61,8 +76,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-
+	"sort"
 	"strings"
 
 	"paratune/internal/lint"
@@ -158,10 +174,41 @@ func main() {
 			fmt.Printf("%s:%d:%d: %s: %s%s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message, suffix)
 		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "paralint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+	os.Exit(exitStatus(os.Stderr, diags))
+}
+
+// exitStatus reports the process exit code for a set of findings and prints
+// the summary line: 0 clean, 1 findings, 3 when any finding is a malformed
+// or dangling paralint directive (rot in the annotations that the other
+// rules trust must outrank an ordinary finding).
+func exitStatus(w io.Writer, diags []lint.Diagnostic) int {
+	if len(diags) == 0 {
+		return 0
 	}
+	if bad := directiveRules(diags); len(bad) > 0 {
+		fmt.Fprintf(w, "paralint: %d finding(s), including malformed or dangling directive(s) reported by: %s\n",
+			len(diags), strings.Join(bad, ", "))
+		return 3
+	}
+	fmt.Fprintf(w, "paralint: %d finding(s)\n", len(diags))
+	return 1
+}
+
+// directiveRules returns the sorted rule names that reported
+// directive-category findings.
+func directiveRules(diags []lint.Diagnostic) []string {
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		if d.Category == lint.CategoryDirective {
+			seen[d.Rule] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func selectRules(all []*lint.Analyzer, spec string) []*lint.Analyzer {

@@ -215,6 +215,29 @@ type wireCounts struct {
 	bpEvents     int            // single-report backpressure refusal events
 	byWire       map[string]int // codec origin → frames seen
 	sessions     map[string]*wireSession
+	byOp         map[string]*wireOpStats
+}
+
+// wireOpStats is the per-op backpressure aggregate: how many shed
+// measurements forced a client retry (each refusal is re-sent after the
+// client's backoff) and the deepest pending queue observed alongside a
+// refusal for that op.
+type wireOpStats struct {
+	retries  int
+	maxQueue int
+}
+
+// op returns the per-op aggregate, creating it on first sight.
+func (c *wireCounts) op(name string) *wireOpStats {
+	if c.byOp == nil {
+		c.byOp = make(map[string]*wireOpStats)
+	}
+	st := c.byOp[name]
+	if st == nil {
+		st = &wireOpStats{}
+		c.byOp[name] = st
+	}
+	return st
 }
 
 // wireSession is the per-session aggregate: the deepest pending queue seen
@@ -261,6 +284,11 @@ func (c *wireCounts) observe(env *event.Envelope) bool {
 		if bp.Queue > ws.maxQueue {
 			ws.maxQueue = bp.Queue
 		}
+		st := c.op("report")
+		st.retries += bp.Refused
+		if bp.Queue > st.maxQueue {
+			st.maxQueue = bp.Queue
+		}
 	case event.KindBatchFetch:
 		var bf event.BatchFetch
 		if err := json.Unmarshal(env.Event, &bf); err != nil {
@@ -286,6 +314,13 @@ func (c *wireCounts) observe(env *event.Envelope) bool {
 		if br.Queue > ws.maxQueue {
 			ws.maxQueue = br.Queue
 		}
+		if br.Refused > 0 {
+			st := c.op("reportn")
+			st.retries += br.Refused
+			if br.Queue > st.maxQueue {
+				st.maxQueue = br.Queue
+			}
+		}
 	default:
 		return false
 	}
@@ -305,6 +340,19 @@ func (c *wireCounts) report(w io.Writer) bool {
 	if c.bpEvents > 0 {
 		had = true
 		fmt.Fprintf(w, "backpressure: %d single-report refusal event(s)\n", c.bpEvents)
+	}
+	if len(c.byOp) > 0 {
+		had = true
+		ops := make([]string, 0, len(c.byOp))
+		for op := range c.byOp {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			st := c.byOp[op]
+			fmt.Fprintf(w, "backpressure: op %q: %d retry-provoking refusal(s), max observed pending depth %d\n",
+				op, st.retries, st.maxQueue)
+		}
 	}
 	if len(c.sessions) > 0 {
 		had = true

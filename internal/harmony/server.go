@@ -257,6 +257,7 @@ func (srv *Server) Register(name string, params []space.Parameter) error {
 	return srv.shardMutateErr(name, func(sh *sessionShard) ([]event.Event, error) {
 		if s, ok := sh.sessions[name]; ok {
 			// Joining: verify the space matches.
+			//paralint:allow boundedres space construction is sized by the request's parameter list, not accumulated state
 			joined, err := space.New(params...)
 			if err != nil {
 				return nil, err
@@ -266,6 +267,7 @@ func (srv *Server) Register(name string, params []space.Parameter) error {
 			}
 			return nil, nil
 		}
+		//paralint:allow boundedres space construction is sized by the request's parameter list, not accumulated state
 		sp, err := space.New(params...)
 		if err != nil {
 			return nil, err
@@ -280,6 +282,7 @@ func (srv *Server) Register(name string, params []space.Parameter) error {
 			return nil, err
 		}
 		s := srv.newSession(name, sp, alg, false)
+		//paralint:allow boundedres the session registry is the product; sessions are operator workload, expired via IdleTimeout
 		sh.sessions[name] = s
 		go s.run()
 		if srv.opts.IdleTimeout > 0 {
@@ -646,8 +649,8 @@ func (s *session) reportOne(tag uint64, value float64, rid string) error {
 	if rid != "" {
 		s.rememberRIDLocked(rid)
 	}
-	c.obs = append(c.obs, value)
-	pt := c.point // read-only after creation; safe to store outside the lock
+	c.obs = append(c.obs, value) //paralint:bounded s.opts.MaxPendingReports
+	pt := c.point                // read-only after creation; safe to store outside the lock
 	s.batchObs++
 	if !s.haveWorst || value > s.worstObs {
 		s.worstObs, s.haveWorst = value, true
@@ -662,6 +665,7 @@ func (s *session) reportOne(tag uint64, value float64, rid string) error {
 	}
 	if !complete || s.resultCh == nil {
 		s.mu.Unlock()
+		//paralint:allow boundedres the measurement store is the durable product; growth is the point (snapshot/WAL own retention)
 		s.db.Observe(pt, value)
 		return nil
 	}
@@ -674,6 +678,7 @@ func (s *session) reportOne(tag uint64, value float64, rid string) error {
 	s.resultCh = nil
 	s.surplus = 0
 	s.mu.Unlock()
+	//paralint:allow boundedres the measurement store is the durable product; growth is the point (snapshot/WAL own retention)
 	s.db.Observe(pt, value)
 	ch <- vals
 	return nil
@@ -681,8 +686,8 @@ func (s *session) reportOne(tag uint64, value float64, rid string) error {
 
 // rememberRIDLocked records a report id, evicting the oldest past the cap.
 func (s *session) rememberRIDLocked(rid string) {
-	s.seenRIDs[rid] = struct{}{}
-	s.ridOrder = append(s.ridOrder, rid)
+	s.seenRIDs[rid] = struct{}{}         //paralint:bounded maxRememberedReports
+	s.ridOrder = append(s.ridOrder, rid) //paralint:bounded maxRememberedReports
 	if len(s.ridOrder) > maxRememberedReports {
 		delete(s.seenRIDs, s.ridOrder[0])
 		s.ridOrder = s.ridOrder[1:]
@@ -696,8 +701,8 @@ func (s *session) clientLocked(id string) *clientTrack {
 		return ct
 	}
 	ct := &clientTrack{}
-	s.clients[id] = ct
-	s.clientLRU = append(s.clientLRU, id)
+	s.clients[id] = ct                    //paralint:bounded maxTrackedClients
+	s.clientLRU = append(s.clientLRU, id) //paralint:bounded maxTrackedClients
 	if len(s.clientLRU) > maxTrackedClients {
 		delete(s.clients, s.clientLRU[0])
 		s.clientLRU = s.clientLRU[1:]

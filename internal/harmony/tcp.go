@@ -190,6 +190,7 @@ func (t *connTracker) add(conn net.Conn) bool {
 	if t.conns == nil {
 		t.conns = make(map[net.Conn]struct{})
 	}
+	//paralint:allow boundedres one entry per live connection, removed on close; the accept loop owns admission
 	t.conns[conn] = struct{}{}
 	return true
 }
@@ -286,7 +287,12 @@ func handleConn(conn net.Conn, srv *Server, opts ConnOptions, tracker *connTrack
 			if lastSeq == nil {
 				lastSeq = make(map[string]uint64)
 			}
-			lastSeq[req.Client] = req.Seq
+			if len(lastSeq) >= maxTrackedClients {
+				// A client-id churn attack must not grow the dedup map without
+				// limit; resetting only forfeits duplicate suppression.
+				lastSeq = make(map[string]uint64)
+			}
+			lastSeq[req.Client] = req.Seq //paralint:bounded maxTrackedClients
 		}
 		resp := dispatch(srv, &req, wire)
 		resp.Seq = req.Seq

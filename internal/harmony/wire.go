@@ -432,8 +432,41 @@ func (r *binReader) finish() error {
 	return nil
 }
 
-// decodeRequest parses a PHWIRE1 request payload into req.
+// reqScratch holds the per-connection decode scratch the zero-copy path
+// reuses across frames: the variable-length reportn section lands in the
+// same backing array every time instead of a fresh allocation per batch.
+// Capacity is bounded by maxBatchOps — a frame claiming more items than the
+// server would apply falls back to a one-off allocation rather than pinning
+// an oversized array for the connection's lifetime.
+type reqScratch struct {
+	reports []ReportItem
+}
+
+// reportSlice returns an n-item slice for the decode loop to fill, reusing
+// the scratch backing array when it can.
+func (scr *reqScratch) reportSlice(n int) []ReportItem {
+	if scr == nil || n > maxBatchOps {
+		return make([]ReportItem, n)
+	}
+	if cap(scr.reports) < n {
+		scr.reports = make([]ReportItem, n)
+	}
+	scr.reports = scr.reports[:n]
+	return scr.reports
+}
+
+// decodeRequest parses a PHWIRE1 request payload into req. Every decoded
+// field is freshly allocated and owned by the caller.
 func decodeRequest(payload []byte, req *request) error {
+	return decodeRequestInto(payload, req, nil)
+}
+
+// decodeRequestInto parses a PHWIRE1 request payload into req, drawing the
+// reportn section from scr (which may be nil). With a non-nil scratch,
+// req.Reports aliases scr's backing array and is valid only until the next
+// decode with the same scratch; strings and parameter tables are always
+// fresh allocations, so everything else in req may be retained freely.
+func decodeRequestInto(payload []byte, req *request, scr *reqScratch) error {
 	r := binReader{buf: payload}
 	op, ok := opName(r.byteVal())
 	if !ok {
@@ -463,7 +496,7 @@ func decodeRequest(payload []byte, req *request) error {
 		}
 	}
 	if n := r.count(2); n > 0 {
-		req.Reports = make([]ReportItem, n)
+		req.Reports = scr.reportSlice(n)
 		for i := range req.Reports {
 			it := &req.Reports[i]
 			it.Tag = r.uvarint()
@@ -524,6 +557,15 @@ func decodeResponse(payload []byte, resp *response) error {
 // errors (EOF, deadlines) come back as-is; structural violations come back
 // as errBinMalformed / errBinTooLarge / errBinCRC.
 func readBinFrame(br *bufio.Reader, max int) ([]byte, error) {
+	return readBinFrameInto(br, max, nil)
+}
+
+// readBinFrameInto is readBinFrame with a caller-supplied payload buffer:
+// the frame lands in buf's backing array when it fits, so a steady-state
+// connection rereads frames without allocating. The returned slice aliases
+// buf (possibly grown) and is valid only until the caller's next read into
+// the same buffer.
+func readBinFrameInto(br *bufio.Reader, max int, buf []byte) ([]byte, error) {
 	// Read the canonical uvarint length byte-by-byte.
 	var lenBuf [binary.MaxVarintLen64]byte
 	n := 0
@@ -552,7 +594,12 @@ func readBinFrame(br *bufio.Reader, max int) ([]byte, error) {
 	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
 		return nil, err
 	}
-	payload := make([]byte, size)
+	payload := buf
+	if uint64(cap(payload)) < size {
+		payload = make([]byte, size)
+	} else {
+		payload = payload[:size]
+	}
 	if _, err := io.ReadFull(br, payload); err != nil {
 		return nil, err
 	}
@@ -602,24 +649,40 @@ func (c *jsonServerCodec) writeResponse(resp *response) error {
 	return c.enc.Encode(resp)
 }
 
-// binServerCodec speaks PHWIRE1. The encode buffers are reused across
-// frames, so a steady-state connection writes responses without allocating.
+// binServerCodec speaks PHWIRE1. The encode and decode buffers are reused
+// across frames, so a steady-state connection reads requests and writes
+// responses without allocating (DESIGN.md "Buffer ownership").
 type binServerCodec struct {
-	br   *bufio.Reader
-	w    io.Writer
-	pbuf []byte // payload scratch
-	fbuf []byte // frame scratch
+	br      *bufio.Reader
+	w       io.Writer
+	pbuf    []byte // encode: payload scratch
+	fbuf    []byte // encode: frame scratch
+	rbuf    []byte // decode: frame payload scratch
+	scratch reqScratch
+}
+
+// readFrame reads one PHWIRE1 frame into the codec's reusable payload
+// buffer and returns a view of it.
+//
+//paralint:framebuf
+func (c *binServerCodec) readFrame() ([]byte, error) {
+	payload, err := readBinFrameInto(c.br, maxBinFrame, c.rbuf)
+	if err != nil {
+		return nil, err
+	}
+	c.rbuf = payload
+	return payload, nil
 }
 
 func (c *binServerCodec) readRequest(req *request) error {
-	payload, err := readBinFrame(c.br, maxBinFrame)
+	payload, err := c.readFrame()
 	if err != nil {
 		if errors.Is(err, errBinMalformed) || errors.Is(err, errBinTooLarge) || errors.Is(err, errBinCRC) {
 			return &badRequestError{err: err}
 		}
 		return err
 	}
-	if err := decodeRequest(payload, req); err != nil {
+	if err := decodeRequestInto(payload, req, &c.scratch); err != nil {
 		return &badRequestError{err: err}
 	}
 	return nil

@@ -204,3 +204,180 @@ func TestBinaryEncodeAllocs(t *testing.T) {
 		fbuf = appendBinFrame(fbuf[:0], pbuf)
 	})
 }
+
+// reportNFrame encodes one reportn request with n items as a binary frame.
+func reportNFrame(t testing.TB, n int, rid string) []byte {
+	t.Helper()
+	items := make([]ReportItem, n)
+	for i := range items {
+		items[i] = ReportItem{Tag: uint64(i + 1), Value: float64(i) * 0.5, RID: rid}
+	}
+	payload, err := appendRequest(nil, &request{Op: "reportn", Session: "s", Seq: 1, Reports: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return appendBinFrame(nil, payload)
+}
+
+// TestBinaryDecodeAllocs pins the steady-state zero-copy decode path: once
+// the codec's frame and report scratch have grown, reading a reportn batch
+// costs only the session-string allocation, independent of batch size.
+func TestBinaryDecodeAllocs(t *testing.T) {
+	frame := reportNFrame(t, 128, "")
+	stream := bytes.Repeat(frame, 128) // alloccheck runs the body 101 times
+	c := &binServerCodec{br: bufio.NewReader(bytes.NewReader(stream))}
+	var req request
+	if err := c.readRequest(&req); err != nil { // warm the scratch buffers
+		t.Fatal(err)
+	}
+	alloccheck.Guard(t, "harmony.binServerCodec.readRequest/reportn128", 1, func() {
+		req = request{}
+		if err := c.readRequest(&req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(req.Reports) != 128 || req.Reports[127].Tag != 128 {
+		t.Fatalf("decoded batch corrupted: len=%d", len(req.Reports))
+	}
+}
+
+// TestDecodeRequestIntoScratchReuse pins the aliasing contract: consecutive
+// decodes with one scratch reuse the backing array (no allocation growth),
+// and a batch above maxBatchOps falls back to a one-off allocation instead
+// of pinning an oversized scratch.
+func TestDecodeRequestIntoScratchReuse(t *testing.T) {
+	var scr reqScratch
+	var req request
+	payload, err := appendRequest(nil, &request{Op: "reportn", Session: "s", Seq: 1,
+		Reports: []ReportItem{{Tag: 1, Value: 2, RID: "r"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeRequestInto(payload, &req, &scr); err != nil {
+		t.Fatal(err)
+	}
+	first := &req.Reports[0]
+	if err := decodeRequestInto(payload, &req, &scr); err != nil {
+		t.Fatal(err)
+	}
+	if &req.Reports[0] != first {
+		t.Error("second decode did not reuse the scratch backing array")
+	}
+	big := make([]ReportItem, maxBatchOps+1)
+	for i := range big {
+		big[i].Tag = uint64(i + 1)
+	}
+	payload, err = appendRequest(nil, &request{Op: "reportn", Session: "s", Seq: 2, Reports: big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeRequestInto(payload, &req, &scr); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Reports) != maxBatchOps+1 {
+		t.Fatalf("oversized batch decoded to %d items, want %d", len(req.Reports), maxBatchOps+1)
+	}
+	if cap(scr.reports) > maxBatchOps {
+		t.Errorf("oversized batch grew the scratch to cap %d", cap(scr.reports))
+	}
+}
+
+// BenchmarkDecodeReportN compares the historical allocate-per-frame decode
+// with the zero-copy scratch path for a 128-item reportn batch.
+func BenchmarkDecodeReportN(b *testing.B) {
+	frame := reportNFrame(b, 128, "")
+	b.Run("alloc", func(b *testing.B) {
+		var req request
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			br := bufio.NewReader(bytes.NewReader(frame))
+			payload, err := readBinFrame(br, maxBinFrame)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req = request{}
+			if err := decodeRequest(payload, &req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		_ = req
+	})
+	b.Run("zerocopy", func(b *testing.B) {
+		var req request
+		c := &binServerCodec{}
+		rd := bytes.NewReader(frame)
+		c.br = bufio.NewReader(rd)
+		// Grow the scratch buffers once so a 1x run measures steady state.
+		if err := c.readRequest(&req); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.Reset(frame)
+			c.br.Reset(rd)
+			req = request{}
+			if err := c.readRequest(&req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		_ = req
+	})
+}
+
+// TestWireCodecTablesFrozen sweeps the full byte range in both directions:
+// opCode/opName and kindCode/kindName must be exact inverses, every name
+// must map to its frozen numeric value (the const block order IS the wire
+// format), and every byte outside the tables must be rejected both ways.
+func TestWireCodecTablesFrozen(t *testing.T) {
+	frozenOps := map[string]byte{
+		"register": 1, "fetch": 2, "report": 3, "best": 4,
+		"stats": 5, "resume": 6, "fetchn": 7, "reportn": 8,
+	}
+	frozenKinds := map[string]byte{"continuous": 0, "integer": 1, "discrete": 2}
+
+	for name, code := range frozenOps {
+		got, ok := opCode(name)
+		if !ok || got != code {
+			t.Errorf("opCode(%q) = %d, %v; want %d, true — the frozen wire order moved", name, got, ok, code)
+		}
+	}
+	for name, code := range frozenKinds {
+		got, ok := kindCode(name)
+		if !ok || got != code {
+			t.Errorf("kindCode(%q) = %d, %v; want %d, true — the frozen wire order moved", name, got, ok, code)
+		}
+	}
+
+	opNames := make(map[byte]string, len(frozenOps))
+	for name, code := range frozenOps {
+		opNames[code] = name
+	}
+	kindNames := make(map[byte]string, len(frozenKinds))
+	for name, code := range frozenKinds {
+		kindNames[code] = name
+	}
+	for b := 0; b <= 0xFF; b++ {
+		code := byte(b)
+		name, ok := opName(code)
+		if want, known := opNames[code]; known {
+			if !ok || name != want {
+				t.Errorf("opName(%d) = %q, %v; want %q, true", code, name, ok, want)
+			} else if back, ok := opCode(name); !ok || back != code {
+				t.Errorf("opCode(opName(%d)) = %d, %v; not an inverse", code, back, ok)
+			}
+		} else if ok {
+			t.Errorf("opName(%d) = %q, true; want rejection of an unassigned opcode", code, name)
+		}
+		kname, ok := kindName(code)
+		if want, known := kindNames[code]; known {
+			if !ok || kname != want {
+				t.Errorf("kindName(%d) = %q, %v; want %q, true", code, kname, ok, want)
+			} else if back, ok := kindCode(kname); !ok || back != code {
+				t.Errorf("kindCode(kindName(%d)) = %d, %v; not an inverse", code, back, ok)
+			}
+		} else if ok {
+			t.Errorf("kindName(%d) = %q, true; want rejection of an unassigned kind", code, kname)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 // the simulator and estimators are bit-deterministic under a fixed seed, and
 // trustworthy only if the concurrent harmony server is race- and leak-free.
 //
-// Twelve rules are enforced. Four are syntax-local:
+// Fifteen rules are enforced. Four are syntax-local:
 //
 //   - determinism: no wall-clock time and no process-global rand inside
 //     simulation packages; no wall-clock-seeded RNG sources anywhere.
@@ -44,6 +44,25 @@
 //     buffered send); CtxAware facts carry the property across calls.
 //   - atomics: a variable accessed via sync/atomic anywhere must be
 //     accessed atomically everywhere.
+//
+// Three more gate the zero-copy PHWIRE1 wire path (DESIGN.md "Buffer
+// ownership" and "Bounded resources"):
+//
+//   - wireproto: the opCode/opName and kindCode/kindName tables must be
+//     exact inverses and exhaustive over the frozen opcode block, every
+//     dispatch switch over a wire-op field must have an arm per op, and
+//     every structured error code a server constructs must be classified
+//     by a client-side comparison somewhere in the program.
+//   - bufalias: a []byte returned by a //paralint:framebuf function aliases
+//     a connection read buffer and is valid only until the next read; the
+//     analyzer flags any retention past the frame lifetime (struct-field
+//     store, channel send, goroutine capture) without an explicit copy,
+//     and -fix inserts the copy.
+//   - boundedres: every per-request growth site (field append, map insert,
+//     dynamically-buffered channel send) reachable from a connection
+//     handler must carry a //paralint:bounded <limit-expr> directive
+//     backed by an enforced comparison, generalizing the
+//     MaxPendingReports pattern.
 //
 // A finding can be suppressed with a comment on the same line or the line
 // immediately above:
@@ -87,9 +106,19 @@ type Diagnostic struct {
 	Pos     token.Position `json:"pos"`
 	Rule    string         `json:"rule"`
 	Message string         `json:"message"`
+	// Category classifies findings beyond the rule name. The one defined
+	// category is "directive": a paralint directive (//paralint:lockrank,
+	// //paralint:bounded, //paralint:framebuf) that is malformed or binds to
+	// nothing. The driver exits with a distinct status for those — a
+	// directive that silently stops enforcing its contract is config rot,
+	// not a code finding.
+	Category string `json:"category,omitempty"`
 	// Fix, when non-nil, is a mechanical edit that resolves the finding.
 	Fix *SuggestedFix `json:"fix,omitempty"`
 }
+
+// CategoryDirective marks malformed or dangling paralint directives.
+const CategoryDirective = "directive"
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
@@ -150,27 +179,42 @@ func newPkgContext(pkg *Package) *pkgContext {
 // Reportf records a finding at pos unless a //paralint:allow comment
 // suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	p.report(pos, nil, format, args...)
+	p.report(pos, nil, "", format, args...)
 }
 
 // ReportWithFix records a finding carrying a suggested mechanical fix.
 func (p *Pass) ReportWithFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
-	p.report(pos, fix, format, args...)
+	p.report(pos, fix, "", format, args...)
 }
 
-func (p *Pass) report(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+// ReportDirective records a malformed/dangling-directive finding, tagged
+// with the "directive" category so the driver can fail with a distinct exit
+// status.
+func (p *Pass) ReportDirective(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, CategoryDirective, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix *SuggestedFix, category, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if rules, ok := p.ctx.allow[position.Filename][position.Line]; ok {
-		if rules[p.Analyzer.Name] || rules["all"] {
-			return
-		}
+	if p.suppressedAt(position) {
+		return
 	}
 	*p.out = append(*p.out, Diagnostic{
-		Pos:     position,
-		Rule:    p.Analyzer.Name,
-		Message: fmt.Sprintf(format, args...),
-		Fix:     fix,
+		Pos:      position,
+		Rule:     p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Category: category,
+		Fix:      fix,
 	})
+}
+
+// suppressedAt reports whether a //paralint:allow directive covers the
+// position for the running analyzer. Finalizer-emitted findings capture this
+// at record time, like lockorder's Allowed edges — the per-package allow
+// index is gone by finalize time.
+func (p *Pass) suppressedAt(position token.Position) bool {
+	rules, ok := p.ctx.allow[position.Filename][position.Line]
+	return ok && (rules[p.Analyzer.Name] || rules["all"])
 }
 
 // SrcText returns the source text of the node span, for fix construction.
@@ -218,6 +262,7 @@ func Analyzers() []*Analyzer {
 		Determinism, LockDiscipline, FloatCompare, ErrDiscipline,
 		SeedFlow, GoroutineLifecycle, EventHygiene, HotPathAlloc,
 		LockOrder, ChanFlow, CtxFlow, Atomics,
+		WireProto, BufAlias, BoundedRes,
 	}
 }
 
@@ -249,17 +294,21 @@ func RunWithFacts(fb *FactBase, pkgs []*Package, analyzers []*Analyzer) []Diagno
 }
 
 // finalize runs the whole-program checks that need the complete fact store:
-// today that is lockorder's cycle detection over the accumulated
-// acquisition graph. It is idempotent (cycles are reported once per
-// canonical key) so incremental RunWithFacts callers may invoke it after
-// every batch.
+// lockorder's cycle detection over the accumulated acquisition graph, and
+// wireproto's constructed-vs-classified error-code drift. Both are
+// idempotent (each defect is reported once per canonical key) so
+// incremental RunWithFacts callers may invoke finalize after every batch.
 func finalize(fb *FactBase, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
 	for _, a := range analyzers {
-		if a == LockOrder {
-			return lockOrderCycles(fb)
+		switch a {
+		case LockOrder:
+			out = append(out, lockOrderCycles(fb)...)
+		case WireProto:
+			out = append(out, fb.wireCodeDrift()...)
 		}
 	}
-	return nil
+	return out
 }
 
 // runPackage applies every analyzer to one type-checked package. When

@@ -306,7 +306,7 @@ func declareLockRanks(pass *Pass) {
 				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), lockrankPrefix))
 				rank, err := strconv.Atoi(strings.Fields(text + " x")[0])
 				if err != nil || text == "" {
-					pass.Reportf(c.Pos(), "malformed %s directive: want %s <integer>", lockrankPrefix, lockrankPrefix)
+					pass.ReportDirective(c.Pos(), "malformed %s directive: want %s <integer>", lockrankPrefix, lockrankPrefix)
 					continue
 				}
 				pos := pass.Fset.Position(c.Pos())
@@ -374,7 +374,7 @@ func declareLockRanks(pass *Pass) {
 	for file, lines := range byLine {
 		for line, r := range lines {
 			if !used[file][line] {
-				pass.Reportf(r.pos, "%s directive does not annotate a sync.Mutex/RWMutex field or package-level variable", lockrankPrefix)
+				pass.ReportDirective(r.pos, "%s directive does not annotate a sync.Mutex/RWMutex field or package-level variable", lockrankPrefix)
 			}
 		}
 	}

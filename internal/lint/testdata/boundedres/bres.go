@@ -1,0 +1,84 @@
+// Package bres exercises the boundedres analyzer inside its package scope:
+// growth sites reachable from a net.Conn handler (directly, through calls,
+// and through an interface-method dispatch), the declared-and-enforced
+// bound that stays silent, a declared-but-unenforced bound, directive
+// hygiene, and an unreachable function whose growth is out of contract.
+package bres
+
+import "net"
+
+const maxPending = 8
+
+type srv struct {
+	pending map[string]int
+	obs     []float64
+}
+
+func handle(conn net.Conn, s *srv, q chan float64) {
+	s.record("x", 1)
+	s.push(2)
+	s.pushUnchecked(3)
+	s.enqueue(q, 4)
+
+	var c codec = jsonCodec{}
+	c.read(s)
+
+	// Local accumulation dies with the request: exempt.
+	local := make([]float64, 0, 4)
+	local = append(local, 5)
+	_ = local
+	_ = conn
+}
+
+func (s *srv) record(k string, v int) {
+	s.pending[k] = v // want "map insert into s.pending grows per-request state"
+}
+
+// push is the declared-and-enforced pattern: silent.
+func (s *srv) push(v float64) {
+	if len(s.obs) >= maxPending {
+		return
+	}
+	//paralint:bounded maxPending
+	s.obs = append(s.obs, v)
+}
+
+// pushUnchecked declares a bound but never compares against it.
+func (s *srv) pushUnchecked(v float64) {
+	//paralint:bounded maxPending
+	s.obs = append(s.obs, v) // want "declares bound .maxPending. but no comparison in pushUnchecked enforces it"
+}
+
+// newQueue's non-constant capacity makes chan float64 a dynamically-sized
+// queue, so sends on it are growth sites.
+func newQueue(n int) chan float64 {
+	return make(chan float64, n)
+}
+
+func (s *srv) enqueue(q chan float64, v float64) {
+	q <- v // want "send on dynamically-buffered channel q grows per-request state"
+}
+
+// The interface hop: handle calls codec.read, which only the concrete-method
+// expansion can follow.
+type codec interface {
+	read(s *srv)
+}
+
+type jsonCodec struct{}
+
+func (jsonCodec) read(s *srv) {
+	s.pending["j"] = 1 // want "map insert into s.pending grows per-request state"
+}
+
+// offline is never reached from a connection handler; its growth is outside
+// the contract and must stay silent.
+func (s *srv) offline(v float64) {
+	s.obs = append(s.obs, v)
+}
+
+//paralint:bounded // want "malformed ..paralint:bounded directive"
+var pad1 int
+
+//paralint:bounded maxPending // want ".paralint:bounded directive does not annotate a growth site"
+var pad2 int

@@ -1,0 +1,15 @@
+// Package dep stands in for the measurement store in the boundedres
+// cross-package test: Observe grows a field with no declared bound, which
+// is legal here (out of scope) but exports a GrowthSites fact the scoped
+// importer inherits at its call site.
+package dep
+
+// Store accumulates observations without bound.
+type Store struct {
+	obs []float64
+}
+
+// Observe appends one observation.
+func (st *Store) Observe(v float64) {
+	st.obs = append(st.obs, v)
+}

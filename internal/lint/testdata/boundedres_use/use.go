@@ -1,0 +1,15 @@
+// Package use is the scoped side of the boundedres cross-package test: the
+// dependency's unbounded growth is only visible here through the imported
+// GrowthSites fact, reported at the call on the handler path.
+package use
+
+import (
+	"net"
+
+	measuredb "paratune/internal/measuredb"
+)
+
+func handle(conn net.Conn, db *measuredb.Store) {
+	db.Observe(1) // want "call to .*Observe grows unbounded per-request state"
+	_ = conn
+}

@@ -1,0 +1,68 @@
+// Package buf exercises the bufalias analyzer: a //paralint:framebuf
+// reader, every retention shape (field store, channel send, goroutine
+// capture, retaining callee), the sanctioned copy that launders the taint,
+// and the two directive hygiene findings.
+package buf
+
+type conn struct {
+	rbuf []byte
+	held []byte
+}
+
+// readFrame returns the next frame's payload as a view of the connection
+// read buffer, valid only until the next read.
+//
+//paralint:framebuf
+func (c *conn) readFrame() ([]byte, error) {
+	return c.rbuf[:4], nil
+}
+
+func (c *conn) process(ch chan []byte) {
+	p, _ := c.readFrame()
+	c.held = p  // want "stored to a struct field"
+	ch <- p     // want "sent on a channel"
+	go func() { // want "captured by a spawned goroutine"
+		_ = p
+	}()
+	keep(p) // want "passed to keep, which retains it"
+
+	// The sanctioned copy: append onto a nil slice launders the taint.
+	q, _ := c.readFrame()
+	c.held = append([]byte(nil), q...)
+
+	// A field of a function-local struct value dies with the frame.
+	var dec struct{ b []byte }
+	dec.b = q
+	_ = dec
+}
+
+// peek returns a frame-aliased view without its own directive; the origin
+// property propagates through the return.
+func (c *conn) peek() []byte {
+	p, _ := c.readFrame()
+	return p[:2]
+}
+
+func (c *conn) misuse() {
+	c.held = c.peek() // want "stored to a struct field"
+}
+
+type registry struct {
+	last []byte
+}
+
+var reg registry
+
+// keep retains its parameter past the call — the BufRetains fact callers
+// see.
+func keep(b []byte) {
+	reg.last = b
+}
+
+//paralint:framebuf // want "directive on frameCount, which returns no ..byte"
+func frameCount() int {
+	return 0
+}
+
+//paralint:framebuf // want "directive does not annotate a function declaration"
+var frames int

@@ -1,0 +1,30 @@
+// Package dep stands in for the wire codec package in the bufalias
+// cross-package test: ReadFrame's //paralint:framebuf exports a BufOrigin
+// fact, and Keep's parameter retention exports BufRetains — both consumed
+// by the importing package.
+package dep
+
+// Conn owns a connection read buffer.
+type Conn struct {
+	rbuf []byte
+}
+
+// ReadFrame returns the next frame's payload as a view of the read buffer,
+// valid only until the next read.
+//
+//paralint:framebuf
+func (c *Conn) ReadFrame() []byte {
+	return c.rbuf
+}
+
+type registry struct {
+	last []byte
+}
+
+var reg registry
+
+// Keep retains b past the call. Legal against a caller-owned buffer; a
+// frame-aliased argument is the importer's bug.
+func Keep(b []byte) {
+	reg.last = b
+}

@@ -1,0 +1,21 @@
+// Package fix is the bufalias fix-roundtrip fixture: exactly one finding,
+// whose suggested fix copies the frame buffer; after applying it the
+// package must re-analyze clean.
+package fix
+
+type conn struct {
+	rbuf []byte
+	held []byte
+}
+
+// readFrame returns a view of the connection read buffer.
+//
+//paralint:framebuf
+func (c *conn) readFrame() []byte {
+	return c.rbuf
+}
+
+func (c *conn) stash() {
+	p := c.readFrame()
+	c.held = p
+}

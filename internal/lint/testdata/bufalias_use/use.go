@@ -1,0 +1,18 @@
+// Package use is the importing side of the bufalias cross-package test:
+// the frame origin and the parameter retention are both visible only
+// through the dependency's exported facts.
+package use
+
+import (
+	measuredb "paratune/internal/measuredb"
+)
+
+type server struct {
+	held []byte
+}
+
+func (s *server) frame(c *measuredb.Conn) {
+	p := c.ReadFrame()
+	s.held = p        // want "stored to a struct field"
+	measuredb.Keep(p) // want "passed to Keep, which retains it"
+}

@@ -1,0 +1,79 @@
+// Package selftest is the driver's own regression fixture: one finding per
+// wire-path rule plus one directive-category finding, analyzed by CI with
+//
+//	go run ./cmd/paralint -rules wireproto,bufalias,boundedres -json \
+//	    ./internal/lint/testdata/selftest
+//
+// and diffed against ci/paralint-selftest.json. The malformed directive at
+// the bottom pins exit status 3. Wildcard patterns (./...) never reach this
+// package — testdata directories are invisible to them — so the repo's own
+// lint gate stays clean.
+package selftest
+
+// The frozen wire block: opCode covers both ops, opName forgets opPong, so
+// wireproto reports the inverse drift at the decoder switch.
+const (
+	opPing = 1
+	opPong = 2
+)
+
+func opCode(name string) (int, bool) {
+	switch name {
+	case "ping":
+		return opPing, true
+	case "pong":
+		return opPong, true
+	}
+	return 0, false
+}
+
+func opName(code int) (string, bool) {
+	switch code {
+	case opPing:
+		return "ping", true
+	}
+	return "", false
+}
+
+type conn struct {
+	rbuf []byte
+	held []byte
+}
+
+// readFrame returns a view of the connection read buffer.
+//
+//paralint:framebuf
+func (c *conn) readFrame() []byte {
+	return c.rbuf
+}
+
+// stash retains the frame view past the frame lifetime: bufalias reports it
+// and offers the copy fix.
+func (c *conn) stash() {
+	p := c.readFrame()
+	c.held = p
+}
+
+const maxSamples = 16
+
+type gauge struct {
+	samples []float64
+}
+
+// add declares a bound it never compares against: boundedres reports the
+// unenforced declaration.
+func (g *gauge) add(v float64) {
+	//paralint:bounded maxSamples
+	g.samples = append(g.samples, v)
+}
+
+//paralint:bounded
+var pad int
+
+var (
+	_ = opCode
+	_ = opName
+	_ = (*conn).stash
+	_ = (*gauge).add
+	_ = pad
+)

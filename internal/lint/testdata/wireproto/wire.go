@@ -1,0 +1,86 @@
+// Package wire exercises the wireproto analyzer in one package: a drifting
+// op table (encoder and decoder disagree three ways), a dispatch switch
+// with a missing arm, and a server-built error code no comparison ever
+// classifies. The kind pair below it is clean and must stay silent.
+package wire
+
+// The frozen opcode block: order and values are wire format. opGamma is
+// declared but not encodable — the exhaustiveness finding.
+const (
+	opAlpha byte = iota + 1
+	opBeta
+	opGamma
+)
+
+const (
+	codeBadValue = "bad_value"
+	codeLost     = "lost"
+)
+
+type request struct {
+	Op string
+}
+
+type response struct {
+	Code string
+}
+
+func opCode(name string) (byte, bool) {
+	switch name { // want "missing switch arm"
+	case "alpha":
+		return opAlpha, true
+	case "beta":
+		return opBeta, true
+	}
+	return 0, false
+}
+
+func opName(code byte) (string, bool) {
+	switch code { // want "missing switch arm: opCode encodes .beta. as 2 but opName cannot decode 2"
+	case opAlpha:
+		return "alpha", true
+	case 9:
+		return "ghost", true
+	}
+	return "", false
+}
+
+// dispatch routes a decoded request; "beta" falls through to the unknown-op
+// default, which is exactly the drift the rule reports.
+func dispatch(req *request) response {
+	var r response
+	switch req.Op { // want "missing switch arm: wire op .beta. from the codec table is not dispatched here"
+	case "alpha":
+		r.Code = codeBadValue
+	default:
+		r.Code = codeLost // want "error code .*codeLost .* constructed server-side but no comparison classifies it client-side"
+	}
+	return r
+}
+
+// IsBadValue classifies codeBadValue client-side, so only codeLost drifts.
+func IsBadValue(r *response) bool {
+	return r.Code == codeBadValue
+}
+
+// The kind pair: exact inverses, exhaustive, clean.
+
+func kindCode(name string) (int, bool) {
+	switch name {
+	case "one":
+		return 0, true
+	case "two":
+		return 1, true
+	}
+	return 0, false
+}
+
+func kindName(code int) (string, bool) {
+	switch code {
+	case 0:
+		return "one", true
+	case 1:
+		return "two", true
+	}
+	return "", false
+}

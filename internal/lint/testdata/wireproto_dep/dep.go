@@ -1,0 +1,59 @@
+// Package dep stands in for the wire-owning package in the wireproto
+// cross-package test: its op table is internally consistent, and it exports
+// the WireTable fact on Request.Op plus two error codes — one the importer
+// classifies, one nothing does.
+package dep
+
+// The frozen opcode block.
+const (
+	OpAlpha byte = iota + 1
+	OpBeta
+)
+
+const (
+	// CodeBadValue is classified by the importing package's IsBadValue.
+	CodeBadValue = "bad_value"
+	// CodeLost is constructed below but classified nowhere in the program.
+	CodeLost = "lost"
+)
+
+// Request's Op field carries the WireTable fact into every importer.
+type Request struct {
+	Op string
+}
+
+// Response is the wire reply; Code carries a structured error code.
+type Response struct {
+	Code string
+}
+
+func opCode(name string) (byte, bool) {
+	switch name {
+	case "alpha":
+		return OpAlpha, true
+	case "beta":
+		return OpBeta, true
+	}
+	return 0, false
+}
+
+func opName(code byte) (string, bool) {
+	switch code {
+	case OpAlpha:
+		return "alpha", true
+	case OpBeta:
+		return "beta", true
+	}
+	return "", false
+}
+
+// ErrResponse is the server-side error constructor.
+func ErrResponse(permanent bool) Response {
+	var r Response
+	if permanent {
+		r.Code = CodeBadValue
+	} else {
+		r.Code = CodeLost // want "error code .*CodeLost .* constructed server-side but no comparison classifies it client-side"
+	}
+	return r
+}

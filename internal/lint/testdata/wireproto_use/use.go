@@ -1,0 +1,26 @@
+// Package use is the importing side of the wireproto cross-package test:
+// its dispatch switch misses an op the dependency's codec table encodes —
+// visible only through the imported WireTable fact — and its IsBadValue is
+// the client-side classification that keeps CodeBadValue out of the drift
+// report.
+package use
+
+import (
+	measuredb "paratune/internal/measuredb"
+)
+
+// Dispatch routes a request decoded by the dependency's codec; "beta" is
+// missing, so a real op falls through to the unknown-op path.
+func Dispatch(req *measuredb.Request) measuredb.Response {
+	switch req.Op { // want "missing switch arm: wire op .beta. from the codec table is not dispatched here"
+	case "alpha":
+		return measuredb.ErrResponse(true)
+	}
+	return measuredb.Response{}
+}
+
+// IsBadValue classifies CodeBadValue client-side, across the package
+// boundary.
+func IsBadValue(r measuredb.Response) bool {
+	return r.Code == measuredb.CodeBadValue
+}

@@ -1,0 +1,546 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireTable is exported on a string struct field (request.Op, wireParam.Kind)
+// whose package declares a matching code/name codec pair. It carries the
+// complete set of wire names the pair encodes, so any package switching on
+// the field — the dispatch path — can be checked for a missing arm, even
+// across package boundaries.
+type WireTable struct{ Names []string }
+
+// AFact marks WireTable as a paralint fact.
+func (*WireTable) AFact() {}
+
+// WireProto proves the wire protocol's string<->byte tables cannot drift:
+// a `fooCode(string) (byte, bool)` / `fooName(byte) (string, bool)` pair
+// must be exact inverses and exhaustive over the opcode constant block,
+// every switch over a WireTable-carrying field must have an arm per wire
+// name, and every structured error code a server writes into a response
+// Code field must be classified by some client-side comparison.
+var WireProto = &Analyzer{
+	Name:      "wireproto",
+	Doc:       "wire code/name tables are exact inverses and exhaustive, dispatch switches cover every op, and server-built error codes have client-side classification",
+	FactTypes: []Fact{(*WireTable)(nil)},
+	Run:       runWireProto,
+}
+
+// codecHalf is one parsed half of a code/name pair: the function, its
+// switch, and the mapping the switch encodes.
+type codecHalf struct {
+	decl *ast.FuncDecl
+	sw   *ast.SwitchStmt
+	// fwd is the encoder direction (name -> code); rev the decoder
+	// (code -> name). Exactly one is non-nil per half.
+	fwd map[string]int64
+	rev map[int64]string
+	// consts are the named package-level constants the encoder returns,
+	// for the exhaustiveness check against their const block.
+	consts []*types.Const
+}
+
+func runWireProto(pass *Pass) {
+	encoders := make(map[string]*codecHalf) // keyed by pair prefix ("op", "kind")
+	decoders := make(map[string]*codecHalf)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			switch {
+			case strings.HasSuffix(name, "Code"):
+				if h := parseEncoder(pass, fd); h != nil {
+					encoders[strings.TrimSuffix(name, "Code")] = h
+				}
+			case strings.HasSuffix(name, "Name"):
+				if h := parseDecoder(pass, fd); h != nil {
+					decoders[strings.TrimSuffix(name, "Name")] = h
+				}
+			}
+		}
+	}
+
+	prefixes := make([]string, 0, len(encoders))
+	for p := range encoders {
+		if decoders[p] != nil {
+			prefixes = append(prefixes, p)
+		}
+	}
+	sort.Strings(prefixes)
+
+	for _, prefix := range prefixes {
+		enc, dec := encoders[prefix], decoders[prefix]
+		checkInverse(pass, prefix, enc, dec)
+		checkExhaustive(pass, prefix, enc)
+		exportWireTables(pass, prefix, enc)
+	}
+
+	// The dispatch and error-code checks run for every package: the fact (or
+	// the registry) decides whether anything is at stake here.
+	checkDispatchSwitches(pass)
+	recordErrorCodes(pass)
+}
+
+// parseEncoder recognises `func(string) (<integer>, bool)` whose body is a
+// switch over the parameter with `case "lit": return code, true` arms.
+// Returns nil when the shape does not match — the function simply is not a
+// codec table, which is not a finding.
+func parseEncoder(pass *Pass, fd *ast.FuncDecl) *codecHalf {
+	sig, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	s := sig.Type().(*types.Signature)
+	if s.Params().Len() != 1 || s.Results().Len() != 2 {
+		return nil
+	}
+	if !isBasicKind(s.Params().At(0).Type(), types.IsString) ||
+		!isBasicKind(s.Results().At(0).Type(), types.IsInteger) ||
+		!isBasicKind(s.Results().At(1).Type(), types.IsBoolean) {
+		return nil
+	}
+	sw := paramSwitch(pass, fd)
+	if sw == nil {
+		return nil
+	}
+	h := &codecHalf{decl: fd, sw: sw, fwd: make(map[string]int64)}
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		code, cobj, ok := caseReturnInt(pass, cc)
+		if !ok {
+			return nil
+		}
+		for _, e := range cc.List {
+			name, ok := constString(pass, e)
+			if !ok {
+				return nil
+			}
+			if prev, dup := h.fwd[name]; dup && prev != code {
+				pass.Reportf(e.Pos(), "wire name %q mapped to both %d and %d by %s", name, prev, code, fd.Name.Name)
+			}
+			h.fwd[name] = code
+		}
+		if cobj != nil {
+			h.consts = append(h.consts, cobj)
+		}
+	}
+	if len(h.fwd) == 0 {
+		return nil
+	}
+	return h
+}
+
+// parseDecoder recognises the inverse shape: `func(<integer>) (string, bool)`
+// switching on the parameter with `case code: return "lit", true` arms.
+func parseDecoder(pass *Pass, fd *ast.FuncDecl) *codecHalf {
+	sig, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	s := sig.Type().(*types.Signature)
+	if s.Params().Len() != 1 || s.Results().Len() != 2 {
+		return nil
+	}
+	if !isBasicKind(s.Params().At(0).Type(), types.IsInteger) ||
+		!isBasicKind(s.Results().At(0).Type(), types.IsString) ||
+		!isBasicKind(s.Results().At(1).Type(), types.IsBoolean) {
+		return nil
+	}
+	sw := paramSwitch(pass, fd)
+	if sw == nil {
+		return nil
+	}
+	h := &codecHalf{decl: fd, sw: sw, rev: make(map[int64]string)}
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		name, ok := caseReturnString(pass, cc)
+		if !ok {
+			return nil
+		}
+		for _, e := range cc.List {
+			code, ok := constInt(pass, e)
+			if !ok {
+				return nil
+			}
+			if prev, dup := h.rev[code]; dup && prev != name {
+				pass.Reportf(e.Pos(), "wire code %d mapped to both %q and %q by %s", code, prev, name, fd.Name.Name)
+			}
+			h.rev[code] = name
+		}
+	}
+	if len(h.rev) == 0 {
+		return nil
+	}
+	return h
+}
+
+// checkInverse reports every asymmetry between the two halves at the switch
+// missing the arm.
+func checkInverse(pass *Pass, prefix string, enc, dec *codecHalf) {
+	names := make([]string, 0, len(enc.fwd))
+	for n := range enc.fwd {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		code := enc.fwd[n]
+		back, ok := dec.rev[code]
+		switch {
+		case !ok:
+			pass.Reportf(dec.sw.Pos(), "missing switch arm: %s encodes %q as %d but %s cannot decode %d",
+				enc.decl.Name.Name, n, code, dec.decl.Name.Name, code)
+		case back != n:
+			pass.Reportf(dec.sw.Pos(), "codec drift: %s encodes %q as %d but %s decodes %d as %q",
+				enc.decl.Name.Name, n, code, dec.decl.Name.Name, code, back)
+		}
+	}
+	codes := make([]int64, 0, len(dec.rev))
+	for c := range dec.rev {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	for _, c := range codes {
+		n := dec.rev[c]
+		if _, ok := enc.fwd[n]; !ok {
+			pass.Reportf(enc.sw.Pos(), "missing switch arm: %s decodes %d as %q but %s cannot encode %q",
+				dec.decl.Name.Name, c, n, enc.decl.Name.Name, n)
+		}
+	}
+}
+
+// checkExhaustive verifies the encoder covers its whole opcode constant
+// block: every constant declared in the same const GenDecl as a returned
+// constant must be encodable, or the wire has an op no name reaches.
+func checkExhaustive(pass *Pass, prefix string, enc *codecHalf) {
+	covered := make(map[int64]bool, len(enc.fwd))
+	for _, c := range enc.fwd {
+		covered[c] = true
+	}
+	blocks := make(map[*ast.GenDecl]bool)
+	for _, c := range enc.consts {
+		if gd := constBlock(pass, c); gd != nil {
+			blocks[gd] = true
+		}
+	}
+	for gd := range blocks {
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				c, ok := pass.Info.Defs[name].(*types.Const)
+				if !ok || c.Val().Kind() != constant.Int {
+					continue
+				}
+				v, _ := constant.Int64Val(c.Val())
+				if !covered[v] {
+					pass.Reportf(enc.sw.Pos(), "missing switch arm: opcode constant %s (= %d) from the frozen wire block is not encodable by %s",
+						c.Name(), v, enc.decl.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// exportWireTables attaches the encoder's name set to every string struct
+// field in the package whose name matches the pair prefix (field Op for the
+// "op" pair, Kind for "kind"), making dispatch switches checkable wherever
+// the struct travels.
+func exportWireTables(pass *Pass, prefix string, enc *codecHalf) {
+	names := make([]string, 0, len(enc.fwd))
+	for n := range enc.fwd {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, fn := range field.Names {
+					if !strings.EqualFold(fn.Name, prefix) {
+						continue
+					}
+					v, ok := pass.Info.Defs[fn].(*types.Var)
+					if ok && isBasicKind(v.Type(), types.IsString) {
+						pass.ExportObjectFact(v, &WireTable{Names: names})
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkDispatchSwitches finds every switch over a WireTable-carrying field
+// and reports wire names with no arm. A default arm does not excuse a
+// missing op: the default is the unknown-op reply, and routing a real op
+// through it is exactly the drift this rule exists to catch.
+func checkDispatchSwitches(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			sel, ok := ast.Unparen(sw.Tag).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil {
+				return true
+			}
+			var table WireTable
+			if !pass.ImportObjectFact(obj, &table) {
+				return true
+			}
+			handled := make(map[string]bool)
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if s, ok := constString(pass, e); ok {
+						handled[s] = true
+					}
+				}
+			}
+			for _, name := range table.Names {
+				if !handled[name] {
+					pass.Reportf(sw.Pos(), "missing switch arm: wire op %q from the codec table is not dispatched here", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// recordErrorCodes feeds the whole-program error-code registry: a string
+// constant written into a field named Code is a construction; the same
+// constant appearing in any ==/!= comparison or switch case is a
+// classification. The finalizer reports constructed-but-never-classified
+// codes (see wireCodeDrift).
+func recordErrorCodes(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Code" || i >= len(n.Rhs) {
+						continue
+					}
+					recordConstruction(pass, n.Rhs[i])
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Code" {
+						recordConstruction(pass, kv.Value)
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					recordClassification(pass, n.X)
+					recordClassification(pass, n.Y)
+				}
+			case *ast.CaseClause:
+				for _, e := range n.List {
+					recordClassification(pass, e)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func recordConstruction(pass *Pass, e ast.Expr) {
+	c := stringConstObj(pass, e)
+	if c == nil {
+		return
+	}
+	pos := pass.Fset.Position(e.Pos())
+	pass.facts.addWireConstructed(wireConstKey(c), wireCodeUse{
+		Code:    constant.StringVal(c.Val()),
+		Pos:     pos,
+		Allowed: pass.suppressedAt(pos),
+	})
+}
+
+func recordClassification(pass *Pass, e ast.Expr) {
+	if c := stringConstObj(pass, e); c != nil {
+		pass.facts.addWireClassified(wireConstKey(c))
+	}
+}
+
+// wireConstKey is the registry key for a code constant.
+func wireConstKey(c *types.Const) string {
+	if c.Pkg() == nil {
+		return c.Name()
+	}
+	return c.Pkg().Path() + "." + c.Name()
+}
+
+// stringConstObj resolves e to a declared (non-universe) string constant.
+func stringConstObj(pass *Pass, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, ok := pass.Info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || c.Val().Kind() != constant.String {
+		return nil
+	}
+	return c
+}
+
+// --- small shape helpers ---
+
+// isBasicKind reports whether t's underlying type is a basic type with the
+// given info bit (string, integer, boolean).
+func isBasicKind(t types.Type, info types.BasicInfo) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&info != 0
+}
+
+// paramSwitch returns the function's top-level switch over its sole
+// parameter, when the body consists of exactly that switch followed by a
+// final return, and every case body is a two-result return.
+func paramSwitch(pass *Pass, fd *ast.FuncDecl) *ast.SwitchStmt {
+	var param types.Object
+	for _, f := range fd.Type.Params.List {
+		for _, n := range f.Names {
+			param = pass.Info.Defs[n]
+		}
+	}
+	if param == nil {
+		return nil
+	}
+	for _, stmt := range fd.Body.List {
+		sw, ok := stmt.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil || sw.Init != nil {
+			continue
+		}
+		id, ok := ast.Unparen(sw.Tag).(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != param {
+			continue
+		}
+		for _, s := range sw.Body.List {
+			cc, ok := s.(*ast.CaseClause)
+			if !ok || cc.List == nil { // default arm disqualifies the table shape
+				return nil
+			}
+		}
+		return sw
+	}
+	return nil
+}
+
+// caseReturnInt extracts the integer constant (and, when named, its
+// *types.Const) from a `return code, true` case body.
+func caseReturnInt(pass *Pass, cc *ast.CaseClause) (int64, *types.Const, bool) {
+	ret := soleReturn(cc)
+	if ret == nil || !isTrueExpr(pass, ret.Results[1]) {
+		return 0, nil, false
+	}
+	v, ok := constInt(pass, ret.Results[0])
+	if !ok {
+		return 0, nil, false
+	}
+	var named *types.Const
+	if id, ok := ast.Unparen(ret.Results[0]).(*ast.Ident); ok {
+		if c, ok := pass.Info.Uses[id].(*types.Const); ok && c.Pkg() == pass.Pkg {
+			named = c
+		}
+	}
+	return v, named, true
+}
+
+// caseReturnString extracts the string constant from a `return "lit", true`
+// case body.
+func caseReturnString(pass *Pass, cc *ast.CaseClause) (string, bool) {
+	ret := soleReturn(cc)
+	if ret == nil || !isTrueExpr(pass, ret.Results[1]) {
+		return "", false
+	}
+	return constString(pass, ret.Results[0])
+}
+
+// soleReturn returns the case body's single two-result return statement.
+func soleReturn(cc *ast.CaseClause) *ast.ReturnStmt {
+	if len(cc.Body) != 1 {
+		return nil
+	}
+	ret, ok := cc.Body[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 2 {
+		return nil
+	}
+	return ret
+}
+
+func isTrueExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && constant.BoolVal(tv.Value)
+}
+
+func constInt(pass *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// constBlock finds the const GenDecl declaring c in this package's files.
+func constBlock(pass *Pass, c *types.Const) *ast.GenDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if pass.Info.Defs[name] == c {
+						return gd
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
