@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-fix lint-sarif lint-selftest test race bench bench-json bench-smoke trace-smoke db-smoke chaos-smoke load-smoke fuzz results examples clean
+.PHONY: all build lint lint-fix lint-sarif lint-selftest test race bench bench-json bench-smoke trace-smoke db-smoke chaos-smoke load-smoke fed-smoke fuzz results examples clean
 
 # Baseline number for bench-json artefacts (BENCH_$(N).json).
-N ?= 9
+N ?= 10
 
 all: build test
 
@@ -105,6 +105,14 @@ chaos-smoke:
 load-smoke:
 	$(GO) run -race ./cmd/harmonyload -sessions 256 -duration 5s -wire binary -batch 16
 
+# Federation smoke: two harmonyd peers tune in partition, one anti-entropy
+# round unions their measurement databases (byte-identical exports, second
+# round ships nothing), and a third peer that never measured anything
+# warm-starts from live -peers sync to reproduce the partitioned best point
+# with zero client measurements and zero db_misses.
+fed-smoke:
+	bash scripts/fed-smoke.sh
+
 # Brief fuzzing passes over the parsing/projection boundaries.
 fuzz:
 	$(GO) test -fuzz FuzzProject -fuzztime 15s ./internal/space/
@@ -115,6 +123,7 @@ fuzz:
 	$(GO) test -fuzz FuzzLoadDB -fuzztime 15s ./internal/objective/
 	$(GO) test -fuzz FuzzWALDecode -fuzztime 15s ./internal/measuredb/
 	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime 15s ./internal/measuredb/
+	$(GO) test -fuzz FuzzSyncFrameDecode -fuzztime 15s ./internal/feddb/
 
 # Full-scale regeneration of every paper figure, ablation and extension
 # (~3 minutes), plus the consolidated markdown report.

@@ -8,7 +8,8 @@
 //	harmonyd [-addr :7779] [-samples 3] [-estimator min]
 //	         [-checkpoint tuning.ckpt] [-checkpoint-interval 30s]
 //	         [-measure-timeout 30s] [-idle-timeout 0] [-trace events.jsonl]
-//	         [-db dir] [-supervise] [-max-restarts 10]
+//	         [-db dir] [-db-origin name] [-peers host:port,...]
+//	         [-sync-interval 2s] [-supervise] [-max-restarts 10]
 //
 // With -checkpoint set, harmonyd restores every session found in the file at
 // startup (a missing file is fine), rewrites it every -checkpoint-interval,
@@ -28,6 +29,16 @@
 // database in that directory, and candidates the store has already resolved
 // are answered without being issued to clients — a restarted harmonyd (even
 // without -checkpoint) warm-starts tuning from everything measured before.
+// Warm-start lookups go through a read-through estimate cache that is
+// invalidated per configuration on every store write.
+//
+// With -peers set (and -db), harmonyd federates: it runs a gossip-style
+// anti-entropy round against every peer each -sync-interval, pulling frames
+// it is missing and pushing frames the peer is missing, so every peer
+// converges on the union of all measurements. A peer far behind is caught up
+// with a resumable snapshot transfer instead of frame-by-frame segments.
+// -db-origin names this store's identity in federated merges (defaults to a
+// seed-derived name; distinct peers must use distinct origins).
 //
 // With -trace set, every session's lifecycle and optimiser iterations are
 // appended to the file as JSONL events (the cmd/traceanalyze format).
@@ -45,6 +56,7 @@ import (
 	"time"
 
 	"paratune/internal/event"
+	"paratune/internal/feddb"
 	"paratune/internal/harmony"
 	"paratune/internal/measuredb"
 	"paratune/internal/sample"
@@ -61,6 +73,9 @@ func main() {
 		idleExpiry  = flag.Duration("idle-timeout", 0, "drop sessions idle this long (0 = never)")
 		trace       = flag.String("trace", "", "append session lifecycle and iteration events to this JSONL file (\"-\" for stdout)")
 		dbDir       = flag.String("db", "", "persist measurements to (and warm-start from) the measurement database in this directory")
+		dbOrigin    = flag.String("db-origin", "", "this store's origin name in federated merges (default: derived from the seed)")
+		peers       = flag.String("peers", "", "comma-separated peer addresses to run anti-entropy sync against (requires -db)")
+		syncEvery   = flag.Duration("sync-interval", 2*time.Second, "how often to sync with each -peers address")
 		supervise   = flag.Bool("supervise", false, "run a supervisor that re-execs this binary as a worker and restarts it on abnormal exit")
 		maxRestarts = flag.Int("max-restarts", 10, "with -supervise: give up after this many abnormal worker exits")
 		maxPending  = flag.Int("max-pending-reports", 0, "per-session surplus-measurement queue bound before backpressure (0 = default 4096, <0 = unbounded)")
@@ -99,7 +114,7 @@ func main() {
 	}
 	var db *measuredb.Store
 	if *dbDir != "" {
-		var dbOpts measuredb.Options
+		dbOpts := measuredb.Options{Origin: *dbOrigin}
 		if rec != nil {
 			dbOpts.Recorder = rec
 		}
@@ -108,12 +123,16 @@ func main() {
 			fatal(err)
 		}
 		configs, obs := db.Stats()
-		fmt.Printf("harmonyd: measurement db %s (%d configs, %d observations)\n", *dbDir, configs, obs)
+		fmt.Printf("harmonyd: measurement db %s origin %s (%d configs, %d observations)\n", *dbDir, db.Origin(), configs, obs)
 		if r := db.Recovery(); r != nil {
 			fmt.Fprintf(os.Stderr, "harmonyd: recovered WAL: truncated at byte %d, dropped %d bytes\n",
 				r.TruncatedAt, r.DroppedBytes)
 		}
 		opts.DB = db
+		opts.Cache = feddb.NewCache(db, est, est.K(), 0)
+	}
+	if *peers != "" && db == nil {
+		fatal(fmt.Errorf("-peers requires -db"))
 	}
 	srv := harmony.NewServer(opts)
 
@@ -133,6 +152,23 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("harmonyd listening on %s (estimator %v)\n", l.Addr(), est)
+
+	stopSync := make(chan struct{})
+	if *peers != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		syncOpts := feddb.Options{}
+		if rec != nil {
+			syncOpts.Recorder = rec
+		}
+		syncer := feddb.NewSyncer(db, peerList, nil, syncOpts)
+		go syncer.Run(stopSync, *syncEvery)
+		fmt.Printf("harmonyd: federating with %s every %v\n", strings.Join(peerList, ","), *syncEvery)
+	}
 
 	stopCkpt := make(chan struct{})
 	if *ckptPath != "" && *ckptEvery > 0 {
@@ -158,6 +194,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
+		close(stopSync)
 		close(stopCkpt)
 		if *ckptPath != "" {
 			if err := writeCheckpoint(srv, *ckptPath); err != nil {

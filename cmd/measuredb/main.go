@@ -8,6 +8,13 @@
 //	measuredb export -raw <dir>              raw observations to stdout (JSONL)
 //	measuredb compact <dir>                  fold the WAL into a snapshot
 //	measuredb merge -out <dir> <src>...      merge source stores into one
+//	measuredb sync <dir> <host:port>         anti-entropy round against a harmonyd peer
+//
+// merge and sync are the same set union keyed by each observation's
+// (origin, seq) identity: both are idempotent and order-independent, and
+// both report how many shipped observations the receiver already held.
+// merge validates every source before the destination is touched, so a
+// failed merge never leaves a partial -out store behind.
 //
 // Opening a store replays its write-ahead log; a corrupted tail is truncated
 // at the first bad record and reported on stderr, so info/compact double as
@@ -18,8 +25,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
+
+	"paratune/internal/feddb"
 
 	"paratune/internal/measuredb"
 	"paratune/internal/space"
@@ -39,6 +49,8 @@ func main() {
 		err = runCompact(os.Args[2:])
 	case "merge":
 		err = runMerge(os.Args[2:])
+	case "sync":
+		err = runSync(os.Args[2:])
 	default:
 		usage()
 	}
@@ -56,7 +68,8 @@ commands:
   export   [-format csv|jsonl] [-raw] <dir>
                                   write aggregates (or raw observations) to stdout
   compact  <dir>                  fold the write-ahead log into a snapshot
-  merge    -out <dir> <src>...    merge source stores into a new one`)
+  merge    -out <dir> <src>...    merge source stores into a new one
+  sync     <dir> <host:port>      run one anti-entropy round against a peer`)
 	os.Exit(2)
 }
 
@@ -232,26 +245,71 @@ func runMerge(args []string) error {
 			return fmt.Errorf("merge: %s is bound to space %q, but earlier sources use %q", dir, ssig, sig)
 		}
 	}
+	// Stage the whole union in memory first: every cross-source conflict
+	// (space mismatch above, diverged origin histories here) surfaces before
+	// the -out directory is created or touched, so a failed merge never
+	// leaves a partial destination behind.
+	staging := measuredb.NewMemory(measuredb.Options{Seed: seed, Space: sig})
+	var stats measuredb.MergeStats
+	for i, s := range srcs {
+		st, err := staging.Merge(s)
+		if err != nil {
+			return fmt.Errorf("merge: %s: %w", fs.Arg(i), err)
+		}
+		stats.Applied += st.Applied
+		stats.Duplicates += st.Duplicates
+	}
 	dst, err := measuredb.Open(*out, measuredb.Options{Seed: seed, Space: sig})
 	if err != nil {
 		return err
 	}
-	for _, s := range srcs {
-		s.ForEachRaw(func(p space.Point, obs []float64) {
-			for _, v := range obs {
-				dst.Observe(p, v)
-			}
-		})
-	}
-	if err := dst.Err(); err != nil {
+	st, err := dst.Merge(staging)
+	if err != nil {
 		dst.Close()
 		return err
 	}
+	stats.Duplicates += st.Duplicates
 	if err := dst.Compact(); err != nil {
 		dst.Close()
 		return err
 	}
 	configs, obs := dst.Stats()
 	fmt.Printf("merged %d store(s) into %s: %d configs, %d observations\n", len(srcs), *out, configs, obs)
+	fmt.Printf("%d duplicate observations skipped\n", stats.Duplicates)
 	return dst.Close()
+}
+
+func runSync(args []string) error {
+	fs := flag.NewFlagSet("sync", flag.ExitOnError)
+	snapLag := fs.Int("snapshot-lag", 0, "pull lag above which the round ships a snapshot instead of segments (0 = default 512, <0 = never)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("sync: want <dir> <host:port>, got %d args", fs.NArg())
+	}
+	dir, addr := fs.Arg(0), fs.Arg(1)
+	s, err := open(dir)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	stats, err := feddb.Sync(conn, s, addr, feddb.Options{SnapshotLag: *snapLag})
+	if err != nil {
+		return err
+	}
+	// Fold the pulled frames into a snapshot, like merge does: compacting
+	// also persists a space binding adopted from the peer, which the WAL
+	// header (written at store creation) cannot carry retroactively.
+	if err := s.Compact(); err != nil {
+		return err
+	}
+	if stats.Snapshot {
+		fmt.Printf("snapshot transfer: %d bytes\n", stats.SnapshotBytes)
+	}
+	fmt.Printf("pulled %d, pushed %d, %d duplicate observations skipped\n", stats.Pulled, stats.Pushed, stats.Duplicates)
+	return nil
 }

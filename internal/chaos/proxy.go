@@ -20,6 +20,12 @@ import (
 // breaking the same-seed plan-replay contract between JSON and binary runs.
 const binPreamble = "PHWIRE1\n"
 
+// syncPreamble mirrors the feddb anti-entropy protocol's PHSYNC1 preamble.
+// Sync frames share the PHWIRE1 envelope (uvarint length | crc32 | payload),
+// so a sync link is relayed — and faulted — exactly like a binary tuning
+// link, fault for fault under the same deterministic schedule.
+const syncPreamble = "PHSYNC1\n"
+
 // maxBinFrame mirrors the harmony codec's 1MB frame bound; a length prefix
 // above it means the stream is not actually framed binary and the link is
 // dropped rather than buffered without bound.
@@ -186,7 +192,10 @@ func (p *Proxy) forward(link, dir int, src, dst net.Conn, bin *atomic.Bool) {
 		}
 		if first[0] == binPreamble[0] {
 			var magic [len(binPreamble)]byte
-			if _, err := io.ReadFull(rd, magic[:]); err != nil || string(magic[:]) != binPreamble {
+			if _, err := io.ReadFull(rd, magic[:]); err != nil {
+				return
+			}
+			if string(magic[:]) != binPreamble && string(magic[:]) != syncPreamble {
 				return
 			}
 			if _, err := dst.Write(magic[:]); err != nil {

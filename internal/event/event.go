@@ -41,6 +41,11 @@ const (
 	KindBackpressure = "backpressure"
 	KindBatchFetch   = "batch_fetch"
 	KindBatchReport  = "batch_report"
+
+	KindSyncStart    = "sync_start"
+	KindSyncSegments = "sync_segments"
+	KindSyncSnapshot = "sync_snapshot"
+	KindSyncComplete = "sync_complete"
 )
 
 // RunStart opens one tuning run.
@@ -190,6 +195,11 @@ type DBHit struct {
 	Value float64 `json:"value"`
 	// Count is the number of stored observations backing the estimate.
 	Count int `json:"count"`
+	// Source is "federated" when any backing observation was first recorded
+	// by a different store and reached this one through sync or merge;
+	// empty (omitted) for purely local hits, keeping single-node traces
+	// unchanged.
+	Source string `json:"source,omitempty"`
 	// VTime is the virtual time at the lookup, when the caller has a clock.
 	VTime float64 `json:"vtime,omitempty"`
 }
@@ -376,6 +386,86 @@ type BatchReport struct {
 
 // EventKind implements Event.
 func (BatchReport) EventKind() string { return KindBatchReport }
+
+// SyncStart opens one anti-entropy round against a peer, after the digest
+// exchange has established how far apart the two stores are. Sync timing
+// depends on real network traffic, so sync events are observability data,
+// not part of the single-node byte-identity contract (which federation never
+// touches: the local WAL is append-only and never reordered).
+type SyncStart struct {
+	// Peer is the remote address (or a test-supplied label).
+	Peer string `json:"peer"`
+	// PullLag is the total frame count the peer holds that we don't.
+	PullLag uint64 `json:"pull_lag"`
+	// PushLag is the total frame count we hold that the peer doesn't.
+	PushLag uint64 `json:"push_lag"`
+	// Origins is how many distinct origins the two digests mention.
+	Origins int `json:"origins"`
+}
+
+// EventKind implements Event.
+func (SyncStart) EventKind() string { return KindSyncStart }
+
+// SyncSegments reports one shipped WAL segment: a contiguous run of one
+// origin's frames pulled from (or pushed to) a peer.
+type SyncSegments struct {
+	// Peer is the remote address.
+	Peer string `json:"peer"`
+	// Origin is the history the frames belong to.
+	Origin string `json:"origin"`
+	// Dir is "pull" (peer → local) or "push" (local → peer).
+	Dir string `json:"dir"`
+	// From is the first sequence in the segment.
+	From uint64 `json:"from"`
+	// Frames is how many frames the segment carried.
+	Frames int `json:"frames"`
+	// Duplicates is how many of them the receiver already held.
+	Duplicates int `json:"duplicates,omitempty"`
+}
+
+// EventKind implements Event.
+func (SyncSegments) EventKind() string { return KindSyncSegments }
+
+// SyncSnapshot reports a snapshot shipment: the cold side's pull lag
+// exceeded the cutover threshold, so the peer's compacted state was
+// transferred in resumable chunks and applied through the set-union core.
+type SyncSnapshot struct {
+	// Peer is the remote address.
+	Peer string `json:"peer"`
+	// Bytes is the snapshot's encoded size.
+	Bytes int `json:"bytes"`
+	// Configs is the number of distinct configurations it carried.
+	Configs int `json:"configs"`
+	// Applied is how many observations were new to the receiver.
+	Applied int `json:"applied"`
+	// Duplicates is how many it already held.
+	Duplicates int `json:"duplicates,omitempty"`
+	// Resumed marks a transfer that continued from a previous partial
+	// download instead of starting over.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// EventKind implements Event.
+func (SyncSnapshot) EventKind() string { return KindSyncSnapshot }
+
+// SyncComplete closes one anti-entropy round. A converged pair reports 0/0:
+// repeated rounds ship nothing (idempotence).
+type SyncComplete struct {
+	// Peer is the remote address.
+	Peer string `json:"peer"`
+	// Pulled is how many frames were applied locally this round.
+	Pulled int `json:"pulled"`
+	// Pushed is how many frames the peer applied from us.
+	Pushed int `json:"pushed"`
+	// Duplicates counts frames shipped in either direction that the
+	// receiver already held.
+	Duplicates int `json:"duplicates,omitempty"`
+	// Snapshot marks a round that cut over to snapshot shipping.
+	Snapshot bool `json:"snapshot,omitempty"`
+}
+
+// EventKind implements Event.
+func (SyncComplete) EventKind() string { return KindSyncComplete }
 
 // FormatValue renders a float for an event payload. Unlike raw JSON numbers
 // it survives NaN and ±Inf, which injected corrupt reports deliberately use.

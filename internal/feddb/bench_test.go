@@ -1,0 +1,67 @@
+package feddb
+
+import (
+	"testing"
+
+	"paratune/internal/measuredb"
+	"paratune/internal/space"
+)
+
+// benchStore builds a store holding frames from several origins, the shape
+// a federated hub settles into.
+func benchStore(origins, perOrigin int) *measuredb.Store {
+	st := measuredb.NewMemory(measuredb.Options{Seed: 7, Origin: "o0"})
+	for o := 0; o < origins; o++ {
+		origin := "o" + string(rune('0'+o))
+		for i := 0; i < perOrigin; i++ {
+			p := space.Point{float64(i % 64), float64(o)}
+			if o == 0 {
+				st.Observe(p, float64(i))
+				continue
+			}
+			if _, err := st.Apply(measuredb.Frame{Origin: origin, Seq: uint64(i + 1), Point: p, Value: float64(i)}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return st
+}
+
+// BenchmarkSyncDigest is the per-round fixed cost: summarising every origin
+// history into the (high, chain-hash) digest peers exchange first.
+func BenchmarkSyncDigest(b *testing.B) {
+	st := benchStore(8, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := st.Digest(); len(d) != 8 {
+			b.Fatalf("digest covers %d origins", len(d))
+		}
+	}
+}
+
+// BenchmarkSegmentShip is the marginal cost of shipping one 512-frame
+// segment: gather from the store, encode the frames message, decode it back.
+func BenchmarkSegmentShip(b *testing.B) {
+	st := benchStore(2, 512)
+	var frames []measuredb.Frame
+	var buf []byte
+	var msg syncMsg
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frames, _, _ = st.AppendFrames(frames[:0], "o1", 1, 512)
+		m := syncMsg{Op: "frames", Origin: "o1", Frames: frames, High: 512, Hash: 1}
+		var err error
+		buf, err = appendSyncMsg(buf[:0], &m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := decodeSyncMsg(buf, &msg); err != nil {
+			b.Fatal(err)
+		}
+		if len(msg.Frames) != 512 {
+			b.Fatalf("round-tripped %d frames", len(msg.Frames))
+		}
+	}
+}

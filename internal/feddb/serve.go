@@ -1,0 +1,170 @@
+package feddb
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"time"
+
+	"paratune/internal/measuredb"
+)
+
+// Serve-side batching bounds. A pull reply must fit the frame cap whatever
+// the configuration dimensionality, so segments are cut by encoded size as
+// well as frame count.
+const (
+	maxPullFrames   = 1024
+	maxSegmentBytes = 256 << 10
+	snapChunkBytes  = 64 << 10
+)
+
+// ServeOptions configures one served sync connection.
+type ServeOptions struct {
+	// Store is the measurement database served to peers.
+	Store *measuredb.Store
+	// ReadTimeout/WriteTimeout bound each frame exchange; 0 means the
+	// defaults (10s).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+}
+
+// ServeConn runs the server side of one PHSYNC1 connection whose 8-byte
+// preamble has already been consumed by the caller's codec sniffer. br is
+// the connection's buffered reader (it may hold frames beyond the
+// preamble). The loop answers hello with the store's digest, pull with WAL
+// segments, push with set-union application, and snappull with resumable
+// snapshot chunks; it returns when the peer disconnects or on the first
+// protocol violation.
+func ServeConn(conn net.Conn, br *bufio.Reader, opts ServeOptions) error {
+	if opts.Store == nil {
+		return fmt.Errorf("feddb: serve: no store")
+	}
+	if opts.ReadTimeout <= 0 {
+		opts.ReadTimeout = 10 * time.Second
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = 10 * time.Second
+	}
+	var wbuf []byte
+	var msg, reply syncMsg
+	// Snapshot bytes are generated once per connection and served in chunks;
+	// the sum lets a reconnecting peer resume mid-transfer as long as the
+	// regenerated snapshot is identical (which deterministic encoding
+	// guarantees for an unchanged store).
+	var snapData []byte
+	var snapSum uint64
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(opts.ReadTimeout)); err != nil {
+			return err
+		}
+		payload, err := readSyncFrame(br)
+		if err != nil {
+			return err
+		}
+		if err := decodeSyncMsg(payload, &msg); err != nil {
+			return err
+		}
+		reply = syncMsg{}
+		fatal := false
+		switch msg.Op {
+		case "hello":
+			st := opts.Store
+			if msg.Space != "" && st.SpaceSig() != "" && msg.Space != st.SpaceSig() {
+				reply = syncMsg{Op: "error", Detail: fmt.Sprintf("space signature mismatch: store is bound to %q", st.SpaceSig())}
+				fatal = true
+				break
+			}
+			reply = syncMsg{Op: "digest", Seed: st.Seed(), Space: st.SpaceSig(), Origins: st.Digest()}
+		case "pull":
+			max := int(msg.Max)
+			if max <= 0 || max > maxPullFrames {
+				max = maxPullFrames
+			}
+			frames, high, hash := opts.Store.AppendFrames(nil, msg.Origin, msg.From, max)
+			reply = syncMsg{Op: "frames", Origin: msg.Origin, Frames: trimFrames(frames), High: high, Hash: hash}
+		case "push":
+			var applied, dups uint64
+			for i := range msg.Frames {
+				//paralint:allow boundedres pushed frames are the replication payload; growth is the shared store, not per-connection state
+				ok, aerr := opts.Store.Apply(msg.Frames[i])
+				if aerr != nil {
+					reply = syncMsg{Op: "error", Detail: aerr.Error()}
+					fatal = true
+					break
+				}
+				if ok {
+					applied++
+				} else {
+					dups++
+				}
+			}
+			if !fatal {
+				reply = syncMsg{Op: "ack", Applied: applied, Dups: dups}
+			}
+		case "snappull":
+			if snapData == nil {
+				snapData = opts.Store.Snapshot()
+				snapSum = snapshotSum(snapData)
+			}
+			off := int(msg.From)
+			if msg.Hash != snapSum || off < 0 || off > len(snapData) {
+				// The peer's partial data belongs to a different snapshot:
+				// restart the transfer from the top.
+				off = 0
+			}
+			end := off + snapChunkBytes
+			if end > len(snapData) {
+				end = len(snapData)
+			}
+			reply = syncMsg{
+				Op:   "snapchunk",
+				Size: uint64(len(snapData)),
+				Hash: snapSum,
+				Data: snapData[off:end],
+				Done: end == len(snapData),
+			}
+		case "digest", "frames", "ack", "snapchunk", "error":
+			// Response ops have no business arriving at the server.
+			reply = syncMsg{Op: "error", Detail: "unexpected op " + msg.Op}
+			fatal = true
+		default:
+			reply = syncMsg{Op: "error", Detail: "unknown op"}
+			fatal = true
+		}
+		if err := conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout)); err != nil {
+			return err
+		}
+		if err := writeSyncMsg(conn, &wbuf, &reply); err != nil {
+			return err
+		}
+		if fatal {
+			return fmt.Errorf("feddb: serve: %s", reply.Detail)
+		}
+	}
+}
+
+// trimFrames cuts a segment at the encoded-size bound so the reply always
+// fits the frame cap.
+func trimFrames(frames []measuredb.Frame) []measuredb.Frame {
+	total := 0
+	for i := range frames {
+		total += frameWireSize(&frames[i])
+		if total > maxSegmentBytes {
+			return frames[:i]
+		}
+	}
+	return frames
+}
+
+// frameWireSize is a conservative upper bound on one frame's encoding.
+func frameWireSize(f *measuredb.Frame) int {
+	return 32 + len(f.Origin) + 8*len(f.Point)
+}
+
+// snapshotSum fingerprints snapshot bytes for chunked-transfer resume.
+func snapshotSum(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}

@@ -1,0 +1,364 @@
+package feddb
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"paratune/internal/event"
+	"paratune/internal/measuredb"
+)
+
+// Options configures one anti-entropy round.
+type Options struct {
+	// SnapshotLag is the pull-lag threshold (total missing frames) above
+	// which the round cuts over from segment pulls to snapshot shipping.
+	// 0 means the default (512); negative disables snapshot shipping.
+	SnapshotLag int
+	// MaxBatch bounds the frames per pull/push message; 0 means 512.
+	MaxBatch int
+	// Recorder receives the sync lifecycle events; nil records nothing.
+	Recorder event.Recorder
+	// ReadTimeout/WriteTimeout bound each frame exchange; 0 means 10s.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// Resume, when non-nil, carries partial snapshot-transfer state across
+	// rounds: a round that dies mid-snapshot leaves its progress here and
+	// the next round continues from that offset instead of re-shipping.
+	Resume *SnapshotResume
+}
+
+// SnapshotResume is a partial snapshot download: the bytes received so far
+// and the fingerprint of the snapshot they belong to.
+type SnapshotResume struct {
+	Sum  uint64
+	Data []byte
+}
+
+// Stats summarises one sync round. A converged pair reports all zeros.
+type Stats struct {
+	// Pulled/Pushed count frames newly applied locally / by the peer.
+	Pulled int
+	Pushed int
+	// Duplicates counts shipped frames the receiver already held.
+	Duplicates int
+	// Snapshot marks a round that cut over to snapshot shipping, of
+	// SnapshotBytes encoded bytes.
+	Snapshot      bool
+	SnapshotBytes int
+}
+
+// syncConn is one client-side sync conversation: sequential request/reply
+// over a deadline-guarded connection.
+type syncConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	wbuf []byte
+	rt   time.Duration
+	wt   time.Duration
+}
+
+// roundTrip writes req and decodes the reply into resp, surfacing protocol
+// error replies as Go errors.
+func (c *syncConn) roundTrip(req, resp *syncMsg) error {
+	if err := c.conn.SetWriteDeadline(time.Now().Add(c.wt)); err != nil {
+		return err
+	}
+	if err := writeSyncMsg(c.conn, &c.wbuf, req); err != nil {
+		return err
+	}
+	if err := c.conn.SetReadDeadline(time.Now().Add(c.rt)); err != nil {
+		return err
+	}
+	payload, err := readSyncFrame(c.br)
+	if err != nil {
+		return err
+	}
+	if err := decodeSyncMsg(payload, resp); err != nil {
+		return err
+	}
+	if resp.Op == "error" {
+		return fmt.Errorf("feddb: peer error: %s", resp.Detail)
+	}
+	return nil
+}
+
+// Sync runs one full anti-entropy round against the peer on conn: digest
+// exchange, snapshot cutover when the local store is too cold, per-origin
+// segment pulls, then pushes of everything the peer is missing. The
+// connection is left open for further rounds; the caller owns closing it.
+// peer is a display label for events (typically the dialled address).
+func Sync(conn net.Conn, store *measuredb.Store, peer string, opts Options) (Stats, error) {
+	var stats Stats
+	if store == nil {
+		return stats, fmt.Errorf("feddb: sync: no store")
+	}
+	if opts.SnapshotLag == 0 {
+		opts.SnapshotLag = 512
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 512
+	}
+	if opts.ReadTimeout <= 0 {
+		opts.ReadTimeout = 10 * time.Second
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = 10 * time.Second
+	}
+	rec := event.OrNop(opts.Recorder)
+	c := &syncConn{conn: conn, br: bufio.NewReaderSize(conn, 64<<10), rt: opts.ReadTimeout, wt: opts.WriteTimeout}
+
+	if err := conn.SetWriteDeadline(time.Now().Add(c.wt)); err != nil {
+		return stats, err
+	}
+	if _, err := conn.Write([]byte(syncMagic)); err != nil {
+		return stats, err
+	}
+
+	local := store.Digest()
+	var remote syncMsg
+	hello := syncMsg{Op: "hello", Seed: store.Seed(), Space: store.SpaceSig(), Origins: local}
+	if err := c.roundTrip(&hello, &remote); err != nil {
+		return stats, err
+	}
+	if remote.Op != "digest" {
+		return stats, fmt.Errorf("feddb: sync: expected digest, got %q", remote.Op)
+	}
+	if remote.Space != "" && store.SpaceSig() != "" && remote.Space != store.SpaceSig() {
+		return stats, fmt.Errorf("feddb: sync: peer is bound to space %q, not %q", remote.Space, store.SpaceSig())
+	}
+	// An unbound store adopts the peer's binding — the same rule Merge
+	// applies — so a freshly-synced store refuses foreign-space writes.
+	if remote.Space != "" && store.SpaceSig() == "" {
+		if err := store.BindSpace(remote.Space); err != nil {
+			return stats, err
+		}
+	}
+
+	// The index maps below are bounded by the two digests; the decoder
+	// already caps the remote one, this check pins the local side too.
+	if len(local) > maxSyncOrigins || len(remote.Origins) > maxSyncOrigins {
+		return stats, fmt.Errorf("feddb: sync: digest lists %d+%d origins, cap %d", len(local), len(remote.Origins), maxSyncOrigins)
+	}
+	localHigh := make(map[string]uint64, len(local))
+	for _, d := range local {
+		localHigh[d.Origin] = d.High //paralint:bounded maxSyncOrigins
+	}
+	var pullLag, pushLag uint64
+	origins := make(map[string]bool, len(local)+len(remote.Origins))
+	for _, d := range remote.Origins {
+		origins[d.Origin] = true //paralint:bounded maxSyncOrigins
+		if lh := localHigh[d.Origin]; d.High > lh {
+			pullLag += d.High - lh
+		}
+	}
+	remoteHigh := make(map[string]uint64, len(remote.Origins))
+	for _, d := range remote.Origins {
+		remoteHigh[d.Origin] = d.High //paralint:bounded maxSyncOrigins
+	}
+	for _, d := range local {
+		origins[d.Origin] = true //paralint:bounded maxSyncOrigins
+		if rh := remoteHigh[d.Origin]; d.High > rh {
+			pushLag += d.High - rh
+		}
+	}
+	rec.Record(event.SyncStart{Peer: peer, PullLag: pullLag, PushLag: pushLag, Origins: len(origins)})
+
+	// Divergence is detectable the moment both sides hold the same prefix:
+	// equal highs must mean equal chain hashes.
+	for _, d := range remote.Origins {
+		if ld, ok := store.DigestOf(d.Origin); ok && ld.High == d.High && ld.Hash != d.Hash {
+			return stats, fmt.Errorf("feddb: sync: origin %s diverged at seq %d (digest hash mismatch)", d.Origin, d.High)
+		}
+	}
+
+	// Snapshot cutover: a peer missing more than SnapshotLag frames fetches
+	// the whole compacted state in resumable chunks instead of dribbling
+	// segments.
+	if opts.SnapshotLag > 0 && pullLag > uint64(opts.SnapshotLag) {
+		if err := pullSnapshot(c, store, peer, &opts, &stats, rec); err != nil {
+			return stats, err
+		}
+	}
+
+	// Segment pulls: per origin, everything past the local high.
+	for _, d := range remote.Origins {
+		if err := pullSegments(c, store, peer, d, &opts, &stats, rec); err != nil {
+			return stats, err
+		}
+	}
+
+	// Push phase: ship everything the peer is missing of what we hold
+	// (including frames we just learned third-hand — the peer's digest is
+	// the baseline, its ack dedups any overlap).
+	for _, d := range store.Digest() {
+		if err := pushSegments(c, store, peer, d, remoteHigh[d.Origin], &opts, &stats, rec); err != nil {
+			return stats, err
+		}
+	}
+
+	rec.Record(event.SyncComplete{
+		Peer: peer, Pulled: stats.Pulled, Pushed: stats.Pushed,
+		Duplicates: stats.Duplicates, Snapshot: stats.Snapshot,
+	})
+	return stats, nil
+}
+
+// pullSnapshot fetches the peer's snapshot in chunks (resuming a previous
+// partial transfer when opts.Resume matches) and applies every observation
+// through the set-union core.
+func pullSnapshot(c *syncConn, store *measuredb.Store, peer string, opts *Options, stats *Stats, rec event.Recorder) error {
+	var data []byte
+	var sum uint64
+	resumed := false
+	if opts.Resume != nil && len(opts.Resume.Data) > 0 {
+		data, sum = opts.Resume.Data, opts.Resume.Sum
+		resumed = true
+	}
+	for {
+		req := syncMsg{Op: "snappull", From: uint64(len(data)), Hash: sum}
+		var resp syncMsg
+		if err := c.roundTrip(&req, &resp); err != nil {
+			// Persist partial progress for the next round before failing.
+			if opts.Resume != nil {
+				opts.Resume.Data, opts.Resume.Sum = data, sum
+			}
+			return err
+		}
+		if resp.Op != "snapchunk" {
+			return fmt.Errorf("feddb: sync: expected snapchunk, got %q", resp.Op)
+		}
+		if resp.Hash != sum {
+			// Different snapshot than our partial data: restart.
+			data, sum, resumed = data[:0], resp.Hash, false
+		}
+		if len(resp.Data) == 0 && !resp.Done {
+			return fmt.Errorf("feddb: sync: snapshot transfer stalled at %d/%d bytes", len(data), resp.Size)
+		}
+		data = append(data, resp.Data...)
+		if uint64(len(data)) > resp.Size {
+			return fmt.Errorf("feddb: sync: snapshot transfer overran (%d > %d bytes)", len(data), resp.Size)
+		}
+		if resp.Done {
+			break
+		}
+	}
+	if opts.Resume != nil {
+		// Transfer complete: the resume slot is spent either way.
+		opts.Resume.Data, opts.Resume.Sum = nil, 0
+	}
+	frames, configs, err := measuredb.SnapshotFrames(data)
+	if err != nil {
+		return fmt.Errorf("feddb: sync: shipped snapshot: %w", err)
+	}
+	applied, dups := 0, 0
+	for i := range frames {
+		//paralint:allow boundedres absorbing the peer's snapshot is the transfer's purpose; growth is the shared store, not per-connection state
+		ok, aerr := store.Apply(frames[i])
+		if aerr != nil {
+			return fmt.Errorf("feddb: sync: apply snapshot frame: %w", aerr)
+		}
+		if ok {
+			applied++
+		} else {
+			dups++
+		}
+	}
+	stats.Pulled += applied
+	stats.Duplicates += dups
+	stats.Snapshot = true
+	stats.SnapshotBytes = len(data)
+	rec.Record(event.SyncSnapshot{
+		Peer: peer, Bytes: len(data), Configs: configs,
+		Applied: applied, Duplicates: dups, Resumed: resumed,
+	})
+	return nil
+}
+
+// pullSegments catches the local store up on one origin, batch by batch,
+// then cross-checks the chain hash once the highs meet.
+func pullSegments(c *syncConn, store *measuredb.Store, peer string, d measuredb.OriginDigest, opts *Options, stats *Stats, rec event.Recorder) error {
+	for {
+		from := store.High(d.Origin) + 1
+		if from > d.High {
+			break
+		}
+		req := syncMsg{Op: "pull", Origin: d.Origin, From: from, Max: uint64(opts.MaxBatch)}
+		var resp syncMsg
+		if err := c.roundTrip(&req, &resp); err != nil {
+			return err
+		}
+		if resp.Op != "frames" {
+			return fmt.Errorf("feddb: sync: expected frames, got %q", resp.Op)
+		}
+		if len(resp.Frames) == 0 {
+			if from <= resp.High {
+				return fmt.Errorf("feddb: sync: origin %s stalled at seq %d (peer high %d)", d.Origin, from, resp.High)
+			}
+			break // the peer regressed below its digest; nothing to ship
+		}
+		applied, dups := 0, 0
+		for i := range resp.Frames {
+			//paralint:allow boundedres pulled segments are bounded by the peer's digest; growth is the shared store, not per-connection state
+			ok, aerr := store.Apply(resp.Frames[i])
+			if aerr != nil {
+				return fmt.Errorf("feddb: sync: apply pulled frame: %w", aerr)
+			}
+			if ok {
+				applied++
+			} else {
+				dups++
+			}
+		}
+		stats.Pulled += applied
+		stats.Duplicates += dups
+		rec.Record(event.SyncSegments{
+			Peer: peer, Origin: d.Origin, Dir: "pull",
+			From: from, Frames: len(resp.Frames), Duplicates: dups,
+		})
+		if ld, ok := store.DigestOf(d.Origin); ok && ld.High == resp.High && ld.Hash != resp.Hash {
+			return fmt.Errorf("feddb: sync: origin %s diverged at seq %d (chain hash mismatch after pull)", d.Origin, ld.High)
+		}
+		if uint64(len(resp.Frames)) < req.Max && store.High(d.Origin) >= d.High {
+			break
+		}
+	}
+	return nil
+}
+
+// pushSegments ships one origin's frames past the peer's acknowledged high.
+func pushSegments(c *syncConn, store *measuredb.Store, peer string, d measuredb.OriginDigest, peerHigh uint64, opts *Options, stats *Stats, rec event.Recorder) error {
+	from := peerHigh + 1
+	buf := make([]measuredb.Frame, 0, opts.MaxBatch)
+	for from <= d.High {
+		var high uint64
+		buf, high, _ = store.AppendFrames(buf[:0], d.Origin, from, opts.MaxBatch)
+		if len(buf) == 0 {
+			break
+		}
+		buf = trimFrames(buf)
+		if len(buf) == 0 {
+			return fmt.Errorf("feddb: sync: origin %s frame at seq %d exceeds segment bound", d.Origin, from)
+		}
+		req := syncMsg{Op: "push", Origin: d.Origin, Frames: buf}
+		var resp syncMsg
+		if err := c.roundTrip(&req, &resp); err != nil {
+			return err
+		}
+		if resp.Op != "ack" {
+			return fmt.Errorf("feddb: sync: expected ack, got %q", resp.Op)
+		}
+		stats.Pushed += int(resp.Applied)
+		stats.Duplicates += int(resp.Dups)
+		rec.Record(event.SyncSegments{
+			Peer: peer, Origin: d.Origin, Dir: "push",
+			From: from, Frames: len(buf), Duplicates: int(resp.Dups),
+		})
+		from = buf[len(buf)-1].Seq + 1
+		if from > high {
+			break
+		}
+	}
+	return nil
+}

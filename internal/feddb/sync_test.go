@@ -1,0 +1,316 @@
+package feddb
+
+import (
+	"bufio"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"paratune/internal/event"
+	"paratune/internal/measuredb"
+	"paratune/internal/space"
+)
+
+func newPeer(t *testing.T, origin string) *measuredb.Store {
+	t.Helper()
+	return measuredb.NewMemory(measuredb.Options{Seed: 42, Origin: origin})
+}
+
+// syncOnce runs one client round against server over an in-process pipe,
+// joining the serve goroutine before returning.
+func syncOnce(t *testing.T, client, server *measuredb.Store, opts Options) (Stats, error) {
+	t.Helper()
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer sc.Close()
+		br := bufio.NewReader(sc)
+		var magic [len(syncMagic)]byte
+		if _, err := io.ReadFull(br, magic[:]); err != nil {
+			return
+		}
+		//paralint:allow errdiscipline the serve loop always ends with the client's close
+		_ = ServeConn(sc, br, ServeOptions{Store: server})
+	}()
+	stats, err := Sync(cc, client, "peer", opts)
+	_ = cc.Close()
+	<-done
+	return stats, err
+}
+
+// framesOf flattens a store into its canonical frame list — every origin's
+// history in (origin, seq) order — the byte-level convergence witness.
+func framesOf(s *measuredb.Store) []measuredb.Frame {
+	var out []measuredb.Frame
+	for _, d := range s.Digest() {
+		out, _, _ = s.AppendFrames(out, d.Origin, 1, 0)
+	}
+	return out
+}
+
+func requireConverged(t *testing.T, stores ...*measuredb.Store) {
+	t.Helper()
+	want := framesOf(stores[0])
+	wantDig := stores[0].Digest()
+	for i, s := range stores[1:] {
+		if !reflect.DeepEqual(s.Digest(), wantDig) {
+			t.Fatalf("store %d digest diverged:\n got %+v\nwant %+v", i+1, s.Digest(), wantDig)
+		}
+		if !reflect.DeepEqual(framesOf(s), want) {
+			t.Fatalf("store %d frames diverged", i+1)
+		}
+	}
+}
+
+func TestPairSyncConvergesBothWays(t *testing.T) {
+	a, b := newPeer(t, "a"), newPeer(t, "b")
+	p1, p2 := space.Point{1, 2}, space.Point{3, 4}
+	for _, v := range []float64{9, 1, 4} {
+		a.Observe(p1, v)
+	}
+	b.Observe(p2, 7)
+	b.Observe(p2, 2)
+
+	var mem event.Memory
+	stats, err := syncOnce(t, a, b, Options{Recorder: &mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pulled != 2 || stats.Pushed != 3 || stats.Duplicates != 0 || stats.Snapshot {
+		t.Fatalf("first round stats = %+v", stats)
+	}
+	requireConverged(t, a, b)
+	if mem.Count(event.KindSyncStart) != 1 || mem.Count(event.KindSyncComplete) != 1 {
+		t.Fatalf("lifecycle events = %d start, %d complete", mem.Count(event.KindSyncStart), mem.Count(event.KindSyncComplete))
+	}
+	if n := mem.Count(event.KindSyncSegments); n != 2 {
+		t.Fatalf("segment events = %d, want 2 (one pull, one push)", n)
+	}
+
+	// A converged pair's next round ships nothing at all.
+	var quiet event.Memory
+	stats, err = syncOnce(t, a, b, Options{Recorder: &quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != (Stats{}) {
+		t.Fatalf("converged round stats = %+v, want all zero", stats)
+	}
+	if n := quiet.Count(event.KindSyncSegments); n != 0 {
+		t.Fatalf("converged round still shipped %d segments", n)
+	}
+
+	// Aggregates agree bitwise on both sides.
+	for _, p := range []space.Point{p1, p2} {
+		av, aok := a.Aggregate(p)
+		bv, bok := b.Aggregate(p)
+		if !aok || !bok || !reflect.DeepEqual(av, bv) {
+			t.Fatalf("aggregate mismatch at %v: %+v vs %+v", p, av, bv)
+		}
+	}
+}
+
+// TestThreePeerAnyOrderConverges is the convergence property test: three
+// peers observing disjoint (and overlapping) configurations, synced in a
+// seeded random pairing order with observations interleaved, always end up
+// with byte-identical frame histories after closing rounds — set union is
+// idempotent and order-independent.
+func TestThreePeerAnyOrderConverges(t *testing.T) {
+	for _, seed := range []int64{1, 7, 1234} {
+		rng := rand.New(rand.NewSource(seed))
+		stores := []*measuredb.Store{newPeer(t, "a"), newPeer(t, "b"), newPeer(t, "c")}
+		for round := 0; round < 24; round++ {
+			// Some peer measures something (overlapping configurations on
+			// purpose: same point, different origins).
+			s := stores[rng.Intn(len(stores))]
+			p := space.Point{float64(rng.Intn(4)), float64(rng.Intn(4))}
+			s.Observe(p, float64(rng.Intn(100)))
+			// A random ordered pair syncs.
+			i := rng.Intn(len(stores))
+			j := rng.Intn(len(stores) - 1)
+			if j >= i {
+				j++
+			}
+			if _, err := syncOnce(t, stores[i], stores[j], Options{}); err != nil {
+				t.Fatalf("seed %d round %d sync %d->%d: %v", seed, round, i, j, err)
+			}
+		}
+		// Closing rounds: every ordered pair once is enough to flood-fill
+		// three peers (each round is bidirectional).
+		for i := range stores {
+			for j := range stores {
+				if i == j {
+					continue
+				}
+				if _, err := syncOnce(t, stores[i], stores[j], Options{}); err != nil {
+					t.Fatalf("seed %d closing sync %d->%d: %v", seed, i, j, err)
+				}
+			}
+		}
+		requireConverged(t, stores...)
+		// And the fixed point is quiet: one more full pass ships zero.
+		for i := range stores {
+			for j := range stores {
+				if i == j {
+					continue
+				}
+				stats, err := syncOnce(t, stores[i], stores[j], Options{})
+				if err != nil {
+					t.Fatalf("seed %d fixed-point sync %d->%d: %v", seed, i, j, err)
+				}
+				if stats != (Stats{}) {
+					t.Fatalf("seed %d fixed-point sync %d->%d shipped %+v", seed, i, j, stats)
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotCutover(t *testing.T) {
+	server, client := newPeer(t, "srv"), newPeer(t, "cli")
+	for i := 0; i < 60; i++ {
+		server.Observe(space.Point{float64(i)}, float64(i)/2)
+	}
+	var mem event.Memory
+	stats, err := syncOnce(t, client, server, Options{SnapshotLag: 20, Recorder: &mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Snapshot || stats.Pulled != 60 || stats.SnapshotBytes == 0 {
+		t.Fatalf("cutover stats = %+v", stats)
+	}
+	if mem.Count(event.KindSyncSnapshot) != 1 {
+		t.Fatal("no sync_snapshot event")
+	}
+	requireConverged(t, client, server)
+	// After the snapshot landed, no segment pulls were needed on top.
+	if n := mem.Count(event.KindSyncSegments); n != 0 {
+		t.Fatalf("snapshot round also shipped %d segment batches", n)
+	}
+}
+
+// readLimitConn severs the connection (from the client's point of view)
+// after limit bytes have been read — a deterministic stand-in for a peer
+// dying mid-transfer.
+type readLimitConn struct {
+	net.Conn
+	left int
+}
+
+func (c *readLimitConn) Read(p []byte) (int, error) {
+	if c.left <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > c.left {
+		p = p[:c.left]
+	}
+	n, err := c.Conn.Read(p)
+	c.left -= n
+	return n, err
+}
+
+func TestSnapshotResumeAfterCut(t *testing.T) {
+	server, client := newPeer(t, "srv"), newPeer(t, "cli")
+	for i := 0; i < 3000; i++ {
+		server.Observe(space.Point{float64(i), float64(i % 7)}, float64(i))
+	}
+	full := server.Snapshot()
+	if len(full) <= snapChunkBytes {
+		t.Fatalf("test store snapshot is %d bytes; need > one %d-byte chunk", len(full), snapChunkBytes)
+	}
+
+	resume := &SnapshotResume{}
+	opts := Options{SnapshotLag: 100, Resume: resume, ReadTimeout: 2 * time.Second, WriteTimeout: 2 * time.Second}
+
+	// Round 1: the link dies after roughly one chunk of snapshot bytes.
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer sc.Close()
+		br := bufio.NewReader(sc)
+		var magic [len(syncMagic)]byte
+		if _, err := io.ReadFull(br, magic[:]); err != nil {
+			return
+		}
+		//paralint:allow errdiscipline the cut link is the point of the test
+		_ = ServeConn(sc, br, ServeOptions{Store: server})
+	}()
+	cut := &readLimitConn{Conn: cc, left: snapChunkBytes + 4096}
+	if _, err := Sync(cut, client, "peer", opts); err == nil {
+		t.Fatal("sync over the cut link unexpectedly succeeded")
+	}
+	_ = cc.Close()
+	<-done
+	if len(resume.Data) == 0 || len(resume.Data) >= len(full) {
+		t.Fatalf("resume holds %d of %d snapshot bytes; want a strict partial", len(resume.Data), len(full))
+	}
+	got := len(resume.Data)
+
+	// Round 2 continues from the saved offset instead of re-shipping.
+	var mem event.Memory
+	opts.Recorder = &mem
+	stats, err := syncOnce(t, client, server, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Snapshot || stats.SnapshotBytes != len(full) {
+		t.Fatalf("resumed round stats = %+v, want full %d-byte snapshot", stats, len(full))
+	}
+	requireConverged(t, client, server)
+	for _, e := range mem.Events() {
+		if snap, ok := e.(event.SyncSnapshot); ok {
+			if !snap.Resumed {
+				t.Fatal("sync_snapshot event not marked resumed")
+			}
+		}
+	}
+	_ = got // the resumed round transferred only len(full)-got further bytes by construction
+}
+
+func TestServeRejectsSpaceMismatch(t *testing.T) {
+	server, client := newPeer(t, "srv"), newPeer(t, "cli")
+	if err := server.BindSpace("space{a:integer[0,4]}"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.BindSpace("space{b:integer[0,9]}"); err != nil {
+		t.Fatal(err)
+	}
+	server.Observe(space.Point{1}, 1)
+	client.Observe(space.Point{2}, 2)
+	if _, err := syncOnce(t, client, server, Options{}); err == nil {
+		t.Fatal("sync across different space signatures unexpectedly succeeded")
+	}
+}
+
+func TestSyncAdoptsPeerSpaceBinding(t *testing.T) {
+	// An unbound store syncing with a bound peer adopts the binding — the
+	// same rule Merge applies — so it refuses foreign-space writes later.
+	server, client := newPeer(t, "srv"), newPeer(t, "cli")
+	const sig = "space{a:integer[0,4]}"
+	if err := server.BindSpace(sig); err != nil {
+		t.Fatal(err)
+	}
+	server.Observe(space.Point{1}, 1)
+	if _, err := syncOnce(t, client, server, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := client.SpaceSig(); got != sig {
+		t.Fatalf("client space = %q after sync, want %q", got, sig)
+	}
+}
+
+func TestSyncDetectsDivergedOrigin(t *testing.T) {
+	// Two stores that both claim origin "x" with different histories must
+	// refuse to sync rather than silently interleave.
+	a, b := newPeer(t, "x"), newPeer(t, "x")
+	a.Observe(space.Point{1}, 1)
+	b.Observe(space.Point{2}, 2)
+	if _, err := syncOnce(t, a, b, Options{}); err == nil {
+		t.Fatal("sync of diverged same-origin histories unexpectedly succeeded")
+	}
+}

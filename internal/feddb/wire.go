@@ -1,0 +1,487 @@
+// Package feddb federates measurement databases across a fleet: a
+// gossip-style anti-entropy protocol that keeps peers' measuredb stores
+// convergent, snapshot shipping for cold peers, and a read-through cache
+// tier in front of the sharded store.
+//
+// The protocol rides the existing TCP layer as a sibling of PHWIRE1: a sync
+// client opens with the 8-byte preamble "PHSYNC1\n" (the harmony server
+// sniffs it exactly like the binary tuning protocol's magic) and both sides
+// then exchange frames in the same envelope:
+//
+//	frame   = uvarint(len(payload)) | crc32(payload) 4 bytes big-endian | payload
+//	payload = op byte | the op's fields in fixed order (see appendSyncMsg)
+//
+// One round is digest-driven: hello carries the caller's per-origin
+// (high, chained-hash) digest, digest answers with the server's, and the
+// diff decides what ships — per-origin WAL segments (pull/frames, push/ack)
+// when the lag is modest, a chunked resumable snapshot (snappull/snapchunk)
+// when the caller is too cold. Observations are immutable and identified by
+// (origin, seq), so applying shipped frames is a set union: idempotent,
+// order-independent across origins, and convergent regardless of peer
+// pairing or sync ordering (the three-peer property test pins this).
+//
+// The codec is canonical like PHWIRE1's: uvarints are minimal, bools are a
+// single 0/1 byte, floats are IEEE-754 bits big-endian, and decoding then
+// re-encoding a valid frame yields the same bytes (FuzzSyncFrameDecode pins
+// it).
+package feddb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"paratune/internal/measuredb"
+)
+
+// syncMagic is the sync client's connection preamble. Same length as the
+// PHWIRE1 magic so the server's sniffer reads one 8-byte prefix and decides.
+const syncMagic = "PHSYNC1\n"
+
+// SyncMagic is the preamble exported for codec sniffers: a server that
+// reads these 8 bytes on a fresh connection hands it to [ServeConn].
+const SyncMagic = syncMagic
+
+// maxSyncFrame bounds a sync frame payload, mirroring the PHWIRE1 cap.
+const maxSyncFrame = 1 << 20
+
+// maxSyncOrigins bounds a digest's origin list: a fleet has one origin per
+// store, so a list anywhere near the frame cap is an attack, not a fleet.
+const maxSyncOrigins = 1 << 12
+
+// Sync opcodes. The order is frozen: it is the wire format.
+const (
+	opHello byte = iota + 1
+	opDigest
+	opPull
+	opFrames
+	opPush
+	opAck
+	opSnapPull
+	opSnapChunk
+	opError
+)
+
+// Static errors for the encode/decode paths.
+var (
+	errSyncMalformed = errors.New("feddb: malformed sync frame")
+	errSyncTooLarge  = errors.New("feddb: sync frame exceeds size limit")
+	errSyncCRC       = errors.New("feddb: sync frame CRC mismatch")
+	errSyncUnknownOp = errors.New("feddb: unknown op for sync encoding")
+)
+
+// opCode maps an op name to its wire opcode.
+func opCode(op string) (byte, bool) {
+	switch op {
+	case "hello":
+		return opHello, true
+	case "digest":
+		return opDigest, true
+	case "pull":
+		return opPull, true
+	case "frames":
+		return opFrames, true
+	case "push":
+		return opPush, true
+	case "ack":
+		return opAck, true
+	case "snappull":
+		return opSnapPull, true
+	case "snapchunk":
+		return opSnapChunk, true
+	case "error":
+		return opError, true
+	}
+	return 0, false
+}
+
+// opName maps a wire opcode back to its op name.
+func opName(code byte) (string, bool) {
+	switch code {
+	case opHello:
+		return "hello", true
+	case opDigest:
+		return "digest", true
+	case opPull:
+		return "pull", true
+	case opFrames:
+		return "frames", true
+	case opPush:
+		return "push", true
+	case opAck:
+		return "ack", true
+	case opSnapPull:
+		return "snappull", true
+	case opSnapChunk:
+		return "snapchunk", true
+	case opError:
+		return "error", true
+	}
+	return "", false
+}
+
+// syncMsg is one protocol message; which fields are meaningful depends on
+// Op. The zero value of every unused field encodes (and decodes) as absent.
+type syncMsg struct {
+	Op string
+
+	// hello / digest: the sender's store identity and anti-entropy summary.
+	Seed    int64
+	Space   string
+	Origins []measuredb.OriginDigest
+
+	// pull: ship origin's frames starting at From, at most Max.
+	// frames / push: a contiguous per-origin segment.
+	Origin string
+	From   uint64
+	Max    uint64
+	Frames []measuredb.Frame
+	// frames: the origin's current high and chain hash at reply time, so
+	// the puller can detect divergence once it has caught up.
+	High uint64
+	Hash uint64
+
+	// ack: the receiver's outcome for a pushed segment.
+	Applied uint64
+	Dups    uint64
+
+	// snappull: resume offset and the snapshot sum the caller already has
+	// partial data for (0 when starting cold).
+	// snapchunk: total size, snapshot sum, one chunk, and the done marker.
+	Size uint64
+	Data []byte
+	Done bool
+
+	// error: what went wrong (the connection closes after).
+	Detail string
+}
+
+// appendSyncMsg encodes m's payload onto dst.
+func appendSyncMsg(dst []byte, m *syncMsg) ([]byte, error) {
+	code, ok := opCode(m.Op)
+	if !ok {
+		return dst, errSyncUnknownOp
+	}
+	dst = append(dst, code)
+	switch m.Op {
+	case "hello", "digest":
+		dst = binary.BigEndian.AppendUint64(dst, uint64(m.Seed))
+		dst = appendSyncStr(dst, m.Space)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Origins)))
+		for _, d := range m.Origins {
+			dst = appendSyncStr(dst, d.Origin)
+			dst = binary.AppendUvarint(dst, d.High)
+			dst = binary.BigEndian.AppendUint64(dst, d.Hash)
+		}
+	case "pull":
+		dst = appendSyncStr(dst, m.Origin)
+		dst = binary.AppendUvarint(dst, m.From)
+		dst = binary.AppendUvarint(dst, m.Max)
+	case "frames":
+		dst = appendSyncStr(dst, m.Origin)
+		dst = appendSyncFrames(dst, m.Frames)
+		dst = binary.AppendUvarint(dst, m.High)
+		dst = binary.BigEndian.AppendUint64(dst, m.Hash)
+	case "push":
+		dst = appendSyncStr(dst, m.Origin)
+		dst = appendSyncFrames(dst, m.Frames)
+	case "ack":
+		dst = binary.AppendUvarint(dst, m.Applied)
+		dst = binary.AppendUvarint(dst, m.Dups)
+	case "snappull":
+		dst = binary.AppendUvarint(dst, m.From)
+		dst = binary.BigEndian.AppendUint64(dst, m.Hash)
+	case "snapchunk":
+		dst = binary.AppendUvarint(dst, m.Size)
+		dst = binary.BigEndian.AppendUint64(dst, m.Hash)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Data)))
+		dst = append(dst, m.Data...)
+		dst = appendSyncBool(dst, m.Done)
+	case "error":
+		dst = appendSyncStr(dst, m.Detail)
+	}
+	return dst, nil
+}
+
+func appendSyncStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendSyncBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendSyncFrames(dst []byte, frames []measuredb.Frame) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(frames)))
+	for i := range frames {
+		f := &frames[i]
+		dst = appendSyncStr(dst, f.Origin)
+		dst = binary.AppendUvarint(dst, f.Seq)
+		dst = binary.AppendUvarint(dst, uint64(len(f.Point)))
+		for _, c := range f.Point {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(c))
+		}
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.Value))
+	}
+	return dst
+}
+
+// decodeSyncMsg parses one sync payload into m. Decoding is strict (minimal
+// uvarints, 0/1 bools, exact consumption), so decode∘encode is the identity
+// on valid frames.
+func decodeSyncMsg(payload []byte, m *syncMsg) error {
+	r := syncReader{buf: payload}
+	op, ok := opName(r.byteVal())
+	if !ok {
+		return errSyncMalformed
+	}
+	*m = syncMsg{Op: op}
+	switch m.Op {
+	case "hello", "digest":
+		m.Seed = int64(r.u64())
+		m.Space = r.str()
+		if n := r.count(1); n > 0 {
+			if n > maxSyncOrigins {
+				return errSyncMalformed
+			}
+			m.Origins = make([]measuredb.OriginDigest, n)
+			for i := range m.Origins {
+				d := &m.Origins[i]
+				d.Origin = r.str()
+				d.High = r.uvarint()
+				d.Hash = r.u64()
+			}
+		}
+	case "pull":
+		m.Origin = r.str()
+		m.From = r.uvarint()
+		m.Max = r.uvarint()
+	case "frames":
+		m.Origin = r.str()
+		m.Frames = r.frames()
+		m.High = r.uvarint()
+		m.Hash = r.u64()
+	case "push":
+		m.Origin = r.str()
+		m.Frames = r.frames()
+	case "ack":
+		m.Applied = r.uvarint()
+		m.Dups = r.uvarint()
+	case "snappull":
+		m.From = r.uvarint()
+		m.Hash = r.u64()
+	case "snapchunk":
+		m.Size = r.uvarint()
+		m.Hash = r.u64()
+		m.Data = r.bytes()
+		m.Done = r.boolVal()
+	case "error":
+		m.Detail = r.str()
+	}
+	return r.finish()
+}
+
+// syncReader is a sticky-error cursor over one frame payload, the same
+// strict shape as the PHWIRE1 decoder.
+type syncReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *syncReader) fail() {
+	if r.err == nil {
+		r.err = errSyncMalformed
+	}
+}
+
+func (r *syncReader) byteVal() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *syncReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 || (n > 1 && r.buf[r.off+n-1] == 0) {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *syncReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf)-r.off < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *syncReader) f64() float64 {
+	return math.Float64frombits(r.u64())
+}
+
+// count decodes an element count for elements of at least elemMin encoded
+// bytes, bounding allocations by the remaining payload.
+func (r *syncReader) count(elemMin int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64((len(r.buf)-r.off)/elemMin) {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (r *syncReader) str() string {
+	n := r.count(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *syncReader) bytes() []byte {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.off:])
+	r.off += n
+	return b
+}
+
+func (r *syncReader) boolVal() bool {
+	b := r.byteVal()
+	if b > 1 {
+		r.fail()
+		return false
+	}
+	return b == 1
+}
+
+func (r *syncReader) frames() []measuredb.Frame {
+	n := r.count(2)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	fs := make([]measuredb.Frame, n)
+	for i := range fs {
+		f := &fs[i]
+		f.Origin = r.str()
+		f.Seq = r.uvarint()
+		dim := r.count(8)
+		if r.err != nil {
+			return nil
+		}
+		if dim > 0 {
+			f.Point = make([]float64, dim)
+			for j := range f.Point {
+				f.Point[j] = r.f64()
+			}
+		}
+		f.Value = r.f64()
+	}
+	return fs
+}
+
+// finish demands the payload was consumed exactly.
+func (r *syncReader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return errSyncMalformed
+	}
+	return nil
+}
+
+// readSyncFrame reads one framed payload from br. Transport errors (EOF,
+// deadlines) come back as-is; structural violations come back as
+// errSyncMalformed / errSyncTooLarge / errSyncCRC.
+func readSyncFrame(br *bufio.Reader) ([]byte, error) {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := 0
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if n >= len(lenBuf) {
+			return nil, errSyncMalformed
+		}
+		lenBuf[n] = b
+		n++
+		if b < 0x80 {
+			break
+		}
+	}
+	size, un := binary.Uvarint(lenBuf[:n])
+	if un != n || (n > 1 && lenBuf[n-1] == 0) {
+		return nil, errSyncMalformed
+	}
+	if size > maxSyncFrame {
+		return nil, errSyncTooLarge
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return nil, err
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(crcBuf[:]) {
+		return nil, errSyncCRC
+	}
+	return payload, nil
+}
+
+// writeSyncMsg frames and writes m in a single Write call, reusing *buf as
+// the encode scratch.
+func writeSyncMsg(w io.Writer, buf *[]byte, m *syncMsg) error {
+	payload, err := appendSyncMsg((*buf)[:0], m)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxSyncFrame {
+		return errSyncTooLarge
+	}
+	frame := binary.AppendUvarint(nil, uint64(len(payload)))
+	frame = binary.BigEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	*buf = payload
+	if _, err := w.Write(frame); err != nil {
+		return err
+	}
+	return nil
+}

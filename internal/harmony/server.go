@@ -94,6 +94,11 @@ type ServerOptions struct {
 	// start. The store binds to one parameter-space signature, so every
 	// session sharing the server must share the space.
 	DB *measuredb.Store
+	// Cache, when non-nil, answers warm-start lookups instead of the raw DB
+	// path: the read-through estimate cache (feddb.Cache) memoises per-config
+	// estimates and is invalidated by every store write, local or federated.
+	// Requires DB to be set as well.
+	Cache EstimateCache
 	// MaxPendingReports bounds each session's pending measurement queue: the
 	// surplus observations buffered beyond what the current candidate batch
 	// still needs. Past the bound further surplus reports are refused with
@@ -376,6 +381,25 @@ func (s *session) takeSnapshot() snapResult {
 	return snapResult{data: data, err: err}
 }
 
+// EstimateCache is the read-through estimate cache consulted by the
+// warm-start path (implemented by feddb.Cache). Lookup returns the cached
+// or freshly computed estimate for p, whether any contributing observation
+// arrived via federation, and how many observations backed it; ok is false
+// while the store holds too few observations to estimate.
+type EstimateCache interface {
+	Lookup(p space.Point) (v float64, federated bool, count int, ok bool)
+}
+
+// hitSource renders observation provenance for the db_hit event: federated
+// estimates are tagged, purely local ones keep the empty (omitted) source
+// so single-node traces are byte-identical to previous versions.
+func hitSource(federated bool) string {
+	if federated {
+		return "federated"
+	}
+	return ""
+}
+
 // sessionEvaluator hands the optimiser's batches to the fetch/report
 // machinery and blocks until every candidate has enough measurements, the
 // batch deadline degrades it, or the session stops.
@@ -397,14 +421,25 @@ func (e *sessionEvaluator) Eval(points []space.Point) ([]float64, error) {
 	var missIdx []int
 	var buf []float64
 	for i, p := range points {
-		var have bool
-		buf, have = s.db.AppendObs(buf[:0], p, k)
-		if have && len(buf) >= k {
-			out[i] = s.est.Estimate(buf)
-			s.rec.Record(event.DBHit{Session: s.name, Config: p.Key(), Value: out[i], Count: k})
+		var v float64
+		var federated, hit bool
+		count := 0
+		if c := s.opts.Cache; c != nil {
+			v, federated, count, hit = c.Lookup(p)
+		} else {
+			var have bool
+			buf, have, federated = s.db.AppendObsSource(buf[:0], p, k)
+			count = len(buf)
+			if have && count >= k {
+				v, hit = s.est.Estimate(buf), true
+			}
+		}
+		if hit {
+			out[i] = v
+			s.rec.Record(event.DBHit{Session: s.name, Config: p.Key(), Value: v, Count: k, Source: hitSource(federated)})
 			continue
 		}
-		s.rec.Record(event.DBMiss{Session: s.name, Config: p.Key(), Count: len(buf)})
+		s.rec.Record(event.DBMiss{Session: s.name, Config: p.Key(), Count: count})
 		missIdx = append(missIdx, i)
 	}
 	if len(missIdx) == 0 {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"paratune/internal/event"
+	"paratune/internal/feddb"
 	"paratune/internal/space"
 )
 
@@ -253,8 +254,26 @@ func handleConn(conn net.Conn, srv *Server, opts ConnOptions, tracker *connTrack
 	// Negotiate the codec from the connection's first bytes; everything after
 	// the sniff — deadlines, dup suppression, dispatch — is codec-agnostic,
 	// which is how the resume contract stays identical across wire formats.
-	codec, wire, err := sniffServerCodec(conn)
+	codec, wire, br, err := sniffServerCodec(conn)
 	if err != nil {
+		return
+	}
+	if wire == wireSync {
+		// A federation peer, not a tuning client: hand the connection to the
+		// anti-entropy server against the shared measurement database. A
+		// server without a database has nothing to sync, so the connection
+		// just closes.
+		if srv.opts.DB != nil {
+			// Sync ingest grows the shared measurement store, not
+			// per-connection state, and a failed round just means the peer
+			// reconnects next interval.
+			//paralint:allow boundedres errdiscipline anti-entropy rounds are idempotent and retried
+			_ = feddb.ServeConn(conn, br, feddb.ServeOptions{
+				Store:        srv.opts.DB,
+				ReadTimeout:  opts.ReadTimeout,
+				WriteTimeout: opts.WriteTimeout,
+			})
+		}
 		return
 	}
 	// lastSeq is this connection's per-client frame high-water mark: a frame

@@ -9,6 +9,8 @@ import (
 	"io"
 	"math"
 	"net"
+
+	"paratune/internal/feddb"
 )
 
 // The PHWIRE1 binary protocol.
@@ -50,6 +52,11 @@ const (
 	// WireBinary is the length-prefixed PHWIRE1 binary protocol.
 	WireBinary Wire = "binary"
 )
+
+// wireSync names the PHSYNC1 anti-entropy protocol in the sniffer's
+// return; such connections bypass the request codecs entirely and are
+// served by internal/feddb against the server's measurement database.
+const wireSync = "sync"
 
 // Structured error codes carried in response.Code.
 const (
@@ -697,27 +704,33 @@ func (c *binServerCodec) writeResponse(resp *response) error {
 
 // sniffServerCodec negotiates the wire protocol for a freshly accepted
 // connection: a '{' first byte is a JSON-lines client, the PHWIRE1 magic
-// preamble selects the binary codec, anything else is handed to the JSON
-// scanner whose parse error produces the historical "bad request" reply.
-func sniffServerCodec(conn net.Conn) (serverCodec, string, error) {
+// preamble selects the binary codec, the PHSYNC1 preamble marks a
+// federation sync peer (nil codec, wire "sync" — the caller routes it to
+// internal/feddb with the returned reader, which may hold buffered frames
+// past the preamble), anything else is handed to the JSON scanner whose
+// parse error produces the historical "bad request" reply.
+func sniffServerCodec(conn net.Conn) (serverCodec, string, *bufio.Reader, error) {
 	br := bufio.NewReaderSize(conn, 64*1024)
 	first, err := br.Peek(1)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	if first[0] == wireMagic[0] {
 		var magic [len(wireMagic)]byte
 		if _, err := io.ReadFull(br, magic[:]); err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
-		if string(magic[:]) != wireMagic {
-			return nil, "", errBinMalformed
+		switch string(magic[:]) {
+		case wireMagic:
+			return &binServerCodec{br: br, w: conn}, string(WireBinary), br, nil
+		case feddb.SyncMagic:
+			return nil, wireSync, br, nil
 		}
-		return &binServerCodec{br: br, w: conn}, string(WireBinary), nil
+		return nil, "", nil, errBinMalformed
 	}
 	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	return &jsonServerCodec{sc: sc, enc: json.NewEncoder(conn)}, string(WireJSON), nil
+	return &jsonServerCodec{sc: sc, enc: json.NewEncoder(conn)}, string(WireJSON), br, nil
 }
 
 // clientCodec puts request frames on the wire and reads response frames.

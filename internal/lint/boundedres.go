@@ -45,6 +45,7 @@ const (
 // held to the contract. Facts are computed everywhere; findings are scoped
 // here, like ctxflow.
 var boundedresPackages = []string{
+	"paratune/internal/feddb",
 	"paratune/internal/harmony",
 }
 

@@ -30,6 +30,7 @@ func (*CtxAware) AFact() {}
 var ctxflowPackages = []string{
 	"paratune/internal/chaos",
 	"paratune/internal/cluster",
+	"paratune/internal/feddb",
 	"paratune/internal/harmony",
 }
 

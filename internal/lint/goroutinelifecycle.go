@@ -14,6 +14,7 @@ import (
 var lifecyclePackages = []string{
 	"paratune/internal/chaos",
 	"paratune/internal/cluster",
+	"paratune/internal/feddb",
 	"paratune/internal/core",
 	"paratune/internal/harmony",
 }

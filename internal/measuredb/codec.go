@@ -4,20 +4,32 @@
 // so two same-seed tuning runs produce byte-identical files, a property the
 // db-smoke target and the round-trip tests pin.
 //
+// Since codec version 2 every observation carries its federation identity:
+// the origin (the store that first recorded it) and a per-origin sequence
+// number. The pair is the observation's rid — the set-union merge key the
+// anti-entropy sync protocol (internal/feddb) and offline merge share — so
+// identity survives compaction, shipping, and re-merging.
+//
 // WAL (append-only journal, one frame per raw measurement):
 //
 //	header | frame | frame | ...
 //	header = magic "PMDBWAL1" | uvarint version | uint64 seed (BE)
-//	       | uvarint len(space) | space signature bytes
+//	       | uvarint len(origin) | origin | uvarint len(space) | space sig
 //	frame  = uvarint len(payload) | crc32(payload) (4 bytes BE) | payload
 //	payload = uvarint dim | dim × float64 bits (BE) | float64 value bits (BE)
+//	        | uvarint len(origin) | origin | uvarint seq
 //
 // Snapshot (aggregate state, one entry per configuration, sorted by key):
 //
-//	header | uvarint #configs | entry... | crc32 of everything before (BE)
+//	header | uvarint #origins | #origins × (uvarint len | origin)
+//	       | uvarint #configs | entry... | crc32 of everything before (BE)
 //	header = magic "PMDBSNP1" | ... (same fields as the WAL header)
-//	entry  = uvarint dim | dim × float64 bits (BE)
-//	       | uvarint #obs | #obs × float64 bits (BE)
+//	entry  = uvarint dim | dim × float64 bits (BE) | uvarint #obs
+//	       | #obs × (float64 bits (BE) | uvarint origin index | uvarint seq)
+//
+// The snapshot's origin table is sorted and deduplicated, and entries list
+// observations in the store's canonical (origin, seq) order, so the encoding
+// stays a pure function of the store's logical content.
 //
 // A torn or bit-flipped WAL tail is detected by the frame CRC (or a short
 // read) and recovery truncates the file at the last good frame; a snapshot
@@ -39,16 +51,21 @@ import (
 const (
 	walMagic     = "PMDBWAL1"
 	snapMagic    = "PMDBSNP1"
-	codecVersion = 1
+	codecVersion = 2
 
 	// maxDim and maxObs bound decoded counts so hostile input cannot force
 	// huge allocations before a CRC or length check catches it.
 	maxDim = 1 << 10
 	maxObs = 1 << 24
 
+	// maxOriginLen bounds an origin name; maxOrigins bounds a snapshot's
+	// origin table (one entry per store that ever contributed a frame).
+	maxOriginLen = 255
+	maxOrigins   = 1 << 16
+
 	// maxFrame bounds one WAL frame payload: uvarint dim + maxDim coords +
-	// the value, with slack.
-	maxFrame = 16 + 8*(maxDim+1)
+	// the value + origin + seq, with slack.
+	maxFrame = 32 + 8*(maxDim+1) + maxOriginLen
 )
 
 // errCorrupt marks any decoding failure. WAL recovery treats every corrupt
@@ -68,119 +85,174 @@ func canonUvarint(b []byte) (uint64, int) {
 }
 
 // appendHeader appends a file header to dst.
-func appendHeader(dst []byte, magic string, seed int64, spaceSig string) []byte {
+func appendHeader(dst []byte, magic string, seed int64, origin, spaceSig string) []byte {
 	dst = append(dst, magic...)
 	dst = binary.AppendUvarint(dst, codecVersion)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(seed))
+	dst = binary.AppendUvarint(dst, uint64(len(origin)))
+	dst = append(dst, origin...)
 	dst = binary.AppendUvarint(dst, uint64(len(spaceSig)))
 	dst = append(dst, spaceSig...)
 	return dst
 }
 
-// decodeHeader reads a file header, returning the seed, space signature, and
-// the number of bytes consumed.
-func decodeHeader(b []byte, magic string) (seed int64, spaceSig string, n int, err error) {
+// decodeHeader reads a file header, returning the seed, origin, space
+// signature, and the number of bytes consumed.
+func decodeHeader(b []byte, magic string) (seed int64, origin, spaceSig string, n int, err error) {
 	if len(b) < len(magic) || string(b[:len(magic)]) != magic {
-		return 0, "", 0, fmt.Errorf("measuredb: bad magic (want %q)", magic)
+		return 0, "", "", 0, fmt.Errorf("measuredb: bad magic (want %q)", magic)
 	}
 	n = len(magic)
 	version, k := canonUvarint(b[n:])
 	if k <= 0 || version != codecVersion {
-		return 0, "", 0, fmt.Errorf("measuredb: unsupported version %d", version)
+		return 0, "", "", 0, fmt.Errorf("measuredb: unsupported version %d", version)
 	}
 	n += k
 	if len(b) < n+8 {
-		return 0, "", 0, errCorrupt
+		return 0, "", "", 0, errCorrupt
 	}
 	seed = int64(binary.BigEndian.Uint64(b[n:]))
 	n += 8
-	sigLen, k := canonUvarint(b[n:])
-	if k <= 0 || sigLen > 1<<16 {
-		return 0, "", 0, errCorrupt
+	origin, k = decodeString(b[n:], maxOriginLen)
+	if k <= 0 {
+		return 0, "", "", 0, errCorrupt
 	}
 	n += k
-	if uint64(len(b)-n) < sigLen {
-		return 0, "", 0, errCorrupt
+	spaceSig, k = decodeString(b[n:], 1<<16)
+	if k <= 0 {
+		return 0, "", "", 0, errCorrupt
 	}
-	spaceSig = string(b[n : n+int(sigLen)])
-	n += int(sigLen)
-	return seed, spaceSig, n, nil
+	n += k
+	return seed, origin, spaceSig, n, nil
 }
 
-// appendWALFrame appends one framed (point, value) record to dst.
-func appendWALFrame(dst []byte, p space.Point, v float64) []byte {
-	var payload [maxFrame]byte
-	pl := payload[:0]
-	pl = binary.AppendUvarint(pl, uint64(len(p)))
-	for _, c := range p {
-		pl = binary.BigEndian.AppendUint64(pl, math.Float64bits(c))
+// decodeString reads a uvarint-length-prefixed string bounded by max,
+// returning the string and bytes consumed (0 on any framing problem).
+func decodeString(b []byte, max int) (string, int) {
+	l, k := canonUvarint(b)
+	if k <= 0 || l > uint64(max) || uint64(len(b)-k) < l {
+		return "", 0
 	}
-	pl = binary.BigEndian.AppendUint64(pl, math.Float64bits(v))
-	dst = binary.AppendUvarint(dst, uint64(len(pl)))
-	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(pl))
-	return append(dst, pl...)
+	return string(b[k : k+int(l)]), k + int(l)
+}
+
+// appendMeasurementPayload appends one frame payload — the canonical bytes
+// the per-origin digest hash chains over — to dst.
+func appendMeasurementPayload(dst []byte, p space.Point, v float64, origin string, seq uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	for _, c := range p {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(c))
+	}
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+	dst = binary.AppendUvarint(dst, uint64(len(origin)))
+	dst = append(dst, origin...)
+	dst = binary.AppendUvarint(dst, seq)
+	return dst
+}
+
+// appendWALFrame frames a pre-built measurement payload: length prefix, CRC,
+// payload.
+func appendWALFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// walRec is one decoded WAL frame.
+type walRec struct {
+	point  space.Point
+	value  float64
+	origin string
+	seq    uint64
 }
 
 // decodeWALFrame decodes the frame at the start of b, returning the record
 // and the bytes consumed. Any framing, CRC, or payload problem — including a
 // frame that runs past the end of b (a torn tail write) — returns errCorrupt.
-func decodeWALFrame(b []byte) (p space.Point, v float64, n int, err error) {
+func decodeWALFrame(b []byte) (rec walRec, n int, err error) {
 	plen, k := canonUvarint(b)
 	if k <= 0 || plen == 0 || plen > maxFrame {
-		return nil, 0, 0, errCorrupt
+		return walRec{}, 0, errCorrupt
 	}
 	n = k
 	if len(b) < n+4 {
-		return nil, 0, 0, errCorrupt
+		return walRec{}, 0, errCorrupt
 	}
 	sum := binary.BigEndian.Uint32(b[n:])
 	n += 4
 	if uint64(len(b)-n) < plen {
-		return nil, 0, 0, errCorrupt
+		return walRec{}, 0, errCorrupt
 	}
 	payload := b[n : n+int(plen)]
 	n += int(plen)
 	if crc32.ChecksumIEEE(payload) != sum {
-		return nil, 0, 0, errCorrupt
+		return walRec{}, 0, errCorrupt
 	}
-	p, v, used, err := decodeMeasurement(payload)
+	rec, used, err := decodeMeasurement(payload)
 	if err != nil || used != len(payload) {
-		return nil, 0, 0, errCorrupt
+		return walRec{}, 0, errCorrupt
 	}
-	return p, v, n, nil
+	return rec, n, nil
 }
 
-// decodeMeasurement decodes `uvarint dim | coords | value` from b.
-func decodeMeasurement(b []byte) (p space.Point, v float64, n int, err error) {
+// decodeMeasurement decodes `uvarint dim | coords | value | origin | seq`
+// from b.
+func decodeMeasurement(b []byte) (rec walRec, n int, err error) {
 	dim, k := canonUvarint(b)
 	if k <= 0 || dim > maxDim {
-		return nil, 0, 0, errCorrupt
+		return walRec{}, 0, errCorrupt
 	}
 	n = k
 	if uint64(len(b)-n) < 8*(dim+1) {
-		return nil, 0, 0, errCorrupt
+		return walRec{}, 0, errCorrupt
 	}
-	p = make(space.Point, dim)
-	for i := range p {
-		p[i] = math.Float64frombits(binary.BigEndian.Uint64(b[n:]))
+	rec.point = make(space.Point, dim)
+	for i := range rec.point {
+		rec.point[i] = math.Float64frombits(binary.BigEndian.Uint64(b[n:]))
 		n += 8
 	}
-	v = math.Float64frombits(binary.BigEndian.Uint64(b[n:]))
+	rec.value = math.Float64frombits(binary.BigEndian.Uint64(b[n:]))
 	n += 8
-	return p, v, n, nil
+	rec.origin, k = decodeString(b[n:], maxOriginLen)
+	if k <= 0 {
+		return walRec{}, 0, errCorrupt
+	}
+	n += k
+	rec.seq, k = canonUvarint(b[n:])
+	if k <= 0 || rec.seq == 0 {
+		return walRec{}, 0, errCorrupt
+	}
+	n += k
+	return rec, n, nil
 }
 
-// entry is one configuration's aggregate state in codec form: the point and
-// its raw observations in arrival order.
+// obsMeta is one observation's federation identity: the origin (as an index
+// into the store's interned origin table) and the per-origin sequence.
+type obsMeta struct {
+	origin uint32
+	seq    uint64
+}
+
+// entry is one configuration's aggregate state in codec form: the point, its
+// raw observations, and their per-observation identity, all in canonical
+// (origin, seq) order. meta origin indices refer to the origin table passed
+// alongside the entries.
 type entry struct {
 	point space.Point
 	obs   []float64
+	meta  []obsMeta
 }
 
 // encodeSnapshot serialises entries (which must already be in canonical key
-// order) with the trailing whole-file CRC.
-func encodeSnapshot(seed int64, spaceSig string, entries []entry) []byte {
-	out := appendHeader(nil, snapMagic, seed, spaceSig)
+// order, with meta indices into origins, which must be sorted and unique)
+// with the trailing whole-file CRC.
+func encodeSnapshot(seed int64, origin, spaceSig string, origins []string, entries []entry) []byte {
+	out := appendHeader(nil, snapMagic, seed, origin, spaceSig)
+	out = binary.AppendUvarint(out, uint64(len(origins)))
+	for _, o := range origins {
+		out = binary.AppendUvarint(out, uint64(len(o)))
+		out = append(out, o...)
+	}
 	out = binary.AppendUvarint(out, uint64(len(entries)))
 	for _, e := range entries {
 		out = binary.AppendUvarint(out, uint64(len(e.point)))
@@ -188,41 +260,58 @@ func encodeSnapshot(seed int64, spaceSig string, entries []entry) []byte {
 			out = binary.BigEndian.AppendUint64(out, math.Float64bits(c))
 		}
 		out = binary.AppendUvarint(out, uint64(len(e.obs)))
-		for _, o := range e.obs {
+		for i, o := range e.obs {
 			out = binary.BigEndian.AppendUint64(out, math.Float64bits(o))
+			out = binary.AppendUvarint(out, uint64(e.meta[i].origin))
+			out = binary.AppendUvarint(out, e.meta[i].seq)
 		}
 	}
 	return binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
 }
 
 // decodeSnapshot parses a snapshot file, verifying the trailing CRC before
-// trusting any of the content.
-func decodeSnapshot(b []byte) (seed int64, spaceSig string, entries []entry, err error) {
+// trusting any of the content. The returned origin table is validated sorted
+// and unique, and every meta index points into it.
+func decodeSnapshot(b []byte) (seed int64, origin, spaceSig string, origins []string, entries []entry, err error) {
 	if len(b) < 4 {
-		return 0, "", nil, errCorrupt
+		return 0, "", "", nil, nil, errCorrupt
 	}
 	body, tail := b[:len(b)-4], b[len(b)-4:]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
-		return 0, "", nil, fmt.Errorf("measuredb: snapshot CRC mismatch")
+		return 0, "", "", nil, nil, fmt.Errorf("measuredb: snapshot CRC mismatch")
 	}
-	seed, spaceSig, n, err := decodeHeader(body, snapMagic)
+	seed, origin, spaceSig, n, err := decodeHeader(body, snapMagic)
 	if err != nil {
-		return 0, "", nil, err
+		return 0, "", "", nil, nil, err
+	}
+	norigins, k := canonUvarint(body[n:])
+	if k <= 0 || norigins > maxOrigins {
+		return 0, "", "", nil, nil, errCorrupt
+	}
+	n += k
+	origins = make([]string, 0, norigins)
+	for i := uint64(0); i < norigins; i++ {
+		o, k := decodeString(body[n:], maxOriginLen)
+		if k <= 0 || o == "" || (len(origins) > 0 && o <= origins[len(origins)-1]) {
+			return 0, "", "", nil, nil, errCorrupt
+		}
+		n += k
+		origins = append(origins, o)
 	}
 	count, k := canonUvarint(body[n:])
 	if k <= 0 || count > maxObs {
-		return 0, "", nil, errCorrupt
+		return 0, "", "", nil, nil, errCorrupt
 	}
 	n += k
 	entries = make([]entry, 0, count)
 	for i := uint64(0); i < count; i++ {
 		dim, k := canonUvarint(body[n:])
 		if k <= 0 || dim > maxDim {
-			return 0, "", nil, errCorrupt
+			return 0, "", "", nil, nil, errCorrupt
 		}
 		n += k
 		if uint64(len(body)-n) < 8*dim {
-			return 0, "", nil, errCorrupt
+			return 0, "", "", nil, nil, errCorrupt
 		}
 		p := make(space.Point, dim)
 		for j := range p {
@@ -231,21 +320,64 @@ func decodeSnapshot(b []byte) (seed int64, spaceSig string, entries []entry, err
 		}
 		nobs, k := canonUvarint(body[n:])
 		if k <= 0 || nobs > maxObs {
-			return 0, "", nil, errCorrupt
+			return 0, "", "", nil, nil, errCorrupt
 		}
 		n += k
-		if uint64(len(body)-n) < 8*nobs {
-			return 0, "", nil, errCorrupt
-		}
-		obs := make([]float64, nobs)
-		for j := range obs {
-			obs[j] = math.Float64frombits(binary.BigEndian.Uint64(body[n:]))
+		obs := make([]float64, 0, nobs)
+		meta := make([]obsMeta, 0, nobs)
+		for j := uint64(0); j < nobs; j++ {
+			if len(body)-n < 8 {
+				return 0, "", "", nil, nil, errCorrupt
+			}
+			v := math.Float64frombits(binary.BigEndian.Uint64(body[n:]))
 			n += 8
+			oi, k := canonUvarint(body[n:])
+			if k <= 0 || oi >= uint64(len(origins)) {
+				return 0, "", "", nil, nil, errCorrupt
+			}
+			n += k
+			seq, k := canonUvarint(body[n:])
+			if k <= 0 || seq == 0 {
+				return 0, "", "", nil, nil, errCorrupt
+			}
+			n += k
+			obs = append(obs, v)
+			meta = append(meta, obsMeta{origin: uint32(oi), seq: seq})
 		}
-		entries = append(entries, entry{point: p, obs: obs})
+		entries = append(entries, entry{point: p, obs: obs, meta: meta})
 	}
 	if n != len(body) {
-		return 0, "", nil, errCorrupt
+		return 0, "", "", nil, nil, errCorrupt
 	}
-	return seed, spaceSig, entries, nil
+	return seed, origin, spaceSig, origins, entries, nil
+}
+
+// chainHash extends a per-origin digest hash with one frame's canonical
+// payload bytes: FNV-1a over the previous hash (big-endian) followed by the
+// payload. The chain is order-sensitive, incrementally maintainable, and
+// recomputable from any store holding the same frames — equal chains at
+// equal highs mean byte-identical per-origin histories.
+func chainHash(h uint64, payload []byte) uint64 {
+	var hb [8]byte
+	binary.BigEndian.PutUint64(hb[:], h)
+	x := uint64(fnvOffset)
+	for _, b := range hb {
+		x = (x ^ uint64(b)) * fnvPrime
+	}
+	for _, b := range payload {
+		x = (x ^ uint64(b)) * fnvPrime
+	}
+	return x
+}
+
+// SnapshotFrames decodes a PMDBSNP1 snapshot into replayable frames sorted
+// by (origin, seq) — the order Apply requires — plus the configuration
+// count. The federation layer uses it to apply a shipped snapshot through
+// the same set-union core as live segment sync.
+func SnapshotFrames(data []byte) (frames []Frame, configs int, err error) {
+	_, _, _, origins, entries, err := decodeSnapshot(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return flattenEntries(origins, entries), len(entries), nil
 }

@@ -9,25 +9,30 @@ import (
 	"paratune/internal/space"
 )
 
+// walFrame builds one framed WAL record for test input.
+func walFrame(dst []byte, p space.Point, v float64, origin string, seq uint64) []byte {
+	return appendWALFrame(dst, appendMeasurementPayload(nil, p, v, origin, seq))
+}
+
 // FuzzWALDecode throws arbitrary bytes at the WAL frame decoder: it must
 // never panic, never report success on data whose CRC does not match, and —
 // when it does succeed — consume a prefix that re-encodes to the same bytes.
 func FuzzWALDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x00})
-	f.Add(appendWALFrame(nil, space.Point{1, 2, 3}, 4.5))
-	f.Add(appendWALFrame(appendWALFrame(nil, space.Point{0}, 0), space.Point{-1}, math.MaxFloat64))
-	trunc := appendWALFrame(nil, space.Point{7, 8}, 9)
+	f.Add(walFrame(nil, space.Point{1, 2, 3}, 4.5, "a", 1))
+	f.Add(walFrame(walFrame(nil, space.Point{0}, 0, "n0", 1), space.Point{-1}, math.MaxFloat64, "n0", 2))
+	trunc := walFrame(nil, space.Point{7, 8}, 9, "peer", 3)
 	f.Add(trunc[:len(trunc)-3]) // torn tail
 	f.Fuzz(func(t *testing.T, data []byte) {
-		p, v, n, err := decodeWALFrame(data)
+		rec, n, err := decodeWALFrame(data)
 		if err != nil {
 			return
 		}
 		if n <= 0 || n > len(data) {
 			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
 		}
-		re := appendWALFrame(nil, p, v)
+		re := walFrame(nil, rec.point, rec.value, rec.origin, rec.seq)
 		if !bytes.Equal(re, data[:n]) {
 			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, data[:n])
 		}
@@ -45,17 +50,17 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		if len(sig) > 1<<12 {
 			return
 		}
-		entries := entriesFromBytes(raw)
-		enc := encodeSnapshot(seed, sig, entries)
+		origins, entries := entriesFromBytes(raw)
+		enc := encodeSnapshot(seed, "self", sig, origins, entries)
 
-		gotSeed, gotSig, gotEntries, err := decodeSnapshot(enc)
+		gotSeed, gotOrigin, gotSig, gotOrigins, gotEntries, err := decodeSnapshot(enc)
 		if err != nil {
 			t.Fatalf("decode of a valid snapshot failed: %v", err)
 		}
-		if gotSeed != seed || gotSig != sig {
-			t.Fatalf("header round-trip: (%d, %q) != (%d, %q)", gotSeed, gotSig, seed, sig)
+		if gotSeed != seed || gotSig != sig || gotOrigin != "self" {
+			t.Fatalf("header round-trip: (%d, %q, %q) != (%d, %q, self)", gotSeed, gotSig, gotOrigin, seed, sig)
 		}
-		re := encodeSnapshot(gotSeed, gotSig, gotEntries)
+		re := encodeSnapshot(gotSeed, gotOrigin, gotSig, gotOrigins, gotEntries)
 		if !bytes.Equal(re, enc) {
 			t.Fatal("snapshot encode→decode→encode is not the identity")
 		}
@@ -65,7 +70,7 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		if len(enc) > 0 {
 			mut := append([]byte(nil), enc...)
 			mut[int(flip)%len(mut)] ^= 0xa5
-			if _, _, _, err := decodeSnapshot(mut); err == nil {
+			if _, _, _, _, _, err := decodeSnapshot(mut); err == nil {
 				t.Fatal("decoder accepted a mutated snapshot")
 			}
 		}
@@ -74,8 +79,11 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 
 // entriesFromBytes deterministically derives a small, canonically ordered
 // entry list from fuzz bytes. Keys must be unique and sorted, matching what
-// gather produces; values avoid NaN so bit-level equality holds.
-func entriesFromBytes(raw []byte) []entry {
+// gather produces; values avoid NaN so bit-level equality holds. Each
+// observation gets a valid (origin, seq) identity over a two-origin table.
+func entriesFromBytes(raw []byte) ([]string, []entry) {
+	origins := []string{"a", "b"}
+	seqs := make([]uint64, len(origins))
 	var es []entry
 	for i := 0; i+1 < len(raw) && len(es) < 8; i += 2 {
 		dim := int(raw[i]%3) + 1
@@ -84,27 +92,32 @@ func entriesFromBytes(raw []byte) []entry {
 		for j := 1; j < dim; j++ {
 			p[j] = float64(int8(raw[i+1])) / 4
 		}
+		oi := uint32(raw[i] % 2)
 		nobs := int(raw[i+1]%4) + 1
 		obs := make([]float64, nobs)
+		meta := make([]obsMeta, nobs)
 		for j := range obs {
 			obs[j] = float64(int(raw[i])*j) / 8
+			seqs[oi]++
+			meta[j] = obsMeta{origin: oi, seq: seqs[oi]}
 		}
-		es = append(es, entry{point: p, obs: obs})
+		es = append(es, entry{point: p, obs: obs, meta: meta})
 	}
-	return es
+	return origins, es
 }
 
 // FuzzWALDecode's canonical-prefix property needs the encoder to agree with
 // itself; pin one golden frame so codec changes are loud.
 func TestWALFrameGolden(t *testing.T) {
-	frame := appendWALFrame(nil, space.Point{1}, 2)
-	// payload: dim=1 (1 byte) + 8 coord + 8 value = 17 bytes; framing adds
-	// uvarint(17)=1 byte + 4 CRC.
-	if len(frame) != 22 {
-		t.Fatalf("frame length = %d, want 22", len(frame))
+	frame := walFrame(nil, space.Point{1}, 2, "a", 1)
+	// payload: dim=1 (1 byte) + 8 coord + 8 value + origin len (1 byte) +
+	// origin "a" (1 byte) + seq uvarint (1 byte) = 20 bytes; framing adds
+	// uvarint(20)=1 byte + 4 CRC.
+	if len(frame) != 25 {
+		t.Fatalf("frame length = %d, want 25", len(frame))
 	}
 	plen, n := binary.Uvarint(frame)
-	if plen != 17 || n != 1 {
-		t.Fatalf("frame header = (%d, %d), want (17, 1)", plen, n)
+	if plen != 20 || n != 1 {
+		t.Fatalf("frame header = (%d, %d), want (20, 1)", plen, n)
 	}
 }

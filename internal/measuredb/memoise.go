@@ -67,13 +67,13 @@ func (m *Memo) Eval(points []space.Point) ([]float64, error) {
 		vt = m.vtime()
 	}
 	for i, p := range points {
-		var have bool
-		m.obsBuf, have = m.store.AppendObs(m.obsBuf[:0], p, k)
+		var have, federated bool
+		m.obsBuf, have, federated = m.store.AppendObsSource(m.obsBuf[:0], p, k)
 		if have && len(m.obsBuf) >= k {
 			out[i] = m.est.Estimate(m.obsBuf)
 			m.hits++
 			m.rec.Record(event.DBHit{
-				Config: p.Key(), Value: out[i], Count: k, VTime: vt,
+				Config: p.Key(), Value: out[i], Count: k, Source: hitSource(federated), VTime: vt,
 			})
 			continue
 		}
@@ -94,6 +94,15 @@ func (m *Memo) Eval(points []space.Point) ([]float64, error) {
 		}
 	}
 	return out, nil
+}
+
+// hitSource maps the provenance flag to the db_hit Source tag. Local hits
+// stay untagged so single-node traces are byte-identical to before.
+func hitSource(federated bool) string {
+	if federated {
+		return "federated"
+	}
+	return ""
 }
 
 // Hits returns how many candidate evaluations were served from the store.

@@ -16,6 +16,16 @@
 //   - interpolation: a weighted-k-nearest-neighbour replay objective
 //     ([Replay]) mirroring the paper's §6 query.
 //
+// Every observation additionally carries a federation identity: the origin
+// (the store that first recorded it) and a per-origin sequence number.
+// Observations are immutable, so merging two stores is a set union keyed by
+// that identity — idempotent and order-independent — which is what the live
+// anti-entropy protocol (internal/feddb) and the offline `measuredb merge`
+// verb both build on ([Store.Apply], [Store.Merge], [Store.Digest]).
+// Per-origin histories are append-only and gap-free, summarised by a
+// (high, chained-hash) digest so peers can tell at a glance which frames the
+// other side is missing.
+//
 // Persistence is deterministic: files carry the run seed in their header and
 // every encoding is iteration-order-free, so two same-seed runs produce
 // byte-identical WALs and snapshots (a property db-smoke pins). A torn WAL
@@ -25,6 +35,8 @@ package measuredb
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"math"
 	"os"
 	"sort"
@@ -44,16 +56,20 @@ const numShards = 16
 // stack-allocated scratch buffer on the exact-match lookup path.
 const maxStackDim = 16
 
-// FNV-1a constants for shard selection.
+// FNV-1a constants for shard selection and digest hash chaining.
 const (
 	fnvOffset = 14695981039346656037
 	fnvPrime  = 1099511628211
 )
 
-// record is one configuration's raw measurement history, in arrival order.
+// record is one configuration's raw measurement history in canonical
+// (origin, seq) order. For a single-origin store that is arrival order; a
+// federated store interleaves remote observations at their sorted position
+// so converged peers hold byte-identical per-configuration sequences.
 type record struct {
 	point space.Point
 	obs   []float64
+	meta  []obsMeta // parallel to obs: each observation's (origin, seq)
 }
 
 // shard is one lock-striped slice of the store. recs is keyed by the
@@ -61,6 +77,24 @@ type record struct {
 type shard struct {
 	mu   sync.Mutex //paralint:lockrank 50
 	recs map[string]*record
+}
+
+// obsRef locates one frame of an origin's history: the record holding it and
+// the measured value. The per-origin log is contiguous (seq n lives at index
+// n-1), so a (origin, seq) pair resolves without searching.
+type obsRef struct {
+	rec   *record
+	value float64
+}
+
+// originState is one origin's append-only history: the highest contiguous
+// sequence applied, the chained digest hash over its canonical frame
+// payloads, and the frame log for segment shipping.
+type originState struct {
+	name string
+	high uint64
+	hash uint64
+	log  []obsRef
 }
 
 // RecoveryInfo describes a WAL recovery performed at Open: the log ended in
@@ -75,8 +109,9 @@ type RecoveryInfo struct {
 }
 
 // Store is the measurement database. Raw observations live in the sharded
-// in-memory maps; when opened on a directory, every Observe is also framed
-// into the WAL so a crashed process loses at most the torn tail record.
+// in-memory maps; when opened on a directory, every local Observe (and every
+// federated Apply) is also framed into the WAL so a crashed process loses at
+// most the torn tail record.
 //
 // Reads (AppendObs, Aggregate, ForEach) take only the shard locks; writes
 // and persistence state serialise on mu, keeping WAL frame order identical
@@ -85,6 +120,8 @@ type Store struct {
 	// Immutable after Open/NewMemory.
 	seed      int64
 	dir       string // "" for a memory-only store
+	origin    string // this store's identity in federated merges
+	local     uint32 // origins index of the local origin
 	walPath   string
 	snapPath  string
 	headerLen int64
@@ -92,13 +129,17 @@ type Store struct {
 
 	shards [numShards]shard
 
-	mu       sync.Mutex //paralint:lockrank 40
-	spaceSig string
-	wal      *os.File // nil for a memory-only store
-	walBuf   []byte   // scratch frame-encode buffer
-	keyBuf   []byte   // scratch key buffer for the write path
-	err      error    // sticky persistence error
-	rec      event.Recorder
+	mu        sync.Mutex //paralint:lockrank 40
+	spaceSig  string
+	origins   []*originState
+	originIdx map[string]uint32
+	wal       *os.File // nil for a memory-only store
+	walBuf    []byte   // scratch payload-encode buffer
+	frameBuf  []byte   // scratch frame-encode buffer
+	keyBuf    []byte   // scratch key buffer for the write path
+	err       error    // sticky persistence error
+	rec       event.Recorder
+	hook      func(key string) // apply hook, fired after mu is released
 }
 
 // appendKey appends p's canonical binary key to dst: each coordinate's
@@ -112,6 +153,12 @@ func appendKey(dst []byte, p space.Point) []byte {
 	return dst
 }
 
+// KeyString returns p's canonical binary key as a string — the key the
+// apply hook reports and the read-through cache tier indexes by.
+func KeyString(p space.Point) string {
+	return string(appendKey(make([]byte, 0, 8*len(p)), p))
+}
+
 // shardFor hashes a canonical key to its shard with FNV-1a.
 func shardFor(key []byte) uint64 {
 	h := uint64(fnvOffset)
@@ -119,6 +166,121 @@ func shardFor(key []byte) uint64 {
 		h = (h ^ uint64(b)) * fnvPrime
 	}
 	return h % numShards
+}
+
+// samePoint reports bitwise equality of two points (NaN-safe: identity, not
+// numeric comparison — duplicate detection must be exact).
+func samePoint(a, b space.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// internLocked resolves an origin name to its state, creating it on first
+// sight. Caller holds s.mu (or the store is not yet shared).
+func (s *Store) internLocked(name string) (uint32, *originState) {
+	if i, ok := s.originIdx[name]; ok {
+		return i, s.origins[i]
+	}
+	if s.originIdx == nil {
+		s.originIdx = make(map[string]uint32)
+	}
+	i := uint32(len(s.origins))
+	st := &originState{name: name}
+	s.origins = append(s.origins, st)
+	s.originIdx[name] = i
+	return i, st
+}
+
+// metaLess orders observations canonically by (origin name, seq). Caller
+// holds s.mu, which guards the origins table.
+func (s *Store) metaLessLocked(a, b obsMeta) bool {
+	if a.origin != b.origin {
+		return s.origins[a.origin].name < s.origins[b.origin].name
+	}
+	return a.seq < b.seq
+}
+
+// insertObs places one observation at its canonical position in r. Local
+// observations (and any single-origin replay) always hit the append fast
+// path. Caller holds s.mu and the record's shard lock.
+func (s *Store) insertObsLocked(r *record, v float64, m obsMeta) {
+	n := len(r.meta)
+	if n == 0 || s.metaLessLocked(r.meta[n-1], m) {
+		r.obs = append(r.obs, v)
+		r.meta = append(r.meta, m)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return s.metaLessLocked(m, r.meta[i]) })
+	r.obs = append(r.obs, 0)
+	copy(r.obs[i+1:], r.obs[i:])
+	r.obs[i] = v
+	r.meta = append(r.meta, obsMeta{})
+	copy(r.meta[i+1:], r.meta[i:])
+	r.meta[i] = m
+}
+
+// applyLocked is the set-union core every ingest path funnels through:
+// local Observe, federated Apply, offline Merge, snapshot load, and WAL
+// replay. It admits frame (origin, seq) exactly once, enforcing the
+// per-origin contiguity invariant (the next frame is high+1; anything at or
+// below high must be a byte-identical duplicate; anything beyond high+1 is a
+// gap). Applied frames extend the origin's chained digest hash and, when
+// persist is set, the WAL. Caller holds s.mu.
+func (s *Store) applyLocked(origin string, seq uint64, p space.Point, v float64, persist bool) (applied bool, err error) {
+	if origin == "" || len(origin) > maxOriginLen {
+		return false, fmt.Errorf("measuredb: invalid origin %q", origin)
+	}
+	if seq == 0 {
+		return false, fmt.Errorf("measuredb: origin %s: sequence numbers start at 1", origin)
+	}
+	if len(p) == 0 || !fault.ValidValue(v) {
+		return false, fmt.Errorf("measuredb: origin %s seq %d: invalid measurement", origin, seq)
+	}
+	oi, ost := s.internLocked(origin)
+	if seq <= ost.high {
+		ref := ost.log[seq-1]
+		if math.Float64bits(ref.value) != math.Float64bits(v) || !samePoint(ref.rec.point, p) {
+			return false, fmt.Errorf("measuredb: origin %s seq %d: conflicting duplicate (observations are immutable)", origin, seq)
+		}
+		return false, nil
+	}
+	if seq != ost.high+1 {
+		return false, fmt.Errorf("measuredb: origin %s: sequence gap (have %d, got %d)", origin, ost.high, seq)
+	}
+
+	s.walBuf = appendMeasurementPayload(s.walBuf[:0], p, v, origin, seq)
+	s.keyBuf = appendKey(s.keyBuf[:0], p)
+	sh := &s.shards[shardFor(s.keyBuf)]
+	sh.mu.Lock()
+	r := sh.recs[string(s.keyBuf)]
+	if r == nil {
+		r = &record{point: p.Clone()}
+		if sh.recs == nil {
+			sh.recs = make(map[string]*record)
+		}
+		sh.recs[string(s.keyBuf)] = r
+	}
+	s.insertObsLocked(r, v, obsMeta{origin: oi, seq: seq})
+	sh.mu.Unlock()
+
+	ost.log = append(ost.log, obsRef{rec: r, value: v})
+	ost.high = seq
+	ost.hash = chainHash(ost.hash, s.walBuf)
+
+	if persist && s.wal != nil && s.err == nil {
+		s.frameBuf = appendWALFrame(s.frameBuf[:0], s.walBuf)
+		if _, werr := s.wal.Write(s.frameBuf); werr != nil {
+			s.err = werr
+		}
+	}
+	return true, nil
 }
 
 // Observe records one raw measurement for configuration p, appending it to
@@ -133,52 +295,189 @@ func (s *Store) Observe(p space.Point, v float64) {
 		return
 	}
 	s.mu.Lock()
-	s.observeLocked(p, v)
+	ls := s.origins[s.local]
+	applied, _ := s.applyLocked(ls.name, ls.high+1, p, v, true)
+	hook := s.hook
+	s.mu.Unlock()
+	if applied && hook != nil {
+		hook(KeyString(p))
+	}
+}
+
+// Frame is one observation in shipping form: its federation identity, the
+// configuration, and the measured value. Frames returned by AppendFrames
+// alias store-owned points — treat them as read-only.
+type Frame struct {
+	Origin string
+	Seq    uint64
+	Point  space.Point
+	Value  float64
+}
+
+// Apply admits one federated frame through the set-union core: a frame the
+// store already holds is a verified no-op (applied=false, nil error), the
+// next contiguous frame for its origin is appended (to memory, digest chain,
+// and WAL), and anything else — a sequence gap or a conflicting duplicate —
+// is an error. Safe for concurrent use.
+func (s *Store) Apply(f Frame) (applied bool, err error) {
+	if s == nil {
+		return false, errors.New("measuredb: nil store")
+	}
+	s.mu.Lock()
+	applied, err = s.applyLocked(f.Origin, f.Seq, f.Point, f.Value, true)
+	hook := s.hook
+	s.mu.Unlock()
+	if applied && hook != nil {
+		hook(KeyString(f.Point))
+	}
+	return applied, err
+}
+
+// OriginDigest summarises one origin's history: the highest contiguous
+// sequence and the chained FNV-1a hash over its canonical frame payloads.
+// Equal digests mean byte-identical per-origin histories.
+type OriginDigest struct {
+	Origin string `json:"origin"`
+	High   uint64 `json:"high"`
+	Hash   uint64 `json:"hash"`
+}
+
+// Digest returns the store's anti-entropy summary: one entry per origin with
+// at least one frame, sorted by origin name.
+func (s *Store) Digest() []OriginDigest {
+	s.mu.Lock()
+	ds := make([]OriginDigest, 0, len(s.origins))
+	for _, o := range s.origins {
+		if o.high == 0 {
+			continue
+		}
+		ds = append(ds, OriginDigest{Origin: o.name, High: o.high, Hash: o.hash})
+	}
+	s.mu.Unlock()
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Origin < ds[j].Origin })
+	return ds
+}
+
+// DigestOf returns one origin's digest entry, if the store holds any of its
+// frames.
+func (s *Store) DigestOf(origin string) (OriginDigest, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.originIdx[origin]; ok && s.origins[i].high > 0 {
+		o := s.origins[i]
+		return OriginDigest{Origin: o.name, High: o.high, Hash: o.hash}, true
+	}
+	return OriginDigest{}, false
+}
+
+// High returns the highest contiguous sequence the store holds for origin
+// (0 if the origin is unknown).
+func (s *Store) High(origin string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.originIdx[origin]; ok {
+		return s.origins[i].high
+	}
+	return 0
+}
+
+// AppendFrames appends up to max frames (all, if max <= 0) of origin's
+// history starting at sequence from, plus the origin's current high and
+// chain hash — the segment-shipping read. The appended frames' points alias
+// store memory and must be treated as read-only.
+func (s *Store) AppendFrames(dst []Frame, origin string, from uint64, max int) ([]Frame, uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.originIdx[origin]
+	if !ok {
+		return dst, 0, 0
+	}
+	ost := s.origins[i]
+	if from == 0 {
+		from = 1
+	}
+	n := 0
+	for seq := from; seq <= ost.high; seq++ {
+		if max > 0 && n >= max {
+			break
+		}
+		ref := ost.log[seq-1]
+		dst = append(dst, Frame{Origin: origin, Seq: seq, Point: ref.rec.point, Value: ref.value})
+		n++
+	}
+	return dst, ost.high, ost.hash
+}
+
+// MergeStats reports a Merge outcome: frames applied and duplicate
+// observations skipped (already present on the destination).
+type MergeStats struct {
+	Applied    int
+	Duplicates int
+}
+
+// Merge unions src's observations into s through the same (origin, seq)
+// set-union core live sync uses: for each origin, frames past s's high are
+// shipped in chunks and applied; everything at or below it is counted as a
+// skipped duplicate. Merge is idempotent and never holds both stores' locks
+// at once. Space signatures must agree when both stores are bound.
+func (s *Store) Merge(src *Store) (MergeStats, error) {
+	var st MergeStats
+	if s == nil || src == nil || s == src {
+		return st, nil
+	}
+	ssig, dsig := src.SpaceSig(), s.SpaceSig()
+	if ssig != "" && dsig != "" && ssig != dsig {
+		return st, fmt.Errorf("measuredb: merge: source is bound to space %q, not %q", ssig, dsig)
+	}
+	if ssig != "" && dsig == "" {
+		if err := s.BindSpace(ssig); err != nil {
+			return st, err
+		}
+	}
+	const chunk = 512
+	buf := make([]Frame, 0, chunk)
+	for _, d := range src.Digest() {
+		from := s.High(d.Origin) + 1
+		if from > 1 {
+			dup := from - 1
+			if dup > d.High {
+				dup = d.High
+			}
+			st.Duplicates += int(dup)
+		}
+		for from <= d.High {
+			buf, _, _ = src.AppendFrames(buf[:0], d.Origin, from, chunk)
+			if len(buf) == 0 {
+				break
+			}
+			for _, f := range buf {
+				applied, err := s.Apply(f)
+				if err != nil {
+					return st, err
+				}
+				if applied {
+					st.Applied++
+				} else {
+					st.Duplicates++
+				}
+			}
+			from = buf[len(buf)-1].Seq + 1
+		}
+	}
+	return st, nil
+}
+
+// SetApplyHook registers fn to be called (with the configuration's canonical
+// key, outside all store locks) after every applied observation — the cache
+// tier's invalidation feed. nil detaches.
+func (s *Store) SetApplyHook(fn func(key string)) {
+	s.mu.Lock()
+	s.hook = fn
 	s.mu.Unlock()
 }
 
-// observeLocked appends to the in-memory record and the WAL; caller holds
-// s.mu, which is what serialises WAL frame order.
-func (s *Store) observeLocked(p space.Point, v float64) {
-	s.keyBuf = appendKey(s.keyBuf[:0], p)
-	sh := &s.shards[shardFor(s.keyBuf)]
-	sh.mu.Lock()
-	r := sh.recs[string(s.keyBuf)]
-	if r == nil {
-		r = &record{point: p.Clone()}
-		if sh.recs == nil {
-			sh.recs = make(map[string]*record)
-		}
-		sh.recs[string(s.keyBuf)] = r
-	}
-	r.obs = append(r.obs, v)
-	sh.mu.Unlock()
-	if s.wal == nil || s.err != nil {
-		return
-	}
-	s.walBuf = appendWALFrame(s.walBuf[:0], p, v)
-	if _, err := s.wal.Write(s.walBuf); err != nil {
-		s.err = err
-	}
-}
-
-// insert adds a loaded record during Open, before the store is shared.
-func (s *Store) insert(p space.Point, obs []float64) {
-	key := appendKey(nil, p)
-	sh := &s.shards[shardFor(key)]
-	if sh.recs == nil {
-		sh.recs = make(map[string]*record)
-	}
-	r := sh.recs[string(key)]
-	if r == nil {
-		r = &record{point: p}
-		sh.recs[string(key)] = r
-	}
-	r.obs = append(r.obs, obs...)
-}
-
 // AppendObs is the exact-match lookup: it appends up to max stored raw
-// observations for p (in arrival order) to dst and reports whether the
+// observations for p (in canonical order) to dst and reports whether the
 // configuration exists at all. max <= 0 means all. The caller owns dst, so a
 // reused buffer with capacity makes the lookup allocation-free — the memo
 // path calls this once per candidate per iteration, and the alloccheck test
@@ -205,6 +504,37 @@ func (s *Store) AppendObs(dst []float64, p space.Point, max int) ([]float64, boo
 	}
 	sh.mu.Unlock()
 	return dst, found
+}
+
+// AppendObsSource is AppendObs plus provenance: federated reports whether
+// any of the returned observations was first recorded by a different store
+// — the signal behind the db_hit event's "federated" source tag.
+func (s *Store) AppendObsSource(dst []float64, p space.Point, max int) (obs []float64, found, federated bool) {
+	var kb [8 * maxStackDim]byte
+	key := kb[:0]
+	if len(p) > maxStackDim {
+		key = make([]byte, 0, 8*len(p))
+	}
+	key = appendKey(key, p)
+	sh := &s.shards[shardFor(key)]
+	sh.mu.Lock()
+	r := sh.recs[string(key)]
+	found = r != nil
+	if found {
+		n := len(r.obs)
+		if max > 0 && n > max {
+			n = max
+		}
+		dst = append(dst, r.obs[:n]...)
+		for i := 0; i < n; i++ {
+			if r.meta[i].origin != s.local {
+				federated = true
+				break
+			}
+		}
+	}
+	sh.mu.Unlock()
+	return dst, found, federated
 }
 
 // Agg is one configuration's aggregate over all raw observations. Min is the
@@ -246,9 +576,11 @@ func (s *Store) Aggregate(p space.Point) (Agg, bool) {
 }
 
 // gather snapshots every record as codec entries in canonical key order.
-// Points and observation slices are copies. Shard locks are taken one at a
-// time, so the result is a consistent view only when the caller holds s.mu
-// (as Compact does) or no writes are in flight.
+// Points, observation slices, and meta are copies; meta origin indices are
+// the store's interned indices (snapshotLocked remaps them to the sorted
+// table). Shard locks are taken one at a time, so the result is a consistent
+// view only when the caller holds s.mu (as Compact does) or no writes are in
+// flight.
 func (s *Store) gather() []entry {
 	var keys []string
 	var es []entry
@@ -260,6 +592,7 @@ func (s *Store) gather() []entry {
 			es = append(es, entry{
 				point: r.point.Clone(),
 				obs:   append([]float64(nil), r.obs...),
+				meta:  append([]obsMeta(nil), r.meta...),
 			})
 		}
 		sh.mu.Unlock()
@@ -291,7 +624,8 @@ func (s *Store) ForEach(fn func(Agg)) {
 }
 
 // ForEachRaw visits every configuration in canonical key order with its raw
-// observations in arrival order. The slices are copies the callback may keep.
+// observations in canonical (origin, seq) order. The slices are copies the
+// callback may keep.
 func (s *Store) ForEachRaw(fn func(p space.Point, obs []float64)) {
 	for _, e := range s.gather() {
 		fn(e.point, e.obs)
@@ -318,6 +652,10 @@ func (s *Store) Seed() int64 { return s.seed }
 
 // Dir returns the backing directory, or "" for a memory-only store.
 func (s *Store) Dir() string { return s.dir }
+
+// Origin returns this store's own origin name — the identity stamped on
+// every observation it records locally.
+func (s *Store) Origin() string { return s.origin }
 
 // Recovery returns the WAL recovery performed at Open, or nil if the log was
 // clean.
